@@ -1,0 +1,104 @@
+// Kernel microbenchmarks (google-benchmark): the primitive operations the
+// models are built from — GEMM, convolution, depthwise-separable conv,
+// software MHSA, the bit-accurate fixed-point MHSA datapath, and ODE solver
+// steps.
+#include <benchmark/benchmark.h>
+
+#include "nodetr/fx/qops.hpp"
+#include "nodetr/hls/mhsa_ip.hpp"
+#include "nodetr/nn/attention.hpp"
+#include "nodetr/nn/conv_layers.hpp"
+#include "nodetr/ode/solver.hpp"
+#include "nodetr/tensor/conv.hpp"
+#include "nodetr/tensor/gemm.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+namespace nn = nodetr::nn;
+namespace hls = nodetr::hls;
+namespace ode = nodetr::ode;
+
+static void BM_Gemm(benchmark::State& state) {
+  const nt::index_t n = state.range(0);
+  nt::Rng rng(1);
+  auto a = rng.randn(nt::Shape{n, n});
+  auto b = rng.randn(nt::Shape{n, n});
+  for (auto _ : state) benchmark::DoNotOptimize(nt::matmul(a, b));
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_Conv2d(benchmark::State& state) {
+  const nt::index_t c = state.range(0);
+  nt::Conv2dGeom g{.in_channels = c, .out_channels = c, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(2);
+  auto x = rng.randn(nt::Shape{1, c, 12, 12});
+  auto w = rng.randn(nt::Shape{c, c, 3, 3});
+  for (auto _ : state) benchmark::DoNotOptimize(nt::conv2d(x, w, {}, g));
+}
+BENCHMARK(BM_Conv2d)->Arg(16)->Arg(64);
+
+static void BM_DepthwiseSeparable(benchmark::State& state) {
+  const nt::index_t c = state.range(0);
+  nt::Rng rng(3);
+  nn::DepthwiseSeparableConv dsc(c, c, 3, 1, 1, rng);
+  auto x = rng.randn(nt::Shape{1, c, 12, 12});
+  for (auto _ : state) benchmark::DoNotOptimize(dsc.forward(x));
+}
+BENCHMARK(BM_DepthwiseSeparable)->Arg(16)->Arg(64);
+
+static void BM_MhsaSoftware(benchmark::State& state) {
+  const nt::index_t d = state.range(0);
+  nt::Rng rng(4);
+  nn::MhsaConfig cfg{.dim = d, .heads = 4, .height = 6, .width = 6,
+                     .attention = nn::AttentionKind::kRelu,
+                     .pos = nn::PosEncodingKind::kRelative2d, .layer_norm_out = true};
+  nn::MultiHeadSelfAttention mhsa(cfg, rng);
+  mhsa.train(false);
+  auto x = rng.randn(nt::Shape{1, d, 6, 6});
+  for (auto _ : state) benchmark::DoNotOptimize(mhsa.forward(x));
+}
+BENCHMARK(BM_MhsaSoftware)->Arg(64)->Arg(128);
+
+static void BM_MhsaFixedIp(benchmark::State& state) {
+  const nt::index_t d = state.range(0);
+  nt::Rng rng(5);
+  nn::MhsaConfig cfg{.dim = d, .heads = 4, .height = 6, .width = 6,
+                     .attention = nn::AttentionKind::kRelu,
+                     .pos = nn::PosEncodingKind::kRelative2d, .layer_norm_out = true};
+  nn::MultiHeadSelfAttention mhsa(cfg, rng);
+  hls::MhsaDesignPoint point;
+  point.dim = d;
+  point.height = point.width = 6;
+  point.heads = 4;
+  point.dtype = hls::DataType::kFixed;
+  hls::MhsaIpCore ip(point, hls::MhsaWeights::from_module(mhsa));
+  auto x = rng.randn(nt::Shape{1, d, 6, 6});
+  for (auto _ : state) benchmark::DoNotOptimize(ip.run(x));
+}
+BENCHMARK(BM_MhsaFixedIp)->Arg(64);
+
+static void BM_QMatmul(benchmark::State& state) {
+  const nt::index_t n = state.range(0);
+  nt::Rng rng(6);
+  auto a = fx::FixedTensor::from_float(rng.randn(nt::Shape{n, n}), {32, 16});
+  auto b = fx::FixedTensor::from_float(rng.randn(nt::Shape{n, n}), {24, 8});
+  for (auto _ : state) benchmark::DoNotOptimize(fx::qmatmul(a, b, {32, 16}));
+}
+BENCHMARK(BM_QMatmul)->Arg(64)->Arg(128);
+
+static void BM_OdeSolve(benchmark::State& state) {
+  const auto kind = static_cast<ode::SolverKind>(state.range(0));
+  auto solver = ode::make_solver(kind);
+  nt::Rng rng(7);
+  auto z0 = rng.randn(nt::Shape{64, 64});
+  auto rhs = [](const nt::Tensor& z, float) { return z * 0.1f; };
+  for (auto _ : state) benchmark::DoNotOptimize(solver->integrate(z0, 0.0f, 1.0f, 8, rhs));
+}
+BENCHMARK(BM_OdeSolve)
+    ->Arg(static_cast<int>(ode::SolverKind::kEuler))
+    ->Arg(static_cast<int>(ode::SolverKind::kMidpoint))
+    ->Arg(static_cast<int>(ode::SolverKind::kRk4));
+
+BENCHMARK_MAIN();

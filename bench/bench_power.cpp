@@ -1,0 +1,27 @@
+// Reproduces Sec. VI-B7: power consumption and energy efficiency of the
+// MHSA IP vs CPU-only execution.
+#include "common.hpp"
+#include "nodetr/hls/power.hpp"
+
+namespace hls = nodetr::hls;
+using nodetr::bench::header;
+
+int main() {
+  header("Sec. VI-B7", "Power consumption and energy efficiency");
+  hls::PowerModel power;
+  hls::ResourceModel res;
+  const auto fixed = res.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed));
+  const auto flt = res.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32));
+
+  std::printf("  MHSA IP (fixed point):  %.3f W   (paper: 0.866 W)\n", power.ip_watts(fixed));
+  std::printf("  MHSA IP (floating pt):  %.3f W   (paper: 3.977 W)\n", power.ip_watts(flt));
+  std::printf("  CPU (PS part of Zynq):  %.3f W   (paper: 2.647 W)\n", hls::PowerModel::kPsWatts);
+
+  // Table IX execution times drive the energy comparison.
+  const double cpu_ms = 35.18, fixed_ms = 13.37;
+  const double pr = power.accelerated_watts(fixed) / hls::PowerModel::kPsWatts;
+  std::printf("\n  fixed-point accel: %.2fx power, %.2fx speedup -> %.2fx energy efficiency\n",
+              pr, cpu_ms / fixed_ms, power.efficiency_gain(cpu_ms, fixed_ms, fixed));
+  std::printf("  (paper: 1.33x power, 2.63x speedup, 1.98x energy efficiency)\n");
+  return 0;
+}

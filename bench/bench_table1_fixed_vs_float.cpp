@@ -1,0 +1,38 @@
+// Reproduces Table I: FPGA resources of the (512ch, 3x3) MHSA IP with
+// floating-point vs 32(16)/24(8) fixed-point arithmetic (naive buffers).
+#include "common.hpp"
+#include "nodetr/hls/resources.hpp"
+
+namespace hls = nodetr::hls;
+using nodetr::bench::header;
+
+namespace {
+void print_usage(const char* label, const hls::ResourceUsage& u) {
+  std::printf("%-34s BRAM %5lld (%3.0f%%)  DSP %5lld (%3.0f%%)  FF %7lld (%3.0f%%)  "
+              "LUT %7lld (%3.0f%%)\n",
+              label, static_cast<long long>(u.bram18), hls::Zcu104::bram_pct(u),
+              static_cast<long long>(u.dsp), hls::Zcu104::dsp_pct(u),
+              static_cast<long long>(u.ff), hls::Zcu104::ff_pct(u),
+              static_cast<long long>(u.lut), hls::Zcu104::lut_pct(u));
+}
+}  // namespace
+
+int main() {
+  header("Table I", "FPGA resources using floating point and fixed point");
+  std::printf("%-34s BRAM %5d         DSP %5d         FF %7d         LUT %7d\n", "Available",
+              static_cast<int>(hls::Zcu104::kBram18), static_cast<int>(hls::Zcu104::kDsp),
+              static_cast<int>(hls::Zcu104::kFf), static_cast<int>(hls::Zcu104::kLut));
+  hls::ResourceModel model;
+  const auto flt = model.estimate(
+      hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32, hls::BufferPlan::kNaive7));
+  const auto fix = model.estimate(
+      hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed, hls::BufferPlan::kNaive7));
+  print_usage("512ch, 3x3 (floating point)", flt);
+  print_usage("512ch, 3x3 (fixed point)", fix);
+  std::printf("\npaper: float 1716/680/89912/112698; fixed 1396/137/30041/83116\n");
+  std::printf("BRAM saving %.0f%%, DSP saving %.0f%% (paper: 53%% BRAM*, 32%% DSP*)\n",
+              100.0 * (flt.bram18 - fix.bram18) / flt.bram18,
+              100.0 * (flt.dsp - fix.dsp) / flt.dsp);
+  std::printf("(*paper percentages are of device capacity: BRAM 286%%->233%%, DSP 39%%->7%%)\n");
+  return 0;
+}

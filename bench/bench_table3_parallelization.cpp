@@ -1,0 +1,38 @@
+// Reproduces Table III: cycle/latency breakdown of the MHSA pipeline at the
+// (512ch, 3x3) point, original vs parallelized (partition 64 / unroll 128).
+#include "common.hpp"
+#include "nodetr/hls/cycle_model.hpp"
+
+namespace hls = nodetr::hls;
+using nodetr::bench::header;
+
+int main() {
+  header("Table III", "Parallelizing the computational bottleneck in MHSA");
+  hls::CycleModel model;
+  auto orig_pt = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  orig_pt.parallel = hls::ParallelPlan::sequential();
+  auto par_pt = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  const auto o = model.estimate(orig_pt);
+  const auto p = model.estimate(par_pt);
+
+  auto row = [](const char* stage, long long oc, long long pc) {
+    std::printf("  %-24s %14lld  %10.3g      %12lld  %10.3g\n", stage, oc,
+                oc * hls::CycleModel::kClockNs, pc, pc * hls::CycleModel::kClockNs);
+  };
+  std::printf("  %-24s %14s  %10s      %12s  %10s\n", "Processing", "orig cycles", "ns",
+              "par cycles", "ns");
+  row("XW^q (each of XW^q/k/v)", o.projection_each, p.projection_each);
+  row("QR^T", o.qr, p.qr);
+  row("QK^T", o.qk, p.qk);
+  row("ReLU(QR^T + QK^T)", o.relu, p.relu);
+  row("ReLU(.)V^T", o.av, p.av);
+  row("data movement", o.streaming, p.streaming);
+  row("Total", o.total(), p.total());
+
+  std::printf("\nprojection speedup: %.1fx (paper: 127x); overall: %.1fx (paper: 52x)\n",
+              static_cast<double>(o.projection_each) / p.projection_each,
+              static_cast<double>(o.total()) / p.total());
+  std::printf("paper reference: each projection 40,158,722 -> 316,009 cycles;\n"
+              "totals 121,866,093 -> 2,337,954 cycles at 5 ns/cycle.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Table IV: parameter counts of ResNet50, BoTNet50, Neural ODE,
+// the proposed model, and ViT-Base at STL10 scale (96x96, 10 classes).
+#include "common.hpp"
+#include "nodetr/models/zoo.hpp"
+
+namespace m = nodetr::models;
+namespace nt = nodetr::tensor;
+using nodetr::bench::header;
+
+int main() {
+  header("Table IV", "Parameter size of proposed and counterpart models");
+  std::printf("  %-16s %14s %14s %8s\n", "Model", "ours", "paper", "delta");
+  nt::Rng rng(1);
+  long long ours_bot = 0, ours_prop = 0;
+  for (auto kind : m::table4_models()) {
+    // Scope each model so ViT-Base's ~80M params are freed before the next.
+    long long n = 0;
+    {
+      auto net = m::make_model(kind, 96, 10, rng);
+      n = net->num_parameters();
+    }
+    const long long paper = m::paper_param_count(kind);
+    std::printf("  %-16s %14lld %14lld %7.2f%%\n", m::paper_name(kind).c_str(), n, paper,
+                100.0 * (n - paper) / paper);
+    if (kind == m::ModelKind::kBoTNet50) ours_bot = n;
+    if (kind == m::ModelKind::kProposed) ours_prop = n;
+  }
+  std::printf("\nproposed vs BoTNet50 parameter reduction: %.1f%% (paper: 97.3%%)\n",
+              100.0 * (1.0 - static_cast<double>(ours_prop) / ours_bot));
+  return 0;
+}

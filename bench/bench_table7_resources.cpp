@@ -1,0 +1,38 @@
+// Reproduces Table VII: FPGA resource utilization of the MHSA IP for the
+// BoTNet (512ch, 3x3) and proposed (64ch, 6x6) design points, float and
+// fixed (URAMs unused, so BRAM tracks model size).
+#include "common.hpp"
+#include "nodetr/hls/resources.hpp"
+
+namespace hls = nodetr::hls;
+using nodetr::bench::header;
+
+int main() {
+  header("Table VII", "FPGA resource utilization of MHSA (ZCU104, no URAM)");
+  hls::ResourceModel model;
+  struct Row {
+    const char* label;
+    hls::MhsaDesignPoint point;
+  };
+  const Row rows[] = {
+      {"BoTNet (512,3,3) float", hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32)},
+      {"BoTNet (512,3,3) fixed", hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed)},
+      {"Proposed (64,6,6) float", hls::MhsaDesignPoint::proposed_64(hls::DataType::kFloat32)},
+      {"Proposed (64,6,6) fixed", hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed)},
+  };
+  std::printf("  %-26s %12s %12s %15s %15s\n", "Model", "BRAM", "DSP", "FF", "LUT");
+  std::printf("  %-26s %12d %12d %15d %15d\n", "Available",
+              static_cast<int>(hls::Zcu104::kBram18), static_cast<int>(hls::Zcu104::kDsp),
+              static_cast<int>(hls::Zcu104::kFf), static_cast<int>(hls::Zcu104::kLut));
+  for (const auto& r : rows) {
+    const auto u = model.estimate(r.point);
+    std::printf("  %-26s %6lld (%3.0f%%) %6lld (%3.0f%%) %8lld (%3.0f%%) %8lld (%3.0f%%)\n",
+                r.label, static_cast<long long>(u.bram18), hls::Zcu104::bram_pct(u),
+                static_cast<long long>(u.dsp), hls::Zcu104::dsp_pct(u),
+                static_cast<long long>(u.ff), hls::Zcu104::ff_pct(u),
+                static_cast<long long>(u.lut), hls::Zcu104::lut_pct(u));
+  }
+  std::printf("\npaper rows: 693/680/101851/90072; 559/137/37333/55842;\n"
+              "            441/868/144263/124091; 433/212/68809/79476\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the table/figure reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "nodetr/tensor/shape.hpp"
+
+namespace nodetr::bench {
+
+using nodetr::tensor::index_t;
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Integer environment override (for scaling the training benches up/down),
+/// e.g. NODETR_BENCH_EPOCHS=40 ./bench_table5_accuracy.
+inline index_t env_int(const char* name, index_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoll(v) : fallback;
+}
+
+/// "measured vs paper" row with a percent-utilization column pair.
+inline void resource_row(const char* label, long long got, double pct) {
+  std::printf("  %-34s %10lld (%3.0f%%)\n", label, got, pct);
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+}  // namespace nodetr::bench

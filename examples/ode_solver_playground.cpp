@@ -1,0 +1,58 @@
+// Neural-ODE solver playground: how the ODE solver and iteration count C
+// trade accuracy for compute (Sec. III-B). Integrates the trained backbone's
+// final stage with Euler / Midpoint / RK4 at several step counts and shows
+// how the logits converge toward the high-accuracy solution.
+//
+//   ./ode_solver_playground
+#include <cstdio>
+
+#include "nodetr/core/lightweight_transformer.hpp"
+#include "nodetr/ode/ode_block.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace core = nodetr::core;
+namespace ode = nodetr::ode;
+namespace nt = nodetr::tensor;
+
+int main() {
+  core::Options opts;
+  opts.image_size = 32;
+  opts.stem_channels = 16;
+  opts.mhsa_bottleneck = 16;
+  opts.mhsa_heads = 2;
+  opts.solver_steps = 4;
+  core::LightweightTransformer model(opts);
+  model.model().train(false);
+
+  nt::Rng rng(5);
+  auto batch = rng.rand(nt::Shape{1, 3, 32, 32});
+
+  // High-accuracy reference: RK4 with many steps.
+  auto& blocks = model.model().ode_blocks();
+  for (auto* b : blocks) {
+    b->set_solver(ode::SolverKind::kRk4);
+    b->set_steps(32);
+  }
+  auto reference = model.model().forward(batch);
+
+  std::printf("%-10s %6s %14s %s\n", "solver", "C", "RHS evals", "||logits - ref||");
+  for (auto kind : {ode::SolverKind::kEuler, ode::SolverKind::kMidpoint, ode::SolverKind::kRk4}) {
+    for (nt::index_t steps : {1, 2, 4, 8}) {
+      for (auto* b : blocks) {
+        b->set_solver(kind);
+        b->set_steps(steps);
+      }
+      auto out = model.model().forward(batch);
+      const auto evals = steps * ode::make_solver(kind)->rhs_evals_per_step() *
+                         static_cast<nt::index_t>(blocks.size());
+      nt::Tensor diff = out - reference;
+      std::printf("%-10s %6lld %14lld %.6f\n", ode::to_string(kind).c_str(),
+                  static_cast<long long>(steps), static_cast<long long>(evals),
+                  nt::l2_norm(diff));
+    }
+  }
+  std::printf("\nMore steps / higher-order solvers converge to the same flow while the\n"
+              "parameter count stays constant — the Neural-ODE property the paper uses\n"
+              "to shrink BoTNet by 97%%.\n");
+  return 0;
+}

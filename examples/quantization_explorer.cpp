@@ -1,0 +1,51 @@
+// Explore the fixed-point accuracy trade-off of Sec. VI-B5: run the model
+// with the MHSA quantized at each of Table VIII's formats and report logit
+// error and (if a checkpoint is given) test accuracy per format.
+//
+//   ./quantization_explorer [checkpoint.bin]
+#include <cstdio>
+
+#include "nodetr/core/lightweight_transformer.hpp"
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/train/trainer.hpp"
+
+namespace core = nodetr::core;
+namespace d = nodetr::data;
+namespace fx = nodetr::fx;
+namespace hls = nodetr::hls;
+namespace nt = nodetr::tensor;
+
+int main(int argc, char** argv) {
+  core::Options opts;
+  opts.image_size = 32;
+  opts.stem_channels = 16;
+  opts.mhsa_bottleneck = 16;
+  opts.mhsa_heads = 2;
+  opts.solver_steps = 3;
+  core::LightweightTransformer model(opts);
+  if (argc > 1) {
+    model.load(argv[1]);
+    std::printf("loaded checkpoint %s\n", argv[1]);
+  }
+  model.model().train(false);
+
+  d::SynthStl dataset({.image_size = 32, .train_per_class = 1, .test_per_class = 5, .seed = 9});
+  auto batch = d::stack(dataset.test(), 0, 16);
+  auto reference = model.predict_logits(batch.images);
+  const float acc_ref = nodetr::train::evaluate(model.model(), dataset.test());
+
+  std::printf("\n%-14s %-12s %-12s %s\n", "format", "mean|diff|", "max|diff|", "accuracy");
+  std::printf("%-14s %-12s %-12s %.1f%% (software float)\n", "float32", "0", "0",
+              100.0f * acc_ref);
+  for (const auto& scheme : fx::table8_schemes()) {
+    auto session = model.offload(hls::DataType::kFixed, scheme);
+    auto logits = session->forward(batch.images);
+    const float acc = nodetr::train::evaluate(model.model(), dataset.test());
+    std::printf("%-14s %-12.6f %-12.6f %.1f%%\n", scheme.to_string().c_str(),
+                nt::mean_abs_diff(logits, reference), nt::max_abs_diff(logits, reference),
+                100.0f * acc);
+  }
+  std::printf("\nExpect errors to grow as formats narrow (Figs. 9-10) and accuracy to\n"
+              "collapse for the narrowest formats (Table VIII).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: build the paper's proposed model, compare its size with the
+// counterpart models of Table IV, and classify a synthetic image.
+//
+//   ./quickstart [image_size]   (default 32 for speed; 96 = paper scale)
+#include <cstdio>
+#include <cstdlib>
+
+#include "nodetr/core/lightweight_transformer.hpp"
+#include "nodetr/models/zoo.hpp"
+
+namespace core = nodetr::core;
+namespace m = nodetr::models;
+namespace d = nodetr::data;
+namespace nt = nodetr::tensor;
+
+int main(int argc, char** argv) {
+  const nt::index_t image_size = argc > 1 ? std::atoll(argv[1]) : 32;
+
+  // 1. Build the proposed model (Neural ODE backbone + bottleneck MHSA).
+  core::Options opts;
+  opts.image_size = image_size;
+  if (image_size < 96) {  // shrink widths for small inputs
+    opts.stem_channels = 16;
+    opts.mhsa_bottleneck = 16;
+    opts.mhsa_heads = 2;
+    opts.solver_steps = 3;
+  }
+  core::LightweightTransformer model(opts);
+  std::printf("Proposed model @ %lldpx: %lld parameters\n",
+              static_cast<long long>(image_size),
+              static_cast<long long>(model.num_parameters()));
+  const auto point = model.design_point(nodetr::hls::DataType::kFixed);
+  std::printf("MHSA design point: %s\n\n", point.to_string().c_str());
+
+  // 2. Parameter-size context (full-size counterparts; paper Table IV).
+  if (image_size == 96) {
+    nt::Rng rng(1);
+    for (auto kind : m::table4_models()) {
+      auto net = m::make_model(kind, 96, 10, rng);
+      std::printf("%-16s %12lld parameters\n", m::paper_name(kind).c_str(),
+                  static_cast<long long>(net->num_parameters()));
+    }
+    std::printf("\n");
+  }
+
+  // 3. Classify a procedurally generated image (untrained weights => this is
+  //    a plumbing demo; see train_synthstl for accuracy).
+  d::SynthStl dataset({.image_size = image_size, .train_per_class = 1, .test_per_class = 1,
+                       .seed = 7});
+  const auto& sample = dataset.test()[3];
+  const auto predicted = model.predict(sample.image);
+  std::printf("sample class: %s, predicted class: %s (untrained model)\n",
+              d::SynthStl::class_name(sample.label), d::SynthStl::class_name(predicted));
+
+  // 4. Estimated FPGA deployment cost of the attention IP.
+  auto res = model.estimate_resources(nodetr::hls::DataType::kFixed);
+  std::printf("fixed-point MHSA IP estimate: BRAM18 %lld, DSP %lld, %.2f W\n",
+              static_cast<long long>(res.bram18), static_cast<long long>(res.dsp),
+              model.estimate_ip_watts(nodetr::hls::DataType::kFixed));
+  return 0;
+}

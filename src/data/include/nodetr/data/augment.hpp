@@ -1,0 +1,43 @@
+// The paper's training augmentations (Sec. VI-A2): RandomHorizontalFlip,
+// ColorJitter and RandomErasing, mirroring the torchvision transforms.
+// All functions operate on (3, H, W) images in-place or return a copy.
+#pragma once
+
+#include "nodetr/tensor/rng.hpp"
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::data {
+
+using nodetr::tensor::index_t;
+using nodetr::tensor::Rng;
+using nodetr::tensor::Tensor;
+
+/// Mirror the image horizontally with probability `p`.
+[[nodiscard]] Tensor random_horizontal_flip(const Tensor& img, Rng& rng, float p = 0.5f);
+
+struct ColorJitterConfig {
+  float brightness = 0.2f;  ///< multiply by U[1-b, 1+b]
+  float contrast = 0.2f;    ///< blend toward the mean by U[1-c, 1+c]
+  float saturation = 0.2f;  ///< blend toward grayscale by U[1-s, 1+s]
+};
+
+/// Randomly perturb brightness, contrast, saturation; output clipped to [0,1].
+[[nodiscard]] Tensor color_jitter(const Tensor& img, Rng& rng, const ColorJitterConfig& cfg = {});
+
+struct RandomErasingConfig {
+  float p = 0.5f;              ///< probability of erasing anything
+  float area_min = 0.02f;      ///< erased area as fraction of the image
+  float area_max = 0.2f;
+  float aspect_min = 0.3f;     ///< aspect ratio range of the erased box
+  float aspect_max = 3.3f;
+};
+
+/// Erase a random rectangle, filling it with uniform noise.
+[[nodiscard]] Tensor random_erasing(const Tensor& img, Rng& rng,
+                                    const RandomErasingConfig& cfg = {});
+
+/// The full training pipeline used by the paper's proposed model: flip,
+/// jitter, erase.
+[[nodiscard]] Tensor augment_train(const Tensor& img, Rng& rng);
+
+}  // namespace nodetr::data

@@ -1,0 +1,35 @@
+// Binary dataset file I/O, STL10-compatible layout.
+//
+// STL10's distribution format stores images as uint8 in column-major
+// (channel, column, row) order with labels in a separate file. This loader
+// accepts that layout so real STL10 can be dropped in when available, and a
+// simpler row-major variant used by save_dataset for round-tripping the
+// synthetic set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nodetr/data/synth_stl.hpp"
+
+namespace nodetr::data {
+
+enum class PixelOrder {
+  kRowMajor,     ///< (channel, row, column) — this library's native layout
+  kStl10Binary,  ///< (channel, column, row) — stl10_binary distribution files
+};
+
+/// Load uint8 images (+1-based or 0-based labels) from the binary pair.
+/// Images are scaled to [0, 1] floats. `labels_are_one_based` matches the
+/// STL10 convention (class ids 1..10).
+[[nodiscard]] std::vector<Sample> load_dataset(const std::string& images_path,
+                                               const std::string& labels_path,
+                                               index_t image_size, PixelOrder order,
+                                               bool labels_are_one_based = false,
+                                               index_t max_samples = -1);
+
+/// Write samples in the row-major uint8 layout (lossy: 8-bit quantization).
+void save_dataset(const std::string& images_path, const std::string& labels_path,
+                  const std::vector<Sample>& samples);
+
+}  // namespace nodetr::data

@@ -1,0 +1,43 @@
+// Mini-batch assembly with shuffling and optional augmentation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nodetr/data/synth_stl.hpp"
+
+namespace nodetr::data {
+
+struct Batch {
+  Tensor images;                ///< (B, 3, S, S)
+  std::vector<index_t> labels;  ///< size B
+};
+
+class BatchLoader {
+ public:
+  /// `augment` (may be null) is applied per image at batch-assembly time.
+  BatchLoader(const std::vector<Sample>& samples, index_t batch_size, std::uint64_t seed,
+              std::function<Tensor(const Tensor&, Rng&)> augment = nullptr);
+
+  /// Shuffle and reset the epoch.
+  void reset();
+
+  /// Fetch the next batch; returns false at epoch end.
+  bool next(Batch& out);
+
+  [[nodiscard]] index_t batches_per_epoch() const;
+  [[nodiscard]] index_t size() const { return static_cast<index_t>(samples_->size()); }
+
+ private:
+  const std::vector<Sample>* samples_;
+  index_t batch_size_;
+  Rng rng_;
+  std::function<Tensor(const Tensor&, Rng&)> augment_;
+  std::vector<index_t> order_;
+  index_t cursor_ = 0;
+};
+
+/// Stack a set of samples into one (B, 3, S, S) batch (no augmentation).
+[[nodiscard]] Batch stack(const std::vector<Sample>& samples, index_t begin, index_t end);
+
+}  // namespace nodetr::data

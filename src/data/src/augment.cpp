@@ -1,0 +1,86 @@
+#include "nodetr/data/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nodetr::data {
+
+namespace {
+void check_image(const Tensor& img, const char* who) {
+  if (img.rank() != 3 || img.dim(0) != 3) {
+    throw std::invalid_argument(std::string(who) + ": expected (3, H, W), got " +
+                                img.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor random_horizontal_flip(const Tensor& img, Rng& rng, float p) {
+  check_image(img, "random_horizontal_flip");
+  if (!rng.bernoulli(p)) return img;
+  const index_t h = img.dim(1), w = img.dim(2);
+  Tensor out(img.shape());
+  for (index_t c = 0; c < 3; ++c)
+    for (index_t y = 0; y < h; ++y)
+      for (index_t x = 0; x < w; ++x) out.at(c, y, x) = img.at(c, y, w - 1 - x);
+  return out;
+}
+
+Tensor color_jitter(const Tensor& img, Rng& rng, const ColorJitterConfig& cfg) {
+  check_image(img, "color_jitter");
+  const float fb = rng.uniform(1.0f - cfg.brightness, 1.0f + cfg.brightness);
+  const float fc = rng.uniform(1.0f - cfg.contrast, 1.0f + cfg.contrast);
+  const float fs = rng.uniform(1.0f - cfg.saturation, 1.0f + cfg.saturation);
+  const index_t plane = img.dim(1) * img.dim(2);
+  Tensor out = img;
+  // Brightness.
+  for (index_t i = 0; i < out.numel(); ++i) out[i] *= fb;
+  // Contrast: blend toward the global mean intensity.
+  double mean = 0.0;
+  for (index_t i = 0; i < out.numel(); ++i) mean += out[i];
+  mean /= static_cast<double>(out.numel());
+  for (index_t i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<float>(mean + fc * (out[i] - mean));
+  }
+  // Saturation: blend each pixel toward its grayscale value.
+  for (index_t p = 0; p < plane; ++p) {
+    const float gray =
+        0.299f * out[p] + 0.587f * out[plane + p] + 0.114f * out[2 * plane + p];
+    for (index_t c = 0; c < 3; ++c) {
+      float& v = out[c * plane + p];
+      v = gray + fs * (v - gray);
+    }
+  }
+  for (index_t i = 0; i < out.numel(); ++i) out[i] = std::clamp(out[i], 0.0f, 1.0f);
+  return out;
+}
+
+Tensor random_erasing(const Tensor& img, Rng& rng, const RandomErasingConfig& cfg) {
+  check_image(img, "random_erasing");
+  if (!rng.bernoulli(cfg.p)) return img;
+  const index_t h = img.dim(1), w = img.dim(2);
+  Tensor out = img;
+  // A few attempts to fit a box, like torchvision.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const float area = rng.uniform(cfg.area_min, cfg.area_max) * static_cast<float>(h * w);
+    const float aspect = rng.uniform(cfg.aspect_min, cfg.aspect_max);
+    const index_t eh = static_cast<index_t>(std::sqrt(area * aspect));
+    const index_t ew = static_cast<index_t>(std::sqrt(area / aspect));
+    if (eh <= 0 || ew <= 0 || eh >= h || ew >= w) continue;
+    const index_t y0 = rng.randint(0, h - eh - 1);
+    const index_t x0 = rng.randint(0, w - ew - 1);
+    for (index_t c = 0; c < 3; ++c)
+      for (index_t y = y0; y < y0 + eh; ++y)
+        for (index_t x = x0; x < x0 + ew; ++x) out.at(c, y, x) = rng.uniform(0.0f, 1.0f);
+    return out;
+  }
+  return out;
+}
+
+Tensor augment_train(const Tensor& img, Rng& rng) {
+  Tensor out = random_horizontal_flip(img, rng);
+  out = color_jitter(out, rng);
+  return random_erasing(out, rng);
+}
+
+}  // namespace nodetr::data

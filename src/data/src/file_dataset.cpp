@@ -1,0 +1,68 @@
+#include "nodetr/data/file_dataset.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace nodetr::data {
+
+std::vector<Sample> load_dataset(const std::string& images_path, const std::string& labels_path,
+                                 index_t image_size, PixelOrder order,
+                                 bool labels_are_one_based, index_t max_samples) {
+  std::ifstream imgs(images_path, std::ios::binary);
+  if (!imgs) throw std::runtime_error("load_dataset: cannot open " + images_path);
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) throw std::runtime_error("load_dataset: cannot open " + labels_path);
+
+  const index_t plane = image_size * image_size;
+  const index_t bytes_per_image = 3 * plane;
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(bytes_per_image));
+  std::vector<Sample> out;
+  while (max_samples < 0 || static_cast<index_t>(out.size()) < max_samples) {
+    if (!imgs.read(reinterpret_cast<char*>(buf.data()), bytes_per_image)) break;
+    std::uint8_t lab = 0;
+    if (!labels.read(reinterpret_cast<char*>(&lab), 1)) {
+      throw std::runtime_error("load_dataset: labels file shorter than images file");
+    }
+    Sample s;
+    s.label = static_cast<index_t>(lab) - (labels_are_one_based ? 1 : 0);
+    if (s.label < 0 || s.label >= SynthStl::kNumClasses) {
+      throw std::runtime_error("load_dataset: label out of range: " + std::to_string(lab));
+    }
+    s.image = Tensor(Shape{3, image_size, image_size});
+    for (index_t c = 0; c < 3; ++c) {
+      for (index_t y = 0; y < image_size; ++y) {
+        for (index_t x = 0; x < image_size; ++x) {
+          // STL10 binaries store each channel column-major.
+          const index_t src = (order == PixelOrder::kStl10Binary)
+                                  ? c * plane + x * image_size + y
+                                  : c * plane + y * image_size + x;
+          s.image.at(c, y, x) =
+              static_cast<float>(buf[static_cast<std::size_t>(src)]) / 255.0f;
+        }
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  if (out.empty()) throw std::runtime_error("load_dataset: no samples in " + images_path);
+  return out;
+}
+
+void save_dataset(const std::string& images_path, const std::string& labels_path,
+                  const std::vector<Sample>& samples) {
+  std::ofstream imgs(images_path, std::ios::binary);
+  if (!imgs) throw std::runtime_error("save_dataset: cannot open " + images_path);
+  std::ofstream labels(labels_path, std::ios::binary);
+  if (!labels) throw std::runtime_error("save_dataset: cannot open " + labels_path);
+  for (const auto& s : samples) {
+    for (index_t i = 0; i < s.image.numel(); ++i) {
+      const float v = std::min(std::max(s.image[i], 0.0f), 1.0f);
+      const auto b = static_cast<std::uint8_t>(v * 255.0f + 0.5f);
+      imgs.write(reinterpret_cast<const char*>(&b), 1);
+    }
+    const auto lab = static_cast<std::uint8_t>(s.label);
+    labels.write(reinterpret_cast<const char*>(&lab), 1);
+  }
+}
+
+}  // namespace nodetr::data

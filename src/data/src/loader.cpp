@@ -1,0 +1,66 @@
+#include "nodetr/data/loader.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace nodetr::data {
+
+BatchLoader::BatchLoader(const std::vector<Sample>& samples, index_t batch_size,
+                         std::uint64_t seed, std::function<Tensor(const Tensor&, Rng&)> augment)
+    : samples_(&samples), batch_size_(batch_size), rng_(seed), augment_(std::move(augment)) {
+  if (batch_size_ <= 0) throw std::invalid_argument("BatchLoader: batch_size must be positive");
+  if (samples.empty()) throw std::invalid_argument("BatchLoader: empty dataset");
+  order_.resize(samples.size());
+  std::iota(order_.begin(), order_.end(), index_t{0});
+  reset();
+}
+
+void BatchLoader::reset() {
+  std::shuffle(order_.begin(), order_.end(), rng_.engine());
+  cursor_ = 0;
+}
+
+bool BatchLoader::next(Batch& out) {
+  const index_t n = size();
+  if (cursor_ >= n) return false;
+  const index_t end = std::min(cursor_ + batch_size_, n);
+  const index_t b = end - cursor_;
+  const Sample& first = (*samples_)[static_cast<std::size_t>(order_[static_cast<std::size_t>(cursor_)])];
+  const index_t c = first.image.dim(0), h = first.image.dim(1), w = first.image.dim(2);
+  out.images = Tensor(Shape{b, c, h, w});
+  out.labels.resize(static_cast<std::size_t>(b));
+  for (index_t i = 0; i < b; ++i) {
+    const Sample& s = (*samples_)[static_cast<std::size_t>(order_[static_cast<std::size_t>(cursor_ + i)])];
+    Tensor img = augment_ ? augment_(s.image, rng_) : s.image;
+    std::copy(img.data(), img.data() + img.numel(), out.images.data() + i * c * h * w);
+    out.labels[static_cast<std::size_t>(i)] = s.label;
+  }
+  cursor_ = end;
+  return true;
+}
+
+index_t BatchLoader::batches_per_epoch() const {
+  return (size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch stack(const std::vector<Sample>& samples, index_t begin, index_t end) {
+  if (begin < 0 || end > static_cast<index_t>(samples.size()) || begin >= end) {
+    throw std::out_of_range("stack: bad range");
+  }
+  const index_t b = end - begin;
+  const auto& first = samples[static_cast<std::size_t>(begin)].image;
+  const index_t c = first.dim(0), h = first.dim(1), w = first.dim(2);
+  Batch out;
+  out.images = Tensor(Shape{b, c, h, w});
+  out.labels.resize(static_cast<std::size_t>(b));
+  for (index_t i = 0; i < b; ++i) {
+    const Sample& s = samples[static_cast<std::size_t>(begin + i)];
+    std::copy(s.image.data(), s.image.data() + s.image.numel(),
+              out.images.data() + i * c * h * w);
+    out.labels[static_cast<std::size_t>(i)] = s.label;
+  }
+  return out;
+}
+
+}  // namespace nodetr::data

@@ -1,0 +1,176 @@
+#include "nodetr/data/synth_stl.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nodetr::data {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+/// Random but saturated RGB color.
+void random_color(Rng& rng, float c[3]) {
+  for (int i = 0; i < 3; ++i) c[i] = rng.uniform(0.1f, 0.9f);
+}
+
+}  // namespace
+
+SynthStl::SynthStl(SynthStlConfig config) : config_(config) {
+  if (config_.image_size < 8) throw std::invalid_argument("SynthStl: image_size must be >= 8");
+  Rng rng(config_.seed);
+  for (index_t cls = 0; cls < kNumClasses; ++cls) {
+    for (index_t i = 0; i < config_.train_per_class; ++i) {
+      train_.push_back({render(cls, rng), cls});
+    }
+  }
+  for (index_t cls = 0; cls < kNumClasses; ++cls) {
+    for (index_t i = 0; i < config_.test_per_class; ++i) {
+      test_.push_back({render(cls, rng), cls});
+    }
+  }
+}
+
+const char* SynthStl::class_name(index_t label) {
+  static const char* names[kNumClasses] = {
+      "h-stripes", "v-stripes", "diag-stripes", "checker",   "disk",
+      "rings",     "blobs",     "cross",        "gradient",  "corner-pair"};
+  if (label < 0 || label >= kNumClasses) return "unknown";
+  return names[static_cast<std::size_t>(label)];
+}
+
+Tensor SynthStl::render(index_t label, Rng& rng) const {
+  const index_t s = config_.image_size;
+  Tensor img(Shape{3, s, s});
+  float fg[3], bg[3];
+  random_color(rng, fg);
+  random_color(rng, bg);
+  const float fs = static_cast<float>(s);
+
+  auto set_px = [&](index_t y, index_t x, const float c[3], float alpha = 1.0f) {
+    for (index_t ch = 0; ch < 3; ++ch) {
+      float& v = img.at(ch, y, x);
+      v = (1.0f - alpha) * v + alpha * c[ch];
+    }
+  };
+  // Fill background.
+  for (index_t y = 0; y < s; ++y)
+    for (index_t x = 0; x < s; ++x) set_px(y, x, bg);
+
+  switch (label) {
+    case 0:    // horizontal stripes: local texture, orientation-specific
+    case 1:    // vertical stripes
+    case 2: {  // diagonal stripes
+      const float freq = rng.uniform(2.0f, 5.0f) * 2.0f * kPi / fs;
+      const float phase = rng.uniform(0.0f, 2.0f * kPi);
+      for (index_t y = 0; y < s; ++y) {
+        for (index_t x = 0; x < s; ++x) {
+          float coord;
+          if (label == 0) coord = static_cast<float>(y);
+          else if (label == 1) coord = static_cast<float>(x);
+          else coord = static_cast<float>(x + y) * 0.70710678f;
+          const float m = 0.5f + 0.5f * std::sin(freq * coord + phase);
+          if (m > 0.5f) set_px(y, x, fg);
+        }
+      }
+      break;
+    }
+    case 3: {  // checkerboard
+      const index_t cell = rng.randint(2, std::max<index_t>(s / 6, 3));
+      for (index_t y = 0; y < s; ++y)
+        for (index_t x = 0; x < s; ++x)
+          if (((y / cell) + (x / cell)) % 2 == 0) set_px(y, x, fg);
+      break;
+    }
+    case 4: {  // filled disk at a random position: a single global shape
+      const float cy = rng.uniform(0.3f, 0.7f) * fs;
+      const float cx = rng.uniform(0.3f, 0.7f) * fs;
+      const float r = rng.uniform(0.15f, 0.3f) * fs;
+      for (index_t y = 0; y < s; ++y)
+        for (index_t x = 0; x < s; ++x) {
+          const float d = std::hypot(y - cy, x - cx);
+          if (d < r) set_px(y, x, fg);
+        }
+      break;
+    }
+    case 5: {  // concentric rings: global radial structure
+      const float cy = rng.uniform(0.35f, 0.65f) * fs;
+      const float cx = rng.uniform(0.35f, 0.65f) * fs;
+      const float freq = rng.uniform(2.5f, 5.0f) * 2.0f * kPi / fs;
+      for (index_t y = 0; y < s; ++y)
+        for (index_t x = 0; x < s; ++x) {
+          const float d = std::hypot(y - cy, x - cx);
+          if (std::sin(freq * d) > 0.0f) set_px(y, x, fg);
+        }
+      break;
+    }
+    case 6: {  // several soft blobs
+      const index_t count = rng.randint(3, 6);
+      for (index_t b = 0; b < count; ++b) {
+        const float cy = rng.uniform(0.1f, 0.9f) * fs;
+        const float cx = rng.uniform(0.1f, 0.9f) * fs;
+        const float sigma = rng.uniform(0.05f, 0.12f) * fs;
+        float col[3];
+        random_color(rng, col);
+        for (index_t y = 0; y < s; ++y)
+          for (index_t x = 0; x < s; ++x) {
+            const float d2 = (y - cy) * (y - cy) + (x - cx) * (x - cx);
+            const float alpha = std::exp(-d2 / (2 * sigma * sigma));
+            if (alpha > 0.05f) set_px(y, x, col, alpha);
+          }
+      }
+      break;
+    }
+    case 7: {  // axis-aligned cross at a random position
+      const index_t cy = rng.randint(s / 4, 3 * s / 4);
+      const index_t cx = rng.randint(s / 4, 3 * s / 4);
+      const index_t thick = std::max<index_t>(s / 16, 1);
+      for (index_t y = 0; y < s; ++y)
+        for (index_t x = 0; x < s; ++x)
+          if ((y >= cy - thick && y <= cy + thick) || (x >= cx - thick && x <= cx + thick)) {
+            set_px(y, x, fg);
+          }
+      break;
+    }
+    case 8: {  // smooth global gradient along a random direction
+      const float ang = rng.uniform(0.0f, 2.0f * kPi);
+      const float dy = std::sin(ang), dx = std::cos(ang);
+      for (index_t y = 0; y < s; ++y)
+        for (index_t x = 0; x < s; ++x) {
+          const float tproj = (dy * y + dx * x) / fs * 0.5f + 0.5f;
+          const float a = std::clamp(tproj, 0.0f, 1.0f);
+          set_px(y, x, fg, a);
+        }
+      break;
+    }
+    case 9: {  // matching patches in OPPOSITE corners: long-range dependency
+      const index_t patch = std::max<index_t>(s / 5, 3);
+      const bool main_diag = rng.bernoulli(0.5f);
+      auto stamp = [&](index_t oy, index_t ox) {
+        for (index_t y = 0; y < patch; ++y)
+          for (index_t x = 0; x < patch; ++x) set_px(oy + y, ox + x, fg);
+      };
+      if (main_diag) {
+        stamp(0, 0);
+        stamp(s - patch, s - patch);
+      } else {
+        stamp(0, s - patch);
+        stamp(s - patch, 0);
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument("SynthStl::render: label out of range");
+  }
+
+  // Additive noise, clipped to [0, 1].
+  if (config_.noise_stddev > 0.0f) {
+    for (index_t i = 0; i < img.numel(); ++i) {
+      img[i] = std::clamp(img[i] + rng.normal(0.0f, config_.noise_stddev), 0.0f, 1.0f);
+    }
+  }
+  return img;
+}
+
+}  // namespace nodetr::data

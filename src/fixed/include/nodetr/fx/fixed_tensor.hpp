@@ -1,0 +1,61 @@
+// FixedTensor: a dense N-D array of raw fixed-point values sharing one format.
+//
+// Raw values are held in int64 so intermediate products/accumulations in the
+// bit-accurate kernels never overflow the host representation; saturation to
+// the format's range is applied at every format boundary, mirroring HLS
+// ap_fixed<W,I, AP_RND, AP_SAT> semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nodetr/fx/format.hpp"
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::fx {
+
+using nodetr::tensor::index_t;
+using nodetr::tensor::Shape;
+using nodetr::tensor::Tensor;
+
+class FixedTensor {
+ public:
+  FixedTensor() = default;
+
+  /// Zero-valued tensor of the given shape/format.
+  FixedTensor(Shape shape, FixedFormat format);
+
+  /// Quantize a float tensor into `format`.
+  static FixedTensor from_float(const Tensor& t, FixedFormat format);
+
+  /// Dequantize back to float.
+  [[nodiscard]] Tensor to_float() const;
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] const FixedFormat& format() const { return format_; }
+  [[nodiscard]] index_t numel() const { return static_cast<index_t>(raw_.size()); }
+  [[nodiscard]] bool empty() const { return raw_.empty(); }
+
+  [[nodiscard]] std::int64_t* raw() { return raw_.data(); }
+  [[nodiscard]] const std::int64_t* raw() const { return raw_.data(); }
+
+  [[nodiscard]] std::int64_t& operator[](index_t i) { return raw_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] std::int64_t operator[](index_t i) const {
+    return raw_[static_cast<std::size_t>(i)];
+  }
+
+  /// Re-express every element in a new format (shift + round + saturate).
+  [[nodiscard]] FixedTensor converted(FixedFormat to) const;
+
+  /// Memory footprint in bits if stored at the native width (for BRAM sizing).
+  [[nodiscard]] std::int64_t storage_bits() const {
+    return numel() * static_cast<std::int64_t>(format_.total_bits);
+  }
+
+ private:
+  Shape shape_{std::initializer_list<index_t>{0}};
+  FixedFormat format_{};
+  std::vector<std::int64_t> raw_;
+};
+
+}  // namespace nodetr::fx

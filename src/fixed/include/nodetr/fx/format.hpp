@@ -1,0 +1,78 @@
+// Fixed-point number formats, following the paper's F_total(F_int)-P_total(P_int)
+// notation: a signed two's-complement value with `total_bits` bits of which
+// `int_bits` are integer (including sign weight) and the rest fractional.
+//
+// The paper's baseline is 32(16) for feature maps / layer I/O and 24(8) for
+// trained parameters (Sec. V-B1), with the accuracy sweep of Table VIII
+// covering 32(16)-24(8) down to 16(8)-12(4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nodetr::fx {
+
+/// One fixed-point format: Q(int_bits).(total_bits-int_bits), signed.
+struct FixedFormat {
+  int total_bits = 32;
+  int int_bits = 16;
+
+  [[nodiscard]] constexpr int frac_bits() const { return total_bits - int_bits; }
+  /// Value of one LSB.
+  [[nodiscard]] double resolution() const;
+  /// Largest representable value.
+  [[nodiscard]] double max_value() const;
+  /// Most negative representable value.
+  [[nodiscard]] double min_value() const;
+  /// Raw integer saturation bounds.
+  [[nodiscard]] constexpr std::int64_t raw_max() const {
+    return (std::int64_t{1} << (total_bits - 1)) - 1;
+  }
+  [[nodiscard]] constexpr std::int64_t raw_min() const {
+    return -(std::int64_t{1} << (total_bits - 1));
+  }
+
+  [[nodiscard]] bool operator==(const FixedFormat&) const = default;
+  /// e.g. "32(16)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A feature-format + parameter-format pair as used throughout the paper,
+/// e.g. "32(16)-24(8)".
+struct QuantizationScheme {
+  FixedFormat feature;  ///< feature maps, layer inputs/outputs, input images
+  FixedFormat param;    ///< trained weights and biases
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The five design points evaluated in Table VIII, most to least precise.
+inline constexpr FixedFormat kFeature32{32, 16};
+inline constexpr FixedFormat kParam24{24, 8};
+
+QuantizationScheme scheme_32_24();  ///< 32(16)-24(8): the paper's default
+QuantizationScheme scheme_24_20();  ///< 24(12)-20(6)
+QuantizationScheme scheme_20_16();  ///< 20(10)-16(4)
+QuantizationScheme scheme_18_14();  ///< 18(9)-14(4)
+QuantizationScheme scheme_16_12();  ///< 16(8)-12(4)
+/// All of Table VIII's schemes in paper order.
+const std::vector<QuantizationScheme>& table8_schemes();
+
+// ---- scalar conversions -------------------------------------------------------
+
+/// Quantize a float to raw fixed-point: round-to-nearest, saturating.
+[[nodiscard]] std::int64_t quantize(float v, const FixedFormat& f);
+/// Dequantize raw fixed-point back to float.
+[[nodiscard]] float dequantize(std::int64_t raw, const FixedFormat& f);
+/// Round-trip through the format (quantization error injection).
+[[nodiscard]] float quantize_dequantize(float v, const FixedFormat& f);
+
+/// Convert a raw value between formats (arithmetic shift + saturation).
+[[nodiscard]] std::int64_t convert_raw(std::int64_t raw, const FixedFormat& from,
+                                       const FixedFormat& to);
+
+/// Saturate a raw value already expressed at `f`'s scale into f's range.
+[[nodiscard]] std::int64_t saturate(std::int64_t raw, const FixedFormat& f);
+
+}  // namespace nodetr::fx

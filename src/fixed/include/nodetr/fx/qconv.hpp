@@ -1,0 +1,37 @@
+// Bit-accurate fixed-point convolution kernels on NCHW tensors — the
+// building blocks of a whole-model FPGA datapath (the paper's future work).
+// Same ap_fixed semantics as qops.hpp: exact wide-product accumulation,
+// one rounding into the destination format per output element.
+#pragma once
+
+#include "nodetr/fx/qops.hpp"
+#include "nodetr/tensor/conv.hpp"
+
+namespace nodetr::fx {
+
+using nodetr::tensor::Conv2dGeom;
+
+/// Dense conv: x (N,Cin,H,W) in feature format, weight (Cout,Cin,K,K) and
+/// optional bias (Cout) in parameter format; output in `out_format`.
+[[nodiscard]] FixedTensor qconv2d(const FixedTensor& x, const FixedTensor& weight,
+                                  const FixedTensor& bias, const Conv2dGeom& g,
+                                  FixedFormat out_format);
+
+/// Depthwise conv: weight (C,K,K).
+[[nodiscard]] FixedTensor qdepthwise_conv2d(const FixedTensor& x, const FixedTensor& weight,
+                                            const Conv2dGeom& g, FixedFormat out_format);
+
+/// Inference-mode BatchNorm folded to per-channel scale/shift, both in the
+/// parameter format: y = x * scale[c] + shift[c].
+[[nodiscard]] FixedTensor qscale_shift_channels(const FixedTensor& x, const FixedTensor& scale,
+                                                const FixedTensor& shift);
+
+/// Global average pool (B,C,H,W) -> (B,C): exact sum, one rounding.
+[[nodiscard]] FixedTensor qglobal_avg_pool(const FixedTensor& x);
+
+/// 3x3/2-style max pool (comparators only — exact in fixed point).
+[[nodiscard]] FixedTensor qmax_pool(const FixedTensor& x, nodetr::tensor::index_t kernel,
+                                    nodetr::tensor::index_t stride,
+                                    nodetr::tensor::index_t pad);
+
+}  // namespace nodetr::fx

@@ -1,0 +1,168 @@
+#include "nodetr/fx/qops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/parallel.hpp"
+
+namespace nodetr::fx {
+
+namespace {
+
+using wide_t = __int128;
+
+/// Round a wide accumulator at `from_frac` fractional bits into `to`.
+std::int64_t narrow(wide_t acc, int from_frac, const FixedFormat& to) {
+  const int shift = from_frac - to.frac_bits();
+  wide_t r = acc;
+  if (shift > 0) {
+    const wide_t half = wide_t{1} << (shift - 1);
+    r = (r + (r >= 0 ? half : half - 1)) >> shift;
+  } else if (shift < 0) {
+    r <<= -shift;
+  }
+  if (r > to.raw_max()) return to.raw_max();
+  if (r < to.raw_min()) return to.raw_min();
+  return static_cast<std::int64_t>(r);
+}
+
+void check_rank2(const FixedTensor& t, const char* who) {
+  if (t.shape().rank() != 2) throw std::invalid_argument(std::string(who) + ": rank must be 2");
+}
+
+}  // namespace
+
+FixedTensor qmatmul(const FixedTensor& a, const FixedTensor& b, FixedFormat out_format) {
+  check_rank2(a, "qmatmul: a");
+  check_rank2(b, "qmatmul: b");
+  const index_t m = a.shape().dim(0), k = a.shape().dim(1), n = b.shape().dim(1);
+  if (b.shape().dim(0) != k) throw std::invalid_argument("qmatmul: inner dimension mismatch");
+  const int prod_frac = a.format().frac_bits() + b.format().frac_bits();
+  FixedTensor c(Shape{m, n}, out_format);
+  nodetr::tensor::parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const std::int64_t* arow = a.raw() + i * k;
+      std::int64_t* crow = c.raw() + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        wide_t acc = 0;
+        for (index_t p = 0; p < k; ++p) {
+          acc += static_cast<wide_t>(arow[p]) * b.raw()[p * n + j];
+        }
+        crow[j] = narrow(acc, prod_frac, out_format);
+      }
+    }
+  }, /*grain=*/8);
+  return c;
+}
+
+FixedTensor qmatmul_nt(const FixedTensor& a, const FixedTensor& b, FixedFormat out_format) {
+  check_rank2(a, "qmatmul_nt: a");
+  check_rank2(b, "qmatmul_nt: b");
+  const index_t m = a.shape().dim(0), k = a.shape().dim(1), n = b.shape().dim(0);
+  if (b.shape().dim(1) != k) throw std::invalid_argument("qmatmul_nt: inner dimension mismatch");
+  const int prod_frac = a.format().frac_bits() + b.format().frac_bits();
+  FixedTensor c(Shape{m, n}, out_format);
+  nodetr::tensor::parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const std::int64_t* arow = a.raw() + i * k;
+      std::int64_t* crow = c.raw() + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        const std::int64_t* brow = b.raw() + j * k;
+        wide_t acc = 0;
+        for (index_t p = 0; p < k; ++p) acc += static_cast<wide_t>(arow[p]) * brow[p];
+        crow[j] = narrow(acc, prod_frac, out_format);
+      }
+    }
+  }, /*grain=*/8);
+  return c;
+}
+
+FixedTensor qadd(const FixedTensor& a, const FixedTensor& b) {
+  if (!(a.shape() == b.shape())) throw std::invalid_argument("qadd: shape mismatch");
+  if (!(a.format() == b.format())) throw std::invalid_argument("qadd: format mismatch");
+  FixedTensor c(a.shape(), a.format());
+  for (index_t i = 0; i < a.numel(); ++i) c[i] = saturate(a[i] + b[i], a.format());
+  return c;
+}
+
+FixedTensor qrelu(const FixedTensor& a) {
+  FixedTensor c(a.shape(), a.format());
+  for (index_t i = 0; i < a.numel(); ++i) c[i] = a[i] > 0 ? a[i] : 0;
+  return c;
+}
+
+FixedTensor qscale(const FixedTensor& a, float scale) {
+  // The scale constant itself is quantized into the operand's format, as a
+  // hardware constant multiplier would be.
+  const std::int64_t qs = quantize(scale, a.format());
+  const int prod_frac = 2 * a.format().frac_bits();
+  FixedTensor c(a.shape(), a.format());
+  for (index_t i = 0; i < a.numel(); ++i) {
+    const wide_t p = static_cast<wide_t>(a[i]) * qs;
+    c[i] = narrow(p, prod_frac, a.format());
+  }
+  return c;
+}
+
+FixedTensor qlayernorm_rows(const FixedTensor& x, const FixedTensor& gamma,
+                            const FixedTensor& beta, float eps) {
+  check_rank2(x, "qlayernorm_rows");
+  const index_t rows = x.shape().dim(0), cols = x.shape().dim(1);
+  if (gamma.numel() != cols || beta.numel() != cols) {
+    throw std::invalid_argument("qlayernorm_rows: gamma/beta size mismatch");
+  }
+  const auto& ff = x.format();
+  FixedTensor out(x.shape(), ff);
+  const int gf = gamma.format().frac_bits();
+  for (index_t r = 0; r < rows; ++r) {
+    const std::int64_t* in = x.raw() + r * cols;
+    std::int64_t* o = out.raw() + r * cols;
+    // Exact integer mean/variance at the feature scale.
+    wide_t s = 0, s2 = 0;
+    for (index_t c = 0; c < cols; ++c) {
+      s += in[c];
+      s2 += static_cast<wide_t>(in[c]) * in[c];
+    }
+    const double n = static_cast<double>(cols);
+    const double res = ff.resolution();
+    const double mean = static_cast<double>(s) / n * res;
+    const double ex2 = static_cast<double>(s2) / n * res * res;
+    const double var = std::max(ex2 - mean * mean, 0.0);
+    const double inv_std = 1.0 / std::sqrt(var + eps);
+    // Normalize, apply gain/bias, requantize into the feature format.
+    for (index_t c = 0; c < cols; ++c) {
+      const double xv = static_cast<double>(in[c]) * res;
+      const double g = static_cast<double>(gamma[c]) * std::ldexp(1.0, -gf);
+      const double b = static_cast<double>(beta[c]) * std::ldexp(1.0, -gf);
+      o[c] = quantize(static_cast<float>((xv - mean) * inv_std * g + b), ff);
+    }
+  }
+  return out;
+}
+
+FixedTensor qlinear(const FixedTensor& x, const FixedTensor& weight_t, const FixedTensor& bias,
+                    FixedFormat out_format) {
+  FixedTensor y = qmatmul_nt(x, weight_t, out_format);
+  if (!bias.empty()) {
+    const index_t rows = y.shape().dim(0), cols = y.shape().dim(1);
+    if (bias.numel() != cols) throw std::invalid_argument("qlinear: bias size mismatch");
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t c = 0; c < cols; ++c) {
+        const std::int64_t b = convert_raw(bias[c], bias.format(), out_format);
+        y[r * cols + c] = saturate(y[r * cols + c] + b, out_format);
+      }
+    }
+  }
+  return y;
+}
+
+QuantError quant_error(const Tensor& reference, const FixedTensor& result) {
+  const Tensor approx = result.to_float();
+  QuantError e;
+  e.mean_abs = nodetr::tensor::mean_abs_diff(reference, approx);
+  e.max_abs = nodetr::tensor::max_abs_diff(reference, approx);
+  return e;
+}
+
+}  // namespace nodetr::fx

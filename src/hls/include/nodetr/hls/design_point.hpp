@@ -1,0 +1,55 @@
+// MHSA accelerator design points (Sec. V): the knobs Tables I/II/III/VII
+// sweep — data type, buffer plan, array partitioning / loop unrolling, and
+// the MHSA geometry itself.
+#pragma once
+
+#include <string>
+
+#include "nodetr/fx/format.hpp"
+#include "nodetr/tensor/shape.hpp"
+
+namespace nodetr::hls {
+
+using nodetr::tensor::index_t;
+
+enum class DataType {
+  kFloat32,  ///< single-precision floating point
+  kFixed,    ///< fixed point per the attached QuantizationScheme
+};
+
+enum class BufferPlan {
+  kNaive7,   ///< Wq, Wk, Wv, X, Q, K, V on individual buffers (Sec. V-B2)
+  kShared5,  ///< one shared weight buffer reloaded for Wq/Wk/Wv
+};
+
+struct ParallelPlan {
+  index_t partition = 64;  ///< sub-buffers for X and W (array partitioning)
+  index_t unroll = 128;    ///< innermost-loop unroll factor
+  [[nodiscard]] bool parallel() const { return unroll > 1 || partition > 1; }
+  static ParallelPlan sequential() { return {.partition = 1, .unroll = 1}; }
+  /// The paper's chosen configuration (Sec. V-B3).
+  static ParallelPlan paper() { return {.partition = 64, .unroll = 128}; }
+};
+
+/// Geometry + implementation choices for one synthesized MHSA IP core.
+struct MhsaDesignPoint {
+  index_t dim = 512;   ///< D: channels of the attended feature map
+  index_t height = 3;
+  index_t width = 3;
+  index_t heads = 4;
+  DataType dtype = DataType::kFixed;
+  fx::QuantizationScheme scheme = fx::scheme_32_24();
+  BufferPlan buffers = BufferPlan::kShared5;
+  ParallelPlan parallel = ParallelPlan::paper();
+
+  [[nodiscard]] index_t tokens() const { return height * width; }
+  [[nodiscard]] index_t head_dim() const { return dim / heads; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// The two design points the paper synthesizes (Table VII): BoTNet's
+  /// (512ch, 3x3) and the proposed model's (64ch, 6x6).
+  static MhsaDesignPoint botnet_512(DataType dtype, BufferPlan buffers = BufferPlan::kShared5);
+  static MhsaDesignPoint proposed_64(DataType dtype);
+};
+
+}  // namespace nodetr::hls

@@ -1,0 +1,68 @@
+// Functional model of the MHSA IP core (Fig. 4 / Sec. V).
+//
+// The core executes the paper's *modified* MHSA — learnable 2-D relative
+// positional encoding fused as Q R^T (Eq. 15), ReLU activation instead of
+// softmax (Eq. 16), and an optional output LayerNorm (Eq. 17) — over one
+// feature map. Two datapaths:
+//   - float32: reference dataflow, bit-identical to the software module;
+//   - fixed:   bit-accurate emulation of the ap_fixed datapath, with feature
+//              maps in the scheme's feature format and parameters quantized
+//              once into the parameter format (as the DMA'd weights would
+//              be). This is what makes Table VIII and Figs. 9-10 exact.
+//
+// Latency comes from the analytic CycleModel; run() reports the cycles of
+// the last invocation so callers (the rt::ZynqBoard) can account time.
+#pragma once
+
+#include "nodetr/fx/qops.hpp"
+#include "nodetr/hls/cycle_model.hpp"
+#include "nodetr/nn/attention.hpp"
+
+namespace nodetr::hls {
+
+using nodetr::tensor::Tensor;
+
+/// The learned tensors an MHSA IP needs, in float (pre-quantization).
+struct MhsaWeights {
+  Tensor wq, wk, wv;        ///< (D, D)
+  Tensor rel_h, rel_w;      ///< (heads, H, Dh), (heads, W, Dh); empty if unused
+  Tensor ln_gamma, ln_beta; ///< (D); empty if the core skips LayerNorm
+
+  /// Extract from a trained software module (weights are copied).
+  static MhsaWeights from_module(nodetr::nn::MultiHeadSelfAttention& mhsa);
+};
+
+class MhsaIpCore {
+ public:
+  /// Geometry of `point` must match the weight shapes.
+  MhsaIpCore(MhsaDesignPoint point, MhsaWeights weights);
+
+  /// Execute on (B, D, H, W) or (D, H, W); returns the same shape in float.
+  [[nodiscard]] Tensor run(const Tensor& x);
+
+  /// Cycle cost of the last run() (per batch element x batch).
+  [[nodiscard]] const CycleBreakdown& last_cycles() const { return last_cycles_; }
+  [[nodiscard]] const MhsaDesignPoint& point() const { return point_; }
+
+  /// Bytes transferred over the HP port per invocation: input + Wq/Wk/Wv
+  /// (+ relative tables, LayerNorm params) + output, at 32-bit beats.
+  [[nodiscard]] std::int64_t dma_bytes_per_image() const;
+
+  /// Fixed-in / fixed-out datapath on one image's tokens (N, D) in the
+  /// scheme's feature format — the exact arithmetic a full-model fixed
+  /// pipeline composes with (used by QuantizedExecutor).
+  [[nodiscard]] fx::FixedTensor run_fixed_tokens(const fx::FixedTensor& tokens) const;
+
+ private:
+  [[nodiscard]] Tensor run_tokens_float(const Tensor& tokens) const;
+  [[nodiscard]] Tensor run_tokens_fixed(const Tensor& tokens) const;
+
+  MhsaDesignPoint point_;
+  MhsaWeights weights_;
+  // Pre-quantized parameters for the fixed datapath.
+  fx::FixedTensor qwq_, qwk_, qwv_, qrel_h_, qrel_w_, qln_gamma_, qln_beta_;
+  CycleBreakdown last_cycles_;
+  CycleModel cycle_model_;
+};
+
+}  // namespace nodetr::hls

@@ -1,0 +1,36 @@
+// Activity-based power model (Sec. VI-B7).
+//
+// The IP core's dynamic power is dominated by the DSP datapath; a linear
+// model P = P_static + k_dsp * DSP reproduces the paper's two measurements
+// (fixed IP 0.866 W at 137 DSPs, float IP 3.977 W at 680 DSPs) exactly and
+// extrapolates to other design points. The PS (Cortex-A53 cluster) draws a
+// constant 2.647 W while busy.
+#pragma once
+
+#include "nodetr/hls/resources.hpp"
+
+namespace nodetr::hls {
+
+class PowerModel {
+ public:
+  /// PS-side (CPU) power while executing, from the paper.
+  static constexpr double kPsWatts = 2.647;
+
+  /// IP-core power for a design point's resource usage.
+  [[nodiscard]] double ip_watts(const ResourceUsage& usage) const;
+
+  /// Total board power while the accelerator runs (PS orchestrates + PL).
+  [[nodiscard]] double accelerated_watts(const ResourceUsage& usage) const {
+    return kPsWatts + ip_watts(usage);
+  }
+
+  /// Energy in millijoules for an execution time in milliseconds.
+  [[nodiscard]] static double energy_mj(double watts, double ms) { return watts * ms; }
+
+  /// Energy-efficiency gain of an accelerated run vs a CPU-only run:
+  /// (CPU time * CPU power) / (accel time * accel power).
+  [[nodiscard]] double efficiency_gain(double cpu_ms, double accel_ms,
+                                       const ResourceUsage& usage) const;
+};
+
+}  // namespace nodetr::hls

@@ -1,0 +1,46 @@
+// Whole-model fixed-point inference emulation (Sec. V-B1 / VI-B5).
+//
+// In the paper's accuracy evaluation, feature maps AND weight parameters use
+// fixed-point representations throughout. This header provides the two
+// fake-quantization tools that emulate that on the software model:
+//   - ScopedParamQuantization: rounds every learnable parameter into the
+//     scheme's parameter format for the object's lifetime (restores exact
+//     float values on destruction);
+//   - activation_quantizer: a Sequential activation hook that rounds every
+//     inter-layer feature map into the feature format.
+// Combined with an rt::OffloadedModel running the bit-accurate fixed MHSA
+// IP, this reproduces the Table VIII accuracy-vs-format experiment.
+#pragma once
+
+#include <vector>
+
+#include "nodetr/fx/format.hpp"
+#include "nodetr/nn/sequential.hpp"
+
+namespace nodetr::hls {
+
+/// RAII: quantize-dequantize every parameter of `model` into `format`;
+/// restore the original float values on destruction.
+class ScopedParamQuantization {
+ public:
+  ScopedParamQuantization(nodetr::nn::Module& model, fx::FixedFormat format);
+  ~ScopedParamQuantization();
+
+  ScopedParamQuantization(const ScopedParamQuantization&) = delete;
+  ScopedParamQuantization& operator=(const ScopedParamQuantization&) = delete;
+
+ private:
+  nodetr::nn::Module& model_;
+  std::vector<nodetr::tensor::Tensor> backup_;
+};
+
+/// Activation hook rounding every value into `format` (round + saturate).
+[[nodiscard]] nodetr::nn::Sequential::ActivationHook activation_quantizer(
+    fx::FixedFormat format);
+
+/// Install/remove an activation quantizer on every Sequential in the module
+/// tree (the top-level container and nested stage containers).
+void set_activation_quantization(nodetr::nn::Module& model, fx::FixedFormat format);
+void clear_activation_quantization(nodetr::nn::Module& model);
+
+}  // namespace nodetr::hls

@@ -1,0 +1,59 @@
+// FPGA resource estimation for the MHSA IP core on a Xilinx ZCU104
+// (Tables I, II, VII).
+//
+// The estimator has two layers:
+//  1. A first-principles model: BRAM18K from buffer enumeration (weights,
+//     feature/Q/K/V buffers, attention map — honoring the buffer plan and
+//     array-partition minimums), DSP from the unrolled MAC lanes (a float MAC
+//     costs ~5 DSP48s, a wide fixed MAC 1), FF/LUT linear in lanes and
+//     datapath width.
+//  2. A calibration table carrying the six synthesis results the paper
+//     reports; for those exact design points the estimator returns the
+//     paper's numbers, so downstream benches regenerate the tables verbatim
+//     while off-table points fall back to the analytic model.
+#pragma once
+
+#include <optional>
+
+#include "nodetr/hls/design_point.hpp"
+
+namespace nodetr::hls {
+
+struct ResourceUsage {
+  index_t bram18 = 0;
+  index_t dsp = 0;
+  index_t ff = 0;
+  index_t lut = 0;
+};
+
+/// ZCU104 (XCZU7EV) budget as listed in the paper's tables.
+struct Zcu104 {
+  static constexpr index_t kBram18 = 624;
+  static constexpr index_t kDsp = 1728;
+  static constexpr index_t kFf = 460800;
+  static constexpr index_t kLut = 230400;
+
+  /// Utilization percentage (may exceed 100 for infeasible designs).
+  [[nodiscard]] static double bram_pct(const ResourceUsage& u);
+  [[nodiscard]] static double dsp_pct(const ResourceUsage& u);
+  [[nodiscard]] static double ff_pct(const ResourceUsage& u);
+  [[nodiscard]] static double lut_pct(const ResourceUsage& u);
+  /// True when every resource fits on the device (BRAM only, no URAM —
+  /// matching the paper's evaluation setting).
+  [[nodiscard]] static bool fits(const ResourceUsage& u);
+};
+
+class ResourceModel {
+ public:
+  /// Estimated utilization of an MHSA IP at the given design point.
+  [[nodiscard]] ResourceUsage estimate(const MhsaDesignPoint& point) const;
+
+  /// Analytic estimate only (skipping the calibration table) — used by tests
+  /// to validate model trends.
+  [[nodiscard]] ResourceUsage analytic(const MhsaDesignPoint& point) const;
+
+  /// Calibrated synthesis result if this exact point appears in the paper.
+  [[nodiscard]] std::optional<ResourceUsage> calibrated(const MhsaDesignPoint& point) const;
+};
+
+}  // namespace nodetr::hls

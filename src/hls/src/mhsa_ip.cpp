@@ -1,0 +1,240 @@
+#include "nodetr/hls/mhsa_ip.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nodetr/tensor/gemm.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace nodetr::hls {
+
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+
+MhsaWeights MhsaWeights::from_module(nodetr::nn::MultiHeadSelfAttention& mhsa) {
+  MhsaWeights w;
+  w.wq = mhsa.wq().value;
+  w.wk = mhsa.wk().value;
+  w.wv = mhsa.wv().value;
+  if (mhsa.config().pos == nodetr::nn::PosEncodingKind::kRelative2d) {
+    w.rel_h = mhsa.rel_h().value;
+    w.rel_w = mhsa.rel_w().value;
+  }
+  if (auto* ln = mhsa.layer_norm()) {
+    auto params = ln->local_parameters();
+    w.ln_gamma = params[0]->value;
+    w.ln_beta = params[1]->value;
+  }
+  return w;
+}
+
+MhsaIpCore::MhsaIpCore(MhsaDesignPoint point, MhsaWeights weights)
+    : point_(point), weights_(std::move(weights)) {
+  const index_t d = point_.dim;
+  if (weights_.wq.shape() != nt::Shape{d, d} || weights_.wk.shape() != nt::Shape{d, d} ||
+      weights_.wv.shape() != nt::Shape{d, d}) {
+    throw std::invalid_argument("MhsaIpCore: weight shape does not match design point");
+  }
+  if (!weights_.rel_h.empty()) {
+    const nt::Shape want_h{point_.heads, point_.height, point_.head_dim()};
+    const nt::Shape want_w{point_.heads, point_.width, point_.head_dim()};
+    if (weights_.rel_h.shape() != want_h || weights_.rel_w.shape() != want_w) {
+      throw std::invalid_argument("MhsaIpCore: relative-position shape mismatch");
+    }
+  }
+  const auto pf = point_.scheme.param;
+  qwq_ = fx::FixedTensor::from_float(weights_.wq, pf);
+  qwk_ = fx::FixedTensor::from_float(weights_.wk, pf);
+  qwv_ = fx::FixedTensor::from_float(weights_.wv, pf);
+  if (!weights_.rel_h.empty()) {
+    qrel_h_ = fx::FixedTensor::from_float(weights_.rel_h, pf);
+    qrel_w_ = fx::FixedTensor::from_float(weights_.rel_w, pf);
+  }
+  if (!weights_.ln_gamma.empty()) {
+    qln_gamma_ = fx::FixedTensor::from_float(weights_.ln_gamma, pf);
+    qln_beta_ = fx::FixedTensor::from_float(weights_.ln_beta, pf);
+  }
+}
+
+std::int64_t MhsaIpCore::dma_bytes_per_image() const {
+  const std::int64_t d = point_.dim, n = point_.tokens();
+  std::int64_t words = n * d;          // input stream
+  words += 3 * d * d;                  // Wq, Wk, Wv (reloaded into the shared buffer)
+  if (!weights_.rel_h.empty()) {
+    words += point_.heads * (point_.height + point_.width) * point_.head_dim();
+  }
+  if (!weights_.ln_gamma.empty()) words += 2 * d;
+  words += n * d;                      // output stream
+  return words * 4;                    // 32-bit HP0 beats
+}
+
+namespace {
+
+/// (B, D, H, W) -> (B*N, D) tokens.
+Tensor to_tokens(const Tensor& x, index_t d, index_t h, index_t w) {
+  return x.permute({0, 2, 3, 1}).reshape(nt::Shape{x.dim(0) * h * w, d});
+}
+
+Tensor from_tokens(const Tensor& tokens, index_t b, index_t d, index_t h, index_t w) {
+  return tokens.reshape(nt::Shape{b, h, w, d}).permute({0, 3, 1, 2});
+}
+
+/// R[(y,x),:] = rel_h[head,y,:] + rel_w[head,x,:].
+Tensor relative_matrix(const Tensor& rel_h, const Tensor& rel_w, index_t head, index_t h,
+                       index_t w, index_t dh) {
+  Tensor r(nt::Shape{h * w, dh});
+  for (index_t y = 0; y < h; ++y) {
+    const float* rh = rel_h.data() + (head * h + y) * dh;
+    for (index_t x = 0; x < w; ++x) {
+      const float* rw = rel_w.data() + (head * w + x) * dh;
+      float* dst = r.data() + (y * w + x) * dh;
+      for (index_t c = 0; c < dh; ++c) dst[c] = rh[c] + rw[c];
+    }
+  }
+  return r;
+}
+
+Tensor gather_cols(const Tensor& m, index_t col0, index_t cols) {
+  const index_t rows = m.dim(0), d = m.dim(1);
+  Tensor out(nt::Shape{rows, cols});
+  for (index_t r = 0; r < rows; ++r) {
+    const float* src = m.data() + r * d + col0;
+    std::copy(src, src + cols, out.data() + r * cols);
+  }
+  return out;
+}
+
+void scatter_cols(const Tensor& block, Tensor& m, index_t col0) {
+  const index_t rows = m.dim(0), d = m.dim(1), cols = block.dim(1);
+  for (index_t r = 0; r < rows; ++r) {
+    std::copy(block.data() + r * cols, block.data() + (r + 1) * cols, m.data() + r * d + col0);
+  }
+}
+
+fx::FixedTensor gather_cols_fx(const fx::FixedTensor& m, index_t col0, index_t cols) {
+  const index_t rows = m.shape().dim(0), d = m.shape().dim(1);
+  fx::FixedTensor out(nt::Shape{rows, cols}, m.format());
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) out[r * cols + c] = m[r * d + col0 + c];
+  }
+  return out;
+}
+
+void scatter_cols_fx(const fx::FixedTensor& block, fx::FixedTensor& m, index_t col0) {
+  const index_t rows = m.shape().dim(0), d = m.shape().dim(1), cols = block.shape().dim(1);
+  for (index_t r = 0; r < rows; ++r) {
+    for (index_t c = 0; c < cols; ++c) m[r * d + col0 + c] = block[r * cols + c];
+  }
+}
+
+}  // namespace
+
+Tensor MhsaIpCore::run_tokens_float(const Tensor& tokens) const {
+  const index_t n = point_.tokens(), d = point_.dim, heads = point_.heads,
+                dh = point_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor q = nt::matmul(tokens, weights_.wq);
+  Tensor k = nt::matmul(tokens, weights_.wk);
+  Tensor v = nt::matmul(tokens, weights_.wv);
+  Tensor out(nt::Shape{n, d});
+  for (index_t h = 0; h < heads; ++h) {
+    Tensor qh = gather_cols(q, h * dh, dh);
+    Tensor kh = gather_cols(k, h * dh, dh);
+    Tensor vh = gather_cols(v, h * dh, dh);
+    Tensor logits = nt::matmul_nt(qh, kh);
+    if (!weights_.rel_h.empty()) {
+      logits += nt::matmul_nt(
+          qh, relative_matrix(weights_.rel_h, weights_.rel_w, h, point_.height, point_.width, dh));
+    }
+    logits *= scale;
+    Tensor a = nt::relu(logits);
+    scatter_cols(nt::matmul(a, vh), out, h * dh);
+  }
+  if (!weights_.ln_gamma.empty()) {
+    // Row-wise LayerNorm with learned gain/bias.
+    for (index_t r = 0; r < n; ++r) {
+      float* row = out.data() + r * d;
+      double s = 0.0, s2 = 0.0;
+      for (index_t c = 0; c < d; ++c) {
+        s += row[c];
+        s2 += static_cast<double>(row[c]) * row[c];
+      }
+      const double mean = s / d;
+      const double var = std::max(s2 / d - mean * mean, 0.0);
+      const float istd = static_cast<float>(1.0 / std::sqrt(var + 1e-5));
+      for (index_t c = 0; c < d; ++c) {
+        row[c] = weights_.ln_gamma[c] * (row[c] - static_cast<float>(mean)) * istd +
+                 weights_.ln_beta[c];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MhsaIpCore::run_tokens_fixed(const Tensor& tokens) const {
+  return run_fixed_tokens(fx::FixedTensor::from_float(tokens, point_.scheme.feature)).to_float();
+}
+
+fx::FixedTensor MhsaIpCore::run_fixed_tokens(const fx::FixedTensor& x) const {
+  const index_t n = point_.tokens(), d = point_.dim, heads = point_.heads,
+                dh = point_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const auto ff = point_.scheme.feature;
+  // Shared weight buffer dataflow: Q, K, V computed sequentially (Sec. V-B2).
+  fx::FixedTensor q = fx::qmatmul(x, qwq_, ff);
+  fx::FixedTensor k = fx::qmatmul(x, qwk_, ff);
+  fx::FixedTensor v = fx::qmatmul(x, qwv_, ff);
+  fx::FixedTensor out(nt::Shape{n, d}, ff);
+  for (index_t h = 0; h < heads; ++h) {
+    fx::FixedTensor qh = gather_cols_fx(q, h * dh, dh);
+    fx::FixedTensor kh = gather_cols_fx(k, h * dh, dh);
+    fx::FixedTensor vh = gather_cols_fx(v, h * dh, dh);
+    fx::FixedTensor logits = fx::qmatmul_nt(qh, kh, ff);
+    if (!qrel_h_.empty()) {
+      // R built on the fly from the parameter-format tables, at feature scale.
+      Tensor r = relative_matrix(qrel_h_.to_float(), qrel_w_.to_float(), h, point_.height,
+                                 point_.width, dh);
+      fx::FixedTensor qr =
+          fx::qmatmul_nt(qh, fx::FixedTensor::from_float(r, point_.scheme.param), ff);
+      logits = fx::qadd(logits, qr);
+    }
+    logits = fx::qscale(logits, scale);
+    fx::FixedTensor a = fx::qrelu(logits);
+    scatter_cols_fx(fx::qmatmul(a, vh, ff), out, h * dh);
+  }
+  if (!qln_gamma_.empty()) out = fx::qlayernorm_rows(out, qln_gamma_, qln_beta_);
+  return out;
+}
+
+Tensor MhsaIpCore::run(const Tensor& x) {
+  Tensor input = x;
+  bool squeeze = false;
+  if (input.rank() == 3) {
+    input = input.reshape(nt::Shape{1, x.dim(0), x.dim(1), x.dim(2)});
+    squeeze = true;
+  }
+  if (input.rank() != 4 || input.dim(1) != point_.dim || input.dim(2) != point_.height ||
+      input.dim(3) != point_.width) {
+    throw std::invalid_argument("MhsaIpCore::run: input does not match design point " +
+                                point_.to_string());
+  }
+  const index_t b = input.dim(0), d = point_.dim, h = point_.height, w = point_.width;
+  const index_t n = point_.tokens();
+  Tensor tokens = to_tokens(input, d, h, w);
+  Tensor out_tokens(tokens.shape());
+  for (index_t s = 0; s < b; ++s) {
+    Tensor t = tokens.slice0(s * n, (s + 1) * n);
+    Tensor o = (point_.dtype == DataType::kFloat32) ? run_tokens_float(t) : run_tokens_fixed(t);
+    std::copy(o.data(), o.data() + o.numel(), out_tokens.data() + s * n * d);
+  }
+  // Latency: one IP invocation per image.
+  CycleBreakdown one = cycle_model_.estimate(point_, !weights_.ln_gamma.empty());
+  last_cycles_ = CycleBreakdown{one.projection_each * b, one.qr * b,         one.qk * b,
+                                one.relu * b,            one.av * b,
+                                one.layer_norm * b,      one.streaming * b};
+  Tensor out = from_tokens(out_tokens, b, d, h, w);
+  if (squeeze) out = out.reshape(nt::Shape{d, h, w});
+  return out;
+}
+
+}  // namespace nodetr::hls

@@ -1,0 +1,119 @@
+#include "nodetr/hls/model_plan.hpp"
+
+#include <cmath>
+
+namespace nodetr::hls {
+
+namespace {
+// Fixed-point MAC pipeline cost of the unrolled projection engine,
+// calibrated in cycle_model.cpp (Table III): 17.02 cycles/MAC sequential,
+// divided by the unroll factor when parallelized, plus fill overhead.
+constexpr double kMacCycles = 40158722.0 / (9 * 512.0 * 512.0);
+constexpr double kFillOverhead = 2267.0;
+constexpr double kElemCycles = 1.1;  // pipelined elementwise op incl. streaming
+}  // namespace
+
+std::int64_t ConvCycleModel::mac_cycles(std::int64_t macs) const {
+  if (unroll_ <= 1) return static_cast<std::int64_t>(macs * kMacCycles);
+  return static_cast<std::int64_t>(
+      std::ceil(static_cast<double>(macs) / static_cast<double>(unroll_)) * kMacCycles +
+      kFillOverhead);
+}
+
+LayerCost ConvCycleModel::conv2d(const std::string& name, index_t cin, index_t cout,
+                                 index_t kernel, index_t out_h, index_t out_w) const {
+  LayerCost c;
+  c.name = name;
+  c.macs = cin * cout * kernel * kernel * out_h * out_w;
+  c.cycles = mac_cycles(c.macs);
+  return c;
+}
+
+LayerCost ConvCycleModel::depthwise_separable(const std::string& name, index_t cin, index_t cout,
+                                              index_t kernel, index_t out_h,
+                                              index_t out_w) const {
+  LayerCost c;
+  c.name = name;
+  // Depthwise K^2 per channel plus 1x1 pointwise mix.
+  c.macs = (cin * kernel * kernel + cin * cout) * out_h * out_w;
+  c.cycles = mac_cycles(c.macs);
+  return c;
+}
+
+LayerCost ConvCycleModel::elementwise(const std::string& name, index_t elems) const {
+  LayerCost c;
+  c.name = name;
+  c.macs = 0;
+  c.cycles = static_cast<std::int64_t>(elems * kElemCycles);
+  return c;
+}
+
+LayerCost ConvCycleModel::linear(const std::string& name, index_t in, index_t out) const {
+  LayerCost c;
+  c.name = name;
+  c.macs = in * out;
+  c.cycles = mac_cycles(c.macs);
+  return c;
+}
+
+std::int64_t ProposedModelPlan::total_cycles() const {
+  std::int64_t t = 0;
+  for (const auto& l : layers) t += l.cycles;
+  return t + mhsa_cycles();
+}
+
+ProposedModelPlan plan_proposed_model(index_t image_size, index_t solver_steps, index_t unroll) {
+  ConvCycleModel conv(unroll);
+  ProposedModelPlan plan;
+  plan.solver_steps = solver_steps;
+  const index_t s4 = image_size / 4, s8 = image_size / 8, s16 = image_size / 16;
+
+  plan.layers.push_back(conv.conv2d("stem conv 3->64 /2", 3, 64, 3, image_size / 2,
+                                    image_size / 2));
+  plan.layers.push_back(conv.elementwise("stem BN+ReLU+pool", 64 * (image_size / 2) *
+                                                                  (image_size / 2) * 2));
+  // Stage 1: ODEBlock(64) x C — two DSCs + norms per step.
+  for (index_t c = 0; c < solver_steps; ++c) {
+    plan.layers.push_back(
+        conv.depthwise_separable("ode1 DSC a (step " + std::to_string(c) + ")", 64, 64, 3, s4,
+                                 s4));
+    plan.layers.push_back(
+        conv.depthwise_separable("ode1 DSC b (step " + std::to_string(c) + ")", 64, 64, 3, s4,
+                                 s4));
+    plan.layers.push_back(conv.elementwise("ode1 norms (step " + std::to_string(c) + ")",
+                                           4 * 64 * s4 * s4));
+  }
+  plan.layers.push_back(conv.conv2d("downsample 64->128 /2", 64, 128, 3, s8, s8));
+  plan.layers.push_back(conv.conv2d("downsample skip 1x1", 64, 128, 1, s8, s8));
+  for (index_t c = 0; c < solver_steps; ++c) {
+    plan.layers.push_back(
+        conv.depthwise_separable("ode2 DSC a (step " + std::to_string(c) + ")", 128, 128, 3, s8,
+                                 s8));
+    plan.layers.push_back(
+        conv.depthwise_separable("ode2 DSC b (step " + std::to_string(c) + ")", 128, 128, 3, s8,
+                                 s8));
+    plan.layers.push_back(conv.elementwise("ode2 norms (step " + std::to_string(c) + ")",
+                                           4 * 128 * s8 * s8));
+  }
+  plan.layers.push_back(conv.conv2d("downsample 128->256 /2", 128, 256, 3, s16, s16));
+  plan.layers.push_back(conv.conv2d("downsample skip 1x1", 128, 256, 1, s16, s16));
+  // Stage 3 (MHSABlock x C): 1x1 reduce/expand per step; the MHSA itself is
+  // accounted by the attention cycle model.
+  for (index_t c = 0; c < solver_steps; ++c) {
+    plan.layers.push_back(conv.conv2d("mhsa reduce 256->64 (step " + std::to_string(c) + ")",
+                                      256, 64, 1, s16, s16));
+    plan.layers.push_back(conv.conv2d("mhsa expand 64->256 (step " + std::to_string(c) + ")",
+                                      64, 256, 1, s16, s16));
+    plan.layers.push_back(conv.elementwise("mhsa norms (step " + std::to_string(c) + ")",
+                                           2 * 256 * s16 * s16 + 2 * 64 * s16 * s16));
+  }
+  plan.layers.push_back(conv.elementwise("head BN+ReLU+GAP", 2 * 256 * s16 * s16));
+  plan.layers.push_back(conv.linear("FC 256->10", 256, 10));
+
+  MhsaDesignPoint mhsa_point = MhsaDesignPoint::proposed_64(DataType::kFixed);
+  mhsa_point.parallel.unroll = unroll;
+  plan.mhsa = CycleModel{}.estimate(mhsa_point, /*include_layer_norm=*/true);
+  return plan;
+}
+
+}  // namespace nodetr::hls

@@ -1,0 +1,23 @@
+#include "nodetr/hls/power.hpp"
+
+namespace nodetr::hls {
+
+namespace {
+// Solved from the paper's two IP measurements:
+//   0.866 = s + 137 k;  3.977 = s + 680 k.
+constexpr double kWattsPerDsp = (3.977 - 0.866) / (680.0 - 137.0);  // 0.005729
+constexpr double kStaticWatts = 0.866 - 137.0 * kWattsPerDsp;       // 0.0811
+}  // namespace
+
+double PowerModel::ip_watts(const ResourceUsage& usage) const {
+  return kStaticWatts + kWattsPerDsp * static_cast<double>(usage.dsp);
+}
+
+double PowerModel::efficiency_gain(double cpu_ms, double accel_ms,
+                                   const ResourceUsage& usage) const {
+  const double cpu_energy = kPsWatts * cpu_ms;
+  const double accel_energy = accelerated_watts(usage) * accel_ms;
+  return cpu_energy / accel_energy;
+}
+
+}  // namespace nodetr::hls

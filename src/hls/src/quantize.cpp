@@ -1,0 +1,51 @@
+#include "nodetr/hls/quantize.hpp"
+
+namespace nodetr::hls {
+
+using nodetr::tensor::index_t;
+using nodetr::tensor::Tensor;
+
+ScopedParamQuantization::ScopedParamQuantization(nodetr::nn::Module& model,
+                                                 fx::FixedFormat format)
+    : model_(model) {
+  for (auto* p : model_.parameters()) {
+    backup_.push_back(p->value);
+    for (index_t i = 0; i < p->value.numel(); ++i) {
+      p->value[i] = fx::quantize_dequantize(p->value[i], format);
+    }
+  }
+}
+
+ScopedParamQuantization::~ScopedParamQuantization() {
+  std::size_t i = 0;
+  for (auto* p : model_.parameters()) p->value = std::move(backup_[i++]);
+}
+
+nodetr::nn::Sequential::ActivationHook activation_quantizer(fx::FixedFormat format) {
+  return [format](const Tensor& t) {
+    Tensor out(t.shape());
+    for (index_t i = 0; i < t.numel(); ++i) out[i] = fx::quantize_dequantize(t[i], format);
+    return out;
+  };
+}
+
+namespace {
+
+void visit_sequentials(nodetr::nn::Module& m, const std::function<void(nodetr::nn::Sequential&)>& fn) {
+  if (auto* seq = dynamic_cast<nodetr::nn::Sequential*>(&m)) fn(*seq);
+  for (auto* c : m.children()) visit_sequentials(*c, fn);
+}
+
+}  // namespace
+
+void set_activation_quantization(nodetr::nn::Module& model, fx::FixedFormat format) {
+  visit_sequentials(model, [format](nodetr::nn::Sequential& s) {
+    s.set_activation_hook(activation_quantizer(format));
+  });
+}
+
+void clear_activation_quantization(nodetr::nn::Module& model) {
+  visit_sequentials(model, [](nodetr::nn::Sequential& s) { s.clear_activation_hook(); });
+}
+
+}  // namespace nodetr::hls

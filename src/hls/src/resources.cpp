@@ -1,0 +1,107 @@
+#include "nodetr/hls/resources.hpp"
+
+#include <cmath>
+
+namespace nodetr::hls {
+
+double Zcu104::bram_pct(const ResourceUsage& u) { return 100.0 * u.bram18 / kBram18; }
+double Zcu104::dsp_pct(const ResourceUsage& u) { return 100.0 * u.dsp / kDsp; }
+double Zcu104::ff_pct(const ResourceUsage& u) { return 100.0 * u.ff / kFf; }
+double Zcu104::lut_pct(const ResourceUsage& u) { return 100.0 * u.lut / kLut; }
+bool Zcu104::fits(const ResourceUsage& u) {
+  return u.bram18 <= kBram18 && u.dsp <= kDsp && u.ff <= kFf && u.lut <= kLut;
+}
+
+namespace {
+
+constexpr index_t kBramBits = 18 * 1024;
+
+/// Banks at or below this size are mapped to distributed LUTRAM by the HLS
+/// tool rather than consuming a whole BRAM18K block.
+constexpr index_t kLutramThresholdBits = 4096;
+
+/// BRAM18K blocks for one buffer of `elems` elements at `bits` per element,
+/// cyclically partitioned into `partitions` banks (each bank needs at least
+/// one physical block unless small enough for LUTRAM).
+index_t buffer_bram(index_t elems, index_t bits, index_t partitions) {
+  if (elems <= 0) return 0;
+  const index_t per_bank = (elems + partitions - 1) / partitions;
+  const index_t bank_bits = per_bank * bits;
+  if (bank_bits <= kLutramThresholdBits) return 0;
+  const index_t blocks_per_bank = std::max<index_t>((bank_bits + kBramBits - 1) / kBramBits, 1);
+  return partitions * blocks_per_bank;
+}
+
+struct Calibration {
+  index_t dim, height, width;
+  DataType dtype;
+  BufferPlan buffers;
+  ResourceUsage usage;
+};
+
+/// Synthesis results reported in Tables I, II and VII.
+constexpr Calibration kCalibrations[] = {
+    // Table I: naive buffers, (512, 3x3).
+    {512, 3, 3, DataType::kFloat32, BufferPlan::kNaive7, {1716, 680, 89912, 112698}},
+    {512, 3, 3, DataType::kFixed, BufferPlan::kNaive7, {1396, 137, 30041, 83116}},
+    // Table II after / Table VII BoTNet rows: shared buffer.
+    {512, 3, 3, DataType::kFloat32, BufferPlan::kShared5, {693, 680, 101851, 90072}},
+    {512, 3, 3, DataType::kFixed, BufferPlan::kShared5, {559, 137, 37333, 55842}},
+    // Table VII proposed rows: (64, 6x6).
+    {64, 6, 6, DataType::kFloat32, BufferPlan::kShared5, {441, 868, 144263, 124091}},
+    {64, 6, 6, DataType::kFixed, BufferPlan::kShared5, {433, 212, 68809, 79476}},
+};
+
+}  // namespace
+
+std::optional<ResourceUsage> ResourceModel::calibrated(const MhsaDesignPoint& point) const {
+  for (const auto& c : kCalibrations) {
+    if (c.dim == point.dim && c.height == point.height && c.width == point.width &&
+        c.dtype == point.dtype && c.buffers == point.buffers &&
+        point.parallel.partition == 64 && point.parallel.unroll == 128) {
+      return c.usage;
+    }
+  }
+  return std::nullopt;
+}
+
+ResourceUsage ResourceModel::analytic(const MhsaDesignPoint& point) const {
+  const index_t n = point.tokens(), d = point.dim;
+  const index_t feat_bits = point.dtype == DataType::kFloat32 ? 32 : point.scheme.feature.total_bits;
+  const index_t param_bits = point.dtype == DataType::kFloat32 ? 32 : point.scheme.param.total_bits;
+  const index_t part = std::max<index_t>(point.parallel.partition, 1);
+
+  ResourceUsage u;
+  // Weight buffers: D x D parameters; three copies when naive, one shared.
+  const index_t weight_copies = point.buffers == BufferPlan::kNaive7 ? 3 : 1;
+  u.bram18 += weight_copies * buffer_bram(d * d, param_bits, part);
+  // Feature-side buffers: X plus Q, K, V (N x D each, feature format),
+  // partitioned for the unrolled MACs.
+  u.bram18 += 4 * buffer_bram(n * d, feat_bits, part);
+  // Attention map, relative-position table, output buffer (unpartitioned).
+  u.bram18 += buffer_bram(point.heads * n * n, feat_bits, 1);
+  u.bram18 += buffer_bram(point.heads * (point.height + point.width) * point.head_dim(),
+                          param_bits, 1);
+  u.bram18 += buffer_bram(n * d, feat_bits, 1);
+
+  // MAC lanes: a float MAC consumes ~5 DSP48E2 (3 mul + 2 add), a wide fixed
+  // MAC 1 (27x18 multiplier plus the slice pre-adder); plus control.
+  const index_t lanes = std::max<index_t>(point.parallel.unroll, 1);
+  const index_t dsp_per_lane = point.dtype == DataType::kFloat32 ? 5 : 1;
+  u.dsp = lanes * dsp_per_lane + 9;
+
+  // Registers / logic: per-lane datapath plus buffer-control overhead that
+  // grows with partitioning.
+  const index_t ff_per_lane = point.dtype == DataType::kFloat32 ? 620 : 240;
+  const index_t lut_per_lane = point.dtype == DataType::kFloat32 ? 540 : 330;
+  u.ff = lanes * ff_per_lane + part * 180 + 8000;
+  u.lut = lanes * lut_per_lane + part * 160 + 10000;
+  return u;
+}
+
+ResourceUsage ResourceModel::estimate(const MhsaDesignPoint& point) const {
+  if (auto c = calibrated(point)) return *c;
+  return analytic(point);
+}
+
+}  // namespace nodetr::hls

@@ -1,0 +1,12 @@
+// BoTNet50 [7]: ResNet50 with the last stage's 3x3 convs replaced by MHSA
+// with 2-D relative positional encoding.
+#pragma once
+
+#include "nodetr/models/resnet.hpp"
+
+namespace nodetr::models {
+
+/// BoTNet50 for 10 classes as evaluated in the paper (Table IV/V).
+[[nodiscard]] ModulePtr botnet50(index_t image_size, index_t classes, Rng& rng);
+
+}  // namespace nodetr::models

@@ -1,0 +1,39 @@
+// ResNet with bottleneck blocks (the ResNet50 counterpart of Table IV) and
+// its BoTNet variant: following [7], the 3x3 spatial convolutions of the last
+// stage's bottlenecks are replaced with MHSA.
+//
+// Structure (torchvision-compatible):
+//   stem: 7x7/2 conv -> BN -> ReLU -> 3x3/2 maxpool
+//   4 stages of bottleneck blocks (1x1 reduce, 3x3 spatial, 1x1 expand x4),
+//   first block of stages 2-4 downsamples with stride 2 and a 1x1 skip
+//   GlobalAvgPool -> Linear head
+#pragma once
+
+#include <array>
+
+#include "nodetr/nn/nn.hpp"
+
+namespace nodetr::models {
+
+using namespace nodetr::nn;  // NOLINT: model builders compose many nn types
+
+struct ResNetConfig {
+  index_t image_size = 96;  ///< square input, STL10-sized by default
+  index_t classes = 10;
+  index_t stem_channels = 64;
+  std::array<index_t, 4> blocks{3, 4, 6, 3};  ///< ResNet50 depths
+  index_t base_width = 64;                    ///< stage-1 bottleneck width
+  /// Replace the last stage's 3x3 convolutions with MHSA (=> BoTNet).
+  bool bot_last_stage = false;
+  index_t mhsa_heads = 4;
+  AttentionKind bot_attention = AttentionKind::kSoftmax;  ///< BoTNet default
+};
+
+/// Builds the full network as a Sequential tree. Throws if image_size is not
+/// divisible far enough for the stage strides.
+[[nodiscard]] ModulePtr build_resnet(const ResNetConfig& config, Rng& rng);
+
+/// ResNet50 for 10 classes as evaluated in the paper.
+[[nodiscard]] ModulePtr resnet50(index_t image_size, index_t classes, Rng& rng);
+
+}  // namespace nodetr::models

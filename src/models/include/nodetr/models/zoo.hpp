@@ -1,0 +1,48 @@
+// Model zoo: the five models of Table IV plus scaled-down "tiny" variants
+// used by the CI-speed training benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nodetr/models/botnet.hpp"
+#include "nodetr/models/odenet.hpp"
+#include "nodetr/models/resnet.hpp"
+#include "nodetr/models/vit.hpp"
+
+namespace nodetr::models {
+
+enum class ModelKind {
+  kResNet50,
+  kBoTNet50,
+  kOdeNet,
+  kProposed,
+  kViTBase,
+  // Tiny variants: same topology, shrunk widths/depths for 32x32 training.
+  kTinyResNet,
+  kTinyBoTNet,
+  kTinyOdeNet,
+  kTinyProposed,
+  kTinyViT,
+};
+
+[[nodiscard]] std::string to_string(ModelKind kind);
+
+/// Paper-evaluated display name ("ResNet50", "Proposed model", ...).
+[[nodiscard]] std::string paper_name(ModelKind kind);
+
+/// Construct a model. Full-size kinds expect image_size 96 (STL10);
+/// tiny kinds expect 32. `classes` defaults to STL10's 10.
+[[nodiscard]] ModulePtr make_model(ModelKind kind, index_t image_size, index_t classes,
+                                   Rng& rng);
+
+/// The five full-size models in Table IV order.
+[[nodiscard]] const std::vector<ModelKind>& table4_models();
+
+/// The tiny training set used by the accuracy benches.
+[[nodiscard]] const std::vector<ModelKind>& tiny_models();
+
+/// Parameter counts the paper reports in Table IV (for comparison output).
+[[nodiscard]] index_t paper_param_count(ModelKind kind);
+
+}  // namespace nodetr::models

@@ -1,0 +1,13 @@
+#include "nodetr/models/botnet.hpp"
+
+namespace nodetr::models {
+
+ModulePtr botnet50(index_t image_size, index_t classes, Rng& rng) {
+  ResNetConfig cfg;
+  cfg.image_size = image_size;
+  cfg.classes = classes;
+  cfg.bot_last_stage = true;
+  return build_resnet(cfg, rng);
+}
+
+}  // namespace nodetr::models

@@ -1,0 +1,89 @@
+#include "nodetr/models/resnet.hpp"
+
+#include <stdexcept>
+
+namespace nodetr::models {
+
+namespace {
+
+constexpr index_t kExpansion = 4;  // bottleneck output = 4x width
+
+/// One bottleneck block. `spatial` is the feature-map extent at the BLOCK
+/// INPUT; with stride 2 the 3x3 (or the post-MHSA avgpool in BoTNet) halves
+/// it. `use_mhsa` swaps the 3x3 conv for multi-head self-attention [7].
+ModulePtr bottleneck(index_t in_channels, index_t width, index_t stride, index_t spatial,
+                     bool use_mhsa, index_t heads, AttentionKind attention, Rng& rng) {
+  const index_t out_channels = width * kExpansion;
+  auto body = std::make_unique<Sequential>();
+  body->emplace<Conv2d>(in_channels, width, 1, 1, 0, /*bias=*/false, rng);
+  body->emplace<BatchNorm2d>(width);
+  body->emplace<ReLU>();
+  if (use_mhsa) {
+    // BoTNet: MHSA runs at the incoming resolution; when the block strides,
+    // a 2x2 average pool after the attention performs the downsampling [7].
+    MhsaConfig mc{.dim = width, .heads = heads, .height = spatial, .width = spatial,
+                  .attention = attention, .pos = PosEncodingKind::kRelative2d,
+                  .layer_norm_out = false};
+    body->emplace<MultiHeadSelfAttention>(mc, rng);
+    if (stride == 2) body->emplace<AvgPool2d>(2, 2, 0);
+  } else {
+    body->emplace<Conv2d>(width, width, 3, stride, 1, /*bias=*/false, rng);
+  }
+  body->emplace<BatchNorm2d>(width);
+  body->emplace<ReLU>();
+  body->emplace<Conv2d>(width, out_channels, 1, 1, 0, /*bias=*/false, rng);
+  body->emplace<BatchNorm2d>(out_channels);
+
+  ModulePtr skip;
+  if (stride != 1 || in_channels != out_channels) {
+    auto s = std::make_unique<Sequential>();
+    s->emplace<Conv2d>(in_channels, out_channels, 1, stride, 0, /*bias=*/false, rng);
+    s->emplace<BatchNorm2d>(out_channels);
+    skip = std::move(s);
+  }
+  return std::make_unique<Residual>(std::move(body), std::move(skip), /*final_relu=*/true);
+}
+
+}  // namespace
+
+ModulePtr build_resnet(const ResNetConfig& config, Rng& rng) {
+  // Spatial bookkeeping: stem conv /2, maxpool /2, stages 2-4 each /2.
+  index_t spatial = config.image_size;
+  auto half = [](index_t s) { return (s + 1) / 2; };
+
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Conv2d>(3, config.stem_channels, 7, 2, 3, /*bias=*/false, rng);
+  spatial = half(spatial);
+  net->emplace<BatchNorm2d>(config.stem_channels);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>(3, 2, 1);
+  spatial = half(spatial);
+
+  index_t in_channels = config.stem_channels;
+  for (index_t stage = 0; stage < 4; ++stage) {
+    const index_t width = config.base_width << stage;
+    const bool mhsa_stage = config.bot_last_stage && stage == 3;
+    for (index_t b = 0; b < config.blocks[static_cast<std::size_t>(stage)]; ++b) {
+      const index_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      if (mhsa_stage && spatial < 1) {
+        throw std::invalid_argument("build_resnet: image too small for BoT stage");
+      }
+      net->push_back(bottleneck(in_channels, width, stride, spatial, mhsa_stage,
+                                config.mhsa_heads, config.bot_attention, rng));
+      if (stride == 2) spatial = half(spatial);
+      in_channels = width * kExpansion;
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  net->emplace<Linear>(in_channels, config.classes, /*bias=*/true, rng);
+  return net;
+}
+
+ModulePtr resnet50(index_t image_size, index_t classes, Rng& rng) {
+  ResNetConfig cfg;
+  cfg.image_size = image_size;
+  cfg.classes = classes;
+  return build_resnet(cfg, rng);
+}
+
+}  // namespace nodetr::models

@@ -1,0 +1,123 @@
+#include "nodetr/models/zoo.hpp"
+
+#include <stdexcept>
+
+namespace nodetr::models {
+
+std::string to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet50: return "resnet50";
+    case ModelKind::kBoTNet50: return "botnet50";
+    case ModelKind::kOdeNet: return "odenet";
+    case ModelKind::kProposed: return "proposed";
+    case ModelKind::kViTBase: return "vit_base";
+    case ModelKind::kTinyResNet: return "tiny_resnet";
+    case ModelKind::kTinyBoTNet: return "tiny_botnet";
+    case ModelKind::kTinyOdeNet: return "tiny_odenet";
+    case ModelKind::kTinyProposed: return "tiny_proposed";
+    case ModelKind::kTinyViT: return "tiny_vit";
+  }
+  throw std::invalid_argument("to_string: unknown ModelKind");
+}
+
+std::string paper_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet50: case ModelKind::kTinyResNet: return "ResNet50";
+    case ModelKind::kBoTNet50: case ModelKind::kTinyBoTNet: return "BoTNet50";
+    case ModelKind::kOdeNet: case ModelKind::kTinyOdeNet: return "Neural ODE";
+    case ModelKind::kProposed: case ModelKind::kTinyProposed: return "Proposed model";
+    case ModelKind::kViTBase: case ModelKind::kTinyViT: return "ViT-Base";
+  }
+  throw std::invalid_argument("paper_name: unknown ModelKind");
+}
+
+namespace {
+
+ResNetConfig tiny_resnet_cfg(index_t image_size, index_t classes, bool bot) {
+  ResNetConfig cfg;
+  cfg.image_size = image_size;
+  cfg.classes = classes;
+  cfg.stem_channels = 16;
+  cfg.blocks = {1, 1, 1, 1};
+  cfg.base_width = 8;
+  cfg.bot_last_stage = bot;
+  cfg.mhsa_heads = 2;
+  return cfg;
+}
+
+OdeNetConfig tiny_odenet_cfg(index_t image_size, index_t classes, bool mhsa) {
+  OdeNetConfig cfg;
+  cfg.image_size = image_size;
+  cfg.classes = classes;
+  cfg.stem_channels = 16;
+  cfg.stage_channels = {16, 32, 64};
+  cfg.steps = 3;
+  cfg.final_stage = mhsa ? FinalStage::kMhsaOde : FinalStage::kConvOde;
+  cfg.mhsa_bottleneck = 32;
+  cfg.mhsa_heads = 2;
+  return cfg;
+}
+
+}  // namespace
+
+ModulePtr make_model(ModelKind kind, index_t image_size, index_t classes, Rng& rng) {
+  switch (kind) {
+    case ModelKind::kResNet50:
+      return resnet50(image_size, classes, rng);
+    case ModelKind::kBoTNet50:
+      return botnet50(image_size, classes, rng);
+    case ModelKind::kOdeNet:
+      return odenet(image_size, classes, rng);
+    case ModelKind::kProposed:
+      return proposed_model(image_size, classes, rng);
+    case ModelKind::kViTBase:
+      return vit_base(image_size, classes, rng);
+    case ModelKind::kTinyResNet:
+      return build_resnet(tiny_resnet_cfg(image_size, classes, false), rng);
+    case ModelKind::kTinyBoTNet:
+      return build_resnet(tiny_resnet_cfg(image_size, classes, true), rng);
+    case ModelKind::kTinyOdeNet:
+      return std::make_unique<OdeNet>(tiny_odenet_cfg(image_size, classes, false), rng);
+    case ModelKind::kTinyProposed:
+      return std::make_unique<OdeNet>(tiny_odenet_cfg(image_size, classes, true), rng);
+    case ModelKind::kTinyViT: {
+      ViTConfig cfg;
+      cfg.image_size = image_size;
+      cfg.patch_size = 8;
+      cfg.classes = classes;
+      cfg.dim = 64;
+      cfg.depth = 4;
+      cfg.heads = 4;
+      cfg.mlp_dim = 128;
+      return std::make_unique<ViT>(cfg, rng);
+    }
+  }
+  throw std::invalid_argument("make_model: unknown ModelKind");
+}
+
+const std::vector<ModelKind>& table4_models() {
+  static const std::vector<ModelKind> kinds = {ModelKind::kResNet50, ModelKind::kBoTNet50,
+                                               ModelKind::kOdeNet, ModelKind::kProposed,
+                                               ModelKind::kViTBase};
+  return kinds;
+}
+
+const std::vector<ModelKind>& tiny_models() {
+  static const std::vector<ModelKind> kinds = {ModelKind::kTinyResNet, ModelKind::kTinyBoTNet,
+                                               ModelKind::kTinyOdeNet, ModelKind::kTinyProposed,
+                                               ModelKind::kTinyViT};
+  return kinds;
+}
+
+index_t paper_param_count(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kResNet50: case ModelKind::kTinyResNet: return 23522362;
+    case ModelKind::kBoTNet50: case ModelKind::kTinyBoTNet: return 18885962;
+    case ModelKind::kOdeNet: case ModelKind::kTinyOdeNet: return 599309;
+    case ModelKind::kProposed: case ModelKind::kTinyProposed: return 513275;
+    case ModelKind::kViTBase: case ModelKind::kTinyViT: return 78218506;
+  }
+  throw std::invalid_argument("paper_param_count: unknown ModelKind");
+}
+
+}  // namespace nodetr::models

@@ -1,0 +1,86 @@
+// Module: the building block of every network in this library.
+//
+// Training uses classic module-local reverse mode (no tape): forward() caches
+// whatever backward() needs, and backward() must be invoked with the cotangent
+// of the *most recent* forward() output, returning the cotangent of its input
+// while accumulating parameter gradients. Composite modules own their children
+// through unique_ptr and chain backward in reverse order.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nodetr/tensor/rng.hpp"
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::nn {
+
+using nodetr::tensor::index_t;
+using nodetr::tensor::Rng;
+using nodetr::tensor::Shape;
+using nodetr::tensor::Tensor;
+
+/// A learnable tensor with its gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v) : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  [[nodiscard]] index_t numel() const { return value.numel(); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Compute the output for `x`, caching activations needed by backward().
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Propagate the output cotangent back through the most recent forward(),
+  /// accumulating parameter gradients; returns the input cotangent.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Short human-readable layer name, e.g. "Conv2d(64->128,k3,s2)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Direct sub-modules (non-owning). Used for recursive traversal.
+  [[nodiscard]] virtual std::vector<Module*> children() { return {}; }
+
+  /// Parameters owned directly by this module (not by children).
+  [[nodiscard]] virtual std::vector<Param*> local_parameters() { return {}; }
+
+  /// Non-learnable persistent state owned directly by this module (e.g.
+  /// BatchNorm running statistics). Saved in checkpoints, never optimized.
+  [[nodiscard]] virtual std::vector<Tensor*> local_buffers() { return {}; }
+
+  /// All parameters in the subtree, depth first.
+  [[nodiscard]] std::vector<Param*> parameters();
+
+  /// All buffers in the subtree, depth first.
+  [[nodiscard]] std::vector<Tensor*> buffers();
+
+  /// Total learnable parameter count in the subtree.
+  [[nodiscard]] index_t num_parameters();
+
+  /// Set training mode (affects BatchNorm, Dropout) for the whole subtree.
+  void train(bool on = true);
+  [[nodiscard]] bool training() const { return training_; }
+
+  /// Zero every gradient accumulator in the subtree.
+  void zero_grad();
+
+ protected:
+  bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace nodetr::nn

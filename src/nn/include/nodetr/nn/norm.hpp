@@ -1,0 +1,61 @@
+// Normalization layers: BatchNorm2d for the CNN backbone, LayerNorm for the
+// MHSA output (Eq. 17).
+#pragma once
+
+#include "nodetr/nn/module.hpp"
+
+namespace nodetr::nn {
+
+/// Per-channel batch normalization over (B, C, H, W); tracks running stats
+/// for inference.
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(index_t channels, float eps = 1e-5f, float momentum = 0.1f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<Param*> local_parameters() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] std::vector<Tensor*> local_buffers() override {
+    return {&running_mean_, &running_var_};
+  }
+
+  [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+  [[nodiscard]] float eps() const { return eps_; }
+  [[nodiscard]] Param& gamma() { return gamma_; }
+  [[nodiscard]] Param& beta() { return beta_; }
+
+ private:
+  index_t channels_;
+  float eps_, momentum_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;  // buffers, not learnable
+  // Cached for backward.
+  Tensor xhat_;
+  Tensor inv_std_;  // (C)
+};
+
+/// LayerNorm over the last axis; all leading axes are treated as rows.
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(index_t dim, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<Param*> local_parameters() override { return {&gamma_, &beta_}; }
+  [[nodiscard]] float eps() const { return eps_; }
+  [[nodiscard]] index_t dim() const { return dim_; }
+
+ private:
+  index_t dim_;
+  float eps_;
+  Param gamma_, beta_;
+  Tensor xhat_;
+  Tensor inv_std_;  // one per row
+};
+
+}  // namespace nodetr::nn

@@ -1,0 +1,15 @@
+// Positional encodings (Sec. III-A3).
+#pragma once
+
+#include "nodetr/nn/module.hpp"
+
+namespace nodetr::nn {
+
+/// Absolute sinusoidal positional encoding (Transformer [1], Eq. 8):
+///   P[pos, 2j]   = sin(pos / base^(2j/D))
+///   P[pos, 2j+1] = cos(pos / base^(2j/D))
+/// Returns an (N, D) hyperparameter tensor (not learnable). The original
+/// Transformer uses base = 10000 (the paper's Eq. 8 prints 1000).
+[[nodiscard]] Tensor sinusoidal_encoding(index_t positions, index_t dim, float base = 10000.0f);
+
+}  // namespace nodetr::nn

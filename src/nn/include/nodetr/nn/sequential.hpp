@@ -1,0 +1,46 @@
+// Sequential container chaining modules.
+#pragma once
+
+#include <functional>
+
+#include "nodetr/nn/module.hpp"
+
+namespace nodetr::nn {
+
+class Sequential final : public Module {
+ public:
+  Sequential() = default;
+
+  /// Append a module; returns a typed reference to it for later access.
+  template <typename M, typename... Args>
+  M& emplace(Args&&... args) {
+    auto m = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *m;
+    modules_.push_back(std::move(m));
+    return ref;
+  }
+
+  void push_back(ModulePtr m) { modules_.push_back(std::move(m)); }
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::vector<Module*> children() override;
+  [[nodiscard]] std::size_t size() const { return modules_.size(); }
+  [[nodiscard]] Module& operator[](std::size_t i) { return *modules_[i]; }
+
+  /// Inference-only hook applied to the activation after every submodule —
+  /// used to emulate fixed-point feature maps between layers (Sec. V-B1).
+  /// backward() throws while a hook is installed (it is not differentiated).
+  using ActivationHook = std::function<Tensor(const Tensor&)>;
+  void set_activation_hook(ActivationHook hook) { act_hook_ = std::move(hook); }
+  void clear_activation_hook() { act_hook_ = nullptr; }
+  [[nodiscard]] bool has_activation_hook() const { return static_cast<bool>(act_hook_); }
+
+ private:
+  std::vector<ModulePtr> modules_;
+  ActivationHook act_hook_;
+};
+
+}  // namespace nodetr::nn

@@ -1,0 +1,23 @@
+// Model structure inspection: an indented tree of layers with parameter
+// counts, like the summaries printed by mainstream frameworks.
+#pragma once
+
+#include <string>
+
+#include "nodetr/nn/module.hpp"
+
+namespace nodetr::nn {
+
+/// Render the module tree, one line per module:
+///   OdeNet                               513,275 params
+///     Sequential[12]
+///       Conv2d(3->64,k3,s2)                1,728 params
+///       ...
+/// Parameter counts are local (not including children) except on the root
+/// line, which shows the subtree total.
+[[nodiscard]] std::string summary(Module& module);
+
+/// Format an integer with thousands separators ("1,234,567").
+[[nodiscard]] std::string with_commas(index_t value);
+
+}  // namespace nodetr::nn

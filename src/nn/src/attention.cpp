@@ -1,0 +1,247 @@
+#include "nodetr/nn/attention.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nodetr/nn/posenc.hpp"
+#include "nodetr/tensor/gemm.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace nodetr::nn {
+
+namespace nt = nodetr::tensor;
+
+namespace {
+
+/// Copy the (N, Dh) block for sample `b`, head `h` out of a (B*N, D) matrix.
+Tensor gather_head(const Tensor& m, index_t b, index_t n, index_t h, index_t dh) {
+  Tensor out(Shape{n, dh});
+  const index_t d = m.dim(1);
+  for (index_t r = 0; r < n; ++r) {
+    const float* src = m.data() + (b * n + r) * d + h * dh;
+    std::copy(src, src + dh, out.data() + r * dh);
+  }
+  return out;
+}
+
+/// Accumulate an (N, Dh) block into a (B*N, D) matrix.
+void scatter_head(const Tensor& block, Tensor& m, index_t b, index_t n, index_t h, index_t dh) {
+  const index_t d = m.dim(1);
+  for (index_t r = 0; r < n; ++r) {
+    float* dst = m.data() + (b * n + r) * d + h * dh;
+    const float* src = block.data() + r * dh;
+    for (index_t c = 0; c < dh; ++c) dst[c] += src[c];
+  }
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(MhsaConfig config, Rng& rng)
+    : config_(config),
+      wq_("wq", {}), wk_("wk", {}), wv_("wv", {}),
+      rel_h_("rel_h", {}), rel_w_("rel_w", {}) {
+  if (config_.dim % config_.heads != 0) {
+    throw std::invalid_argument("MHSA: dim must be divisible by heads");
+  }
+  const index_t d = config_.dim;
+  const float proj_std = 1.0f / std::sqrt(static_cast<float>(d));
+  wq_ = Param("wq", rng.randn(Shape{d, d}, 0.0f, proj_std));
+  wk_ = Param("wk", rng.randn(Shape{d, d}, 0.0f, proj_std));
+  wv_ = Param("wv", rng.randn(Shape{d, d}, 0.0f, proj_std));
+  if (config_.pos == PosEncodingKind::kRelative2d) {
+    // "Initial values of these vectors are drawn from a normal distribution."
+    const index_t dh = config_.head_dim();
+    const float pos_std = 1.0f / std::sqrt(static_cast<float>(dh));
+    rel_h_ = Param("rel_h", rng.randn(Shape{config_.heads, config_.height, dh}, 0.0f, pos_std));
+    rel_w_ = Param("rel_w", rng.randn(Shape{config_.heads, config_.width, dh}, 0.0f, pos_std));
+  }
+  if (config_.layer_norm_out) ln_ = std::make_unique<LayerNorm>(d);
+  if (config_.pos == PosEncodingKind::kAbsoluteSinusoidal) {
+    abs_pos_ = sinusoidal_encoding(config_.tokens(), d);
+  }
+}
+
+const Tensor& MultiHeadSelfAttention::attention_weights(index_t sample, index_t head) const {
+  if (sample < 0 || sample >= batch_ || head < 0 || head >= config_.heads) {
+    throw std::out_of_range("MHSA::attention_weights: sample/head out of range");
+  }
+  return attn_[static_cast<std::size_t>(sample * config_.heads + head)];
+}
+
+Tensor MultiHeadSelfAttention::relative_matrix(index_t head) const {
+  const index_t h_ = config_.height, w_ = config_.width, dh = config_.head_dim();
+  Tensor r(Shape{h_ * w_, dh});
+  for (index_t y = 0; y < h_; ++y) {
+    const float* rh = rel_h_.value.data() + (head * h_ + y) * dh;
+    for (index_t x = 0; x < w_; ++x) {
+      const float* rw = rel_w_.value.data() + (head * w_ + x) * dh;
+      float* dst = r.data() + (y * w_ + x) * dh;
+      for (index_t c = 0; c < dh; ++c) dst[c] = rh[c] + rw[c];
+    }
+  }
+  return r;
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
+  if (override_) return override_(x, *this);
+  if (x.rank() != 4 || x.dim(1) != config_.dim || x.dim(2) != config_.height ||
+      x.dim(3) != config_.width) {
+    throw std::invalid_argument("MHSA: expected (B, " + std::to_string(config_.dim) + ", " +
+                                std::to_string(config_.height) + ", " +
+                                std::to_string(config_.width) + "), got " +
+                                x.shape().to_string());
+  }
+  const index_t b = x.dim(0), d = config_.dim, n = config_.tokens();
+  const index_t heads = config_.heads, dh = config_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  batch_ = b;
+
+  // (B, D, H, W) -> tokens (B*N, D).
+  tokens_ = x.permute({0, 2, 3, 1}).reshape(Shape{b * n, d});
+  if (config_.pos == PosEncodingKind::kAbsoluteSinusoidal) {
+    for (index_t s = 0; s < b; ++s) {
+      for (index_t r = 0; r < n; ++r) {
+        float* row = tokens_.data() + (s * n + r) * d;
+        const float* p = abs_pos_.data() + r * d;
+        for (index_t c = 0; c < d; ++c) row[c] += p[c];
+      }
+    }
+  }
+
+  q_ = nt::matmul(tokens_, wq_.value);
+  k_ = nt::matmul(tokens_, wk_.value);
+  v_ = nt::matmul(tokens_, wv_.value);
+
+  Tensor out(Shape{b * n, d});
+  attn_.assign(static_cast<std::size_t>(b * heads), Tensor());
+  double zero_count = 0.0;
+  for (index_t s = 0; s < b; ++s) {
+    for (index_t h = 0; h < heads; ++h) {
+      Tensor qh = gather_head(q_, s, n, h, dh);
+      Tensor kh = gather_head(k_, s, n, h, dh);
+      Tensor vh = gather_head(v_, s, n, h, dh);
+      // logits = (Q K^T [+ Q R^T]) / sqrt(Dh)  — Eq. (15).
+      Tensor logits = nt::matmul_nt(qh, kh);
+      if (config_.pos == PosEncodingKind::kRelative2d) {
+        logits += nt::matmul_nt(qh, relative_matrix(h));
+      }
+      logits *= scale;
+      Tensor a = (config_.attention == AttentionKind::kRelu) ? nt::relu(logits)
+                                                             : nt::softmax_rows(logits);
+      for (index_t i = 0; i < a.numel(); ++i) zero_count += (a[i] == 0.0f) ? 1.0 : 0.0;
+      Tensor oh = nt::matmul(a, vh);
+      scatter_head(oh, out, s, n, h, dh);
+      attn_[static_cast<std::size_t>(s * heads + h)] = std::move(a);
+    }
+  }
+  last_sparsity_ = static_cast<float>(zero_count / static_cast<double>(b * heads * n * n));
+
+  if (ln_) out = ln_->forward(out);
+  return out.reshape(Shape{b, config_.height, config_.width, d}).permute({0, 3, 1, 2});
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
+  if (override_) {
+    throw std::logic_error("MHSA::backward: unsupported while a forward override is active");
+  }
+  const index_t b = batch_, d = config_.dim, n = config_.tokens();
+  const index_t heads = config_.heads, dh = config_.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  Tensor g = grad_out.permute({0, 2, 3, 1}).reshape(Shape{b * n, d});
+  if (ln_) g = ln_->backward(g);
+
+  Tensor gq(Shape{b * n, d}), gk(Shape{b * n, d}), gv(Shape{b * n, d});
+  for (index_t s = 0; s < b; ++s) {
+    for (index_t h = 0; h < heads; ++h) {
+      const Tensor& a = attn_[static_cast<std::size_t>(s * heads + h)];
+      Tensor qh = gather_head(q_, s, n, h, dh);
+      Tensor kh = gather_head(k_, s, n, h, dh);
+      Tensor vh = gather_head(v_, s, n, h, dh);
+      Tensor goh = gather_head(g, s, n, h, dh);
+
+      Tensor ga = nt::matmul_nt(goh, vh);  // (N,N): gOh V^T
+      Tensor gvh = nt::matmul_tn(a, goh);               // A^T gOh
+
+      Tensor glogits(Shape{n, n});
+      if (config_.attention == AttentionKind::kRelu) {
+        // ReLU': positive attention weight <=> positive logit.
+        for (index_t i = 0; i < glogits.numel(); ++i) {
+          glogits[i] = a[i] > 0.0f ? ga[i] : 0.0f;
+        }
+      } else {
+        // Softmax rows: dl = A * (gA - <gA, A>_row).
+        for (index_t r = 0; r < n; ++r) {
+          const float* arow = a.data() + r * n;
+          const float* garow = ga.data() + r * n;
+          float* glrow = glogits.data() + r * n;
+          double dot = 0.0;
+          for (index_t c = 0; c < n; ++c) dot += static_cast<double>(garow[c]) * arow[c];
+          for (index_t c = 0; c < n; ++c) {
+            glrow[c] = arow[c] * (garow[c] - static_cast<float>(dot));
+          }
+        }
+      }
+      glogits *= scale;
+
+      // Q gets contributions from both Q K^T and Q R^T.
+      Tensor gqh = nt::matmul(glogits, kh);
+      if (config_.pos == PosEncodingKind::kRelative2d) {
+        Tensor r = relative_matrix(h);
+        gqh += nt::matmul(glogits, r);
+        // gR = glogits^T Q, then marginalize onto R_h (rows) and R_w (cols).
+        Tensor gr = nt::matmul_tn(glogits, qh);  // (N, Dh)
+        const index_t hh = config_.height, ww = config_.width;
+        for (index_t y = 0; y < hh; ++y) {
+          float* grh = rel_h_.grad.data() + (h * hh + y) * dh;
+          for (index_t x = 0; x < ww; ++x) {
+            float* grw = rel_w_.grad.data() + (h * ww + x) * dh;
+            const float* src = gr.data() + (y * ww + x) * dh;
+            for (index_t c = 0; c < dh; ++c) {
+              grh[c] += src[c];
+              grw[c] += src[c];
+            }
+          }
+        }
+      }
+      Tensor gkh = nt::matmul_tn(glogits, qh);
+
+      scatter_head(gqh, gq, s, n, h, dh);
+      scatter_head(gkh, gk, s, n, h, dh);
+      scatter_head(gvh, gv, s, n, h, dh);
+    }
+  }
+
+  wq_.grad += nt::matmul_tn(tokens_, gq);
+  wk_.grad += nt::matmul_tn(tokens_, gk);
+  wv_.grad += nt::matmul_tn(tokens_, gv);
+
+  Tensor gtok = nt::matmul_nt(gq, wq_.value);
+  gtok += nt::matmul_nt(gk, wk_.value);
+  gtok += nt::matmul_nt(gv, wv_.value);
+  // Absolute positional table is a constant; its addition passes the gradient
+  // through unchanged.
+  return gtok.reshape(Shape{b, config_.height, config_.width, d}).permute({0, 3, 1, 2});
+}
+
+std::string MultiHeadSelfAttention::name() const {
+  return "MHSA(D=" + std::to_string(config_.dim) + ",heads=" + std::to_string(config_.heads) +
+         "," + std::to_string(config_.height) + "x" + std::to_string(config_.width) +
+         (config_.attention == AttentionKind::kRelu ? ",relu" : ",softmax") + ")";
+}
+
+std::vector<Param*> MultiHeadSelfAttention::local_parameters() {
+  std::vector<Param*> p{&wq_, &wk_, &wv_};
+  if (config_.pos == PosEncodingKind::kRelative2d) {
+    p.push_back(&rel_h_);
+    p.push_back(&rel_w_);
+  }
+  return p;
+}
+
+std::vector<Module*> MultiHeadSelfAttention::children() {
+  if (ln_) return {ln_.get()};
+  return {};
+}
+
+}  // namespace nodetr::nn

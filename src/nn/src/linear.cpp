@@ -1,0 +1,55 @@
+#include "nodetr/nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "nodetr/tensor/gemm.hpp"
+
+namespace nodetr::nn {
+
+Linear::Linear(index_t in_features, index_t out_features, bool bias, Rng& rng)
+    : in_(in_features), out_(out_features), has_bias_(bias),
+      weight_("weight", rng.kaiming_normal(Shape{out_features, in_features}, in_features)),
+      bias_("bias", bias ? Tensor(Shape{out_features}) : Tensor(Shape{0})) {}
+
+Tensor Linear::forward(const Tensor& x) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Linear: expected (B, " + std::to_string(in_) + "), got " +
+                                x.shape().to_string());
+  }
+  x_ = x;
+  Tensor y = nodetr::tensor::matmul_nt(x, weight_.value);
+  if (has_bias_) {
+    const index_t b = y.dim(0);
+    for (index_t r = 0; r < b; ++r) {
+      float* row = y.data() + r * out_;
+      for (index_t c = 0; c < out_; ++c) row[c] += bias_.value[c];
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  // dW (out,in) += g^T (out,B) * x (B,in)
+  weight_.grad += nodetr::tensor::matmul_tn(grad_out, x_);
+  if (has_bias_) {
+    const index_t b = grad_out.dim(0);
+    for (index_t r = 0; r < b; ++r) {
+      const float* row = grad_out.data() + r * out_;
+      for (index_t c = 0; c < out_; ++c) bias_.grad[c] += row[c];
+    }
+  }
+  // dx (B,in) = g (B,out) * W (out,in)
+  return nodetr::tensor::matmul(grad_out, weight_.value);
+}
+
+std::string Linear::name() const {
+  return "Linear(" + std::to_string(in_) + "->" + std::to_string(out_) + ")";
+}
+
+std::vector<Param*> Linear::local_parameters() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+}  // namespace nodetr::nn

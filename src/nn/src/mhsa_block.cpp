@@ -1,0 +1,54 @@
+#include "nodetr/nn/mhsa_block.hpp"
+
+namespace nodetr::nn {
+
+MhsaBlock::MhsaBlock(MhsaBlockConfig config, Rng& rng) : config_(config) {
+  bn_in_ = std::make_unique<BatchNorm2d>(config.channels);
+  relu_in_ = std::make_unique<ReLU>();
+  reduce_ = std::make_unique<Conv2d>(config.channels, config.bottleneck_dim, 1, 1, 0,
+                                     /*bias=*/false, rng);
+  bn_mid_ = std::make_unique<BatchNorm2d>(config.bottleneck_dim);
+  relu_mid_ = std::make_unique<ReLU>();
+  MhsaConfig mc{.dim = config.bottleneck_dim,
+                .heads = config.heads,
+                .height = config.height,
+                .width = config.width,
+                .attention = config.attention,
+                .pos = config.pos,
+                .layer_norm_out = config.layer_norm_out};
+  mhsa_ = std::make_unique<MultiHeadSelfAttention>(mc, rng);
+  expand_ = std::make_unique<Conv2d>(config.bottleneck_dim, config.channels, 1, 1, 0,
+                                     /*bias=*/false, rng);
+}
+
+Tensor MhsaBlock::forward(const Tensor& x) {
+  Tensor h = bn_in_->forward(x);
+  h = relu_in_->forward(h);
+  h = reduce_->forward(h);
+  h = bn_mid_->forward(h);
+  h = relu_mid_->forward(h);
+  h = mhsa_->forward(h);
+  return expand_->forward(h);
+}
+
+Tensor MhsaBlock::backward(const Tensor& grad_out) {
+  Tensor g = expand_->backward(grad_out);
+  g = mhsa_->backward(g);
+  g = relu_mid_->backward(g);
+  g = bn_mid_->backward(g);
+  g = reduce_->backward(g);
+  g = relu_in_->backward(g);
+  return bn_in_->backward(g);
+}
+
+std::string MhsaBlock::name() const {
+  return "MhsaBlock(C=" + std::to_string(config_.channels) +
+         ",Dm=" + std::to_string(config_.bottleneck_dim) + ")";
+}
+
+std::vector<Module*> MhsaBlock::children() {
+  return {bn_in_.get(), relu_in_.get(), reduce_.get(), bn_mid_.get(),
+          relu_mid_.get(), mhsa_.get(), expand_.get()};
+}
+
+}  // namespace nodetr::nn

@@ -1,0 +1,38 @@
+#include "nodetr/nn/module.hpp"
+
+namespace nodetr::nn {
+
+std::vector<Param*> Module::parameters() {
+  std::vector<Param*> out = local_parameters();
+  for (Module* c : children()) {
+    auto sub = c->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<Tensor*> Module::buffers() {
+  std::vector<Tensor*> out = local_buffers();
+  for (Module* c : children()) {
+    auto sub = c->buffers();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+index_t Module::num_parameters() {
+  index_t n = 0;
+  for (const Param* p : parameters()) n += p->numel();
+  return n;
+}
+
+void Module::train(bool on) {
+  training_ = on;
+  for (Module* c : children()) c->train(on);
+}
+
+void Module::zero_grad() {
+  for (Param* p : parameters()) p->grad.zero();
+}
+
+}  // namespace nodetr::nn

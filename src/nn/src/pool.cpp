@@ -1,0 +1,166 @@
+#include "nodetr/nn/pool.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace nodetr::nn {
+
+namespace {
+index_t pooled_extent(index_t in, index_t k, index_t s, index_t p) {
+  return (in + 2 * p - k) / s + 1;
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(index_t kernel, index_t stride, index_t pad)
+    : kernel_(kernel), stride_(stride), pad_(pad) {}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("MaxPool2d: rank must be 4");
+  in_shape_ = x.shape();
+  const index_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const index_t ho = pooled_extent(h, kernel_, stride_, pad_);
+  const index_t wo = pooled_extent(w, kernel_, stride_, pad_);
+  Tensor out(Shape{b, c, ho, wo});
+  argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  index_t oidx = 0;
+  for (index_t bc = 0; bc < b * c; ++bc) {
+    const float* src = x.data() + bc * h * w;
+    for (index_t oy = 0; oy < ho; ++oy) {
+      for (index_t ox = 0; ox < wo; ++ox, ++oidx) {
+        float best = -std::numeric_limits<float>::infinity();
+        index_t besti = -1;
+        for (index_t ky = 0; ky < kernel_; ++ky) {
+          const index_t iy = oy * stride_ + ky - pad_;
+          if (iy < 0 || iy >= h) continue;
+          for (index_t kx = 0; kx < kernel_; ++kx) {
+            const index_t ix = ox * stride_ + kx - pad_;
+            if (ix < 0 || ix >= w) continue;
+            const float v = src[iy * w + ix];
+            if (v > best) {
+              best = v;
+              besti = bc * h * w + iy * w + ix;
+            }
+          }
+        }
+        out[oidx] = best;
+        argmax_[static_cast<std::size_t>(oidx)] = besti;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor gx(in_shape_);
+  for (index_t i = 0; i < grad_out.numel(); ++i) {
+    const index_t src = argmax_[static_cast<std::size_t>(i)];
+    if (src >= 0) gx[src] += grad_out[i];
+  }
+  return gx;
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(k" + std::to_string(kernel_) + ",s" + std::to_string(stride_) + ")";
+}
+
+AvgPool2d::AvgPool2d(index_t kernel, index_t stride, index_t pad)
+    : kernel_(kernel), stride_(stride), pad_(pad) {}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("AvgPool2d: rank must be 4");
+  in_shape_ = x.shape();
+  const index_t b = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const index_t ho = pooled_extent(h, kernel_, stride_, pad_);
+  const index_t wo = pooled_extent(w, kernel_, stride_, pad_);
+  Tensor out(Shape{b, c, ho, wo});
+  index_t oidx = 0;
+  for (index_t bc = 0; bc < b * c; ++bc) {
+    const float* src = x.data() + bc * h * w;
+    for (index_t oy = 0; oy < ho; ++oy) {
+      for (index_t ox = 0; ox < wo; ++ox, ++oidx) {
+        double acc = 0.0;
+        index_t cnt = 0;
+        for (index_t ky = 0; ky < kernel_; ++ky) {
+          const index_t iy = oy * stride_ + ky - pad_;
+          if (iy < 0 || iy >= h) continue;
+          for (index_t kx = 0; kx < kernel_; ++kx) {
+            const index_t ix = ox * stride_ + kx - pad_;
+            if (ix < 0 || ix >= w) continue;
+            acc += src[iy * w + ix];
+            ++cnt;
+          }
+        }
+        out[oidx] = cnt > 0 ? static_cast<float>(acc / cnt) : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  const index_t b = in_shape_.dim(0), c = in_shape_.dim(1), h = in_shape_.dim(2),
+                w = in_shape_.dim(3);
+  const index_t ho = pooled_extent(h, kernel_, stride_, pad_);
+  const index_t wo = pooled_extent(w, kernel_, stride_, pad_);
+  Tensor gx(in_shape_);
+  index_t oidx = 0;
+  for (index_t bc = 0; bc < b * c; ++bc) {
+    float* dst = gx.data() + bc * h * w;
+    for (index_t oy = 0; oy < ho; ++oy) {
+      for (index_t ox = 0; ox < wo; ++ox, ++oidx) {
+        index_t cnt = 0;
+        for (index_t ky = 0; ky < kernel_; ++ky) {
+          const index_t iy = oy * stride_ + ky - pad_;
+          if (iy < 0 || iy >= h) continue;
+          for (index_t kx = 0; kx < kernel_; ++kx) {
+            const index_t ix = ox * stride_ + kx - pad_;
+            if (ix >= 0 && ix < w) ++cnt;
+          }
+        }
+        if (cnt == 0) continue;
+        const float g = grad_out[oidx] / static_cast<float>(cnt);
+        for (index_t ky = 0; ky < kernel_; ++ky) {
+          const index_t iy = oy * stride_ + ky - pad_;
+          if (iy < 0 || iy >= h) continue;
+          for (index_t kx = 0; kx < kernel_; ++kx) {
+            const index_t ix = ox * stride_ + kx - pad_;
+            if (ix >= 0 && ix < w) dst[iy * w + ix] += g;
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+std::string AvgPool2d::name() const {
+  return "AvgPool2d(k" + std::to_string(kernel_) + ",s" + std::to_string(stride_) + ")";
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("GlobalAvgPool: rank must be 4");
+  in_shape_ = x.shape();
+  const index_t b = x.dim(0), c = x.dim(1), plane = x.dim(2) * x.dim(3);
+  Tensor out(Shape{b, c});
+  for (index_t bc = 0; bc < b * c; ++bc) {
+    const float* src = x.data() + bc * plane;
+    double acc = 0.0;
+    for (index_t i = 0; i < plane; ++i) acc += src[i];
+    out[bc] = static_cast<float>(acc / static_cast<double>(plane));
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  const index_t plane = in_shape_.dim(2) * in_shape_.dim(3);
+  Tensor gx(in_shape_);
+  const float inv = 1.0f / static_cast<float>(plane);
+  for (index_t bc = 0; bc < grad_out.numel(); ++bc) {
+    float* dst = gx.data() + bc * plane;
+    const float g = grad_out[bc] * inv;
+    for (index_t i = 0; i < plane; ++i) dst[i] = g;
+  }
+  return gx;
+}
+
+}  // namespace nodetr::nn

@@ -1,0 +1,21 @@
+#include "nodetr/nn/posenc.hpp"
+
+#include <cmath>
+
+namespace nodetr::nn {
+
+Tensor sinusoidal_encoding(index_t positions, index_t dim, float base) {
+  Tensor p(Shape{positions, dim});
+  for (index_t pos = 0; pos < positions; ++pos) {
+    for (index_t j = 0; 2 * j < dim; ++j) {
+      const double freq = std::pow(static_cast<double>(base),
+                                   2.0 * static_cast<double>(j) / static_cast<double>(dim));
+      const double angle = static_cast<double>(pos) / freq;
+      p.at(pos, 2 * j) = static_cast<float>(std::sin(angle));
+      if (2 * j + 1 < dim) p.at(pos, 2 * j + 1) = static_cast<float>(std::cos(angle));
+    }
+  }
+  return p;
+}
+
+}  // namespace nodetr::nn

@@ -1,0 +1,43 @@
+#include "nodetr/nn/summary.hpp"
+
+#include <sstream>
+
+namespace nodetr::nn {
+
+std::string with_commas(index_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (value < 0) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+namespace {
+
+void render(Module& m, int depth, std::ostringstream& os) {
+  index_t local = 0;
+  for (const Param* p : m.local_parameters()) local += p->numel();
+  os << std::string(static_cast<std::size_t>(depth) * 2, ' ') << m.name();
+  if (depth == 0) {
+    os << "  [" << with_commas(m.num_parameters()) << " params total]";
+  } else if (local > 0) {
+    os << "  (" << with_commas(local) << " params)";
+  }
+  os << "\n";
+  for (Module* c : m.children()) render(*c, depth + 1, os);
+}
+
+}  // namespace
+
+std::string summary(Module& module) {
+  std::ostringstream os;
+  render(module, 0, os);
+  return os.str();
+}
+
+}  // namespace nodetr::nn

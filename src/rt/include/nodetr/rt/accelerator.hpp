@@ -1,0 +1,60 @@
+// MhsaAccelerator: the MHSA IP core wrapped with its driver-visible
+// interface — AXI-Lite control registers and DMA-driven input/output through
+// DDR (Fig. 5). The PS-side driver sequence is:
+//   1. stage the input feature map in DDR at INPUT_ADDR
+//   2. program INPUT_ADDR / OUTPUT_ADDR / BATCH registers
+//   3. write CTRL.START; the device DMAs input+weights, runs the IP,
+//      DMAs the output back, and raises STATUS.DONE
+//   4. poll STATUS, then read the output tensor from DDR
+// Simulated time = DMA cycles + IP cycles, at the 200 MHz PL clock.
+#pragma once
+
+#include <memory>
+
+#include "nodetr/hls/mhsa_ip.hpp"
+#include "nodetr/rt/axi.hpp"
+
+namespace nodetr::rt {
+
+/// Register map (AXI-Lite offsets).
+struct MhsaRegs {
+  static constexpr std::uint32_t kCtrl = 0x00;        ///< bit0: start (self-clearing)
+  static constexpr std::uint32_t kStatus = 0x04;      ///< bit0: done
+  static constexpr std::uint32_t kInputAddrLo = 0x10;
+  static constexpr std::uint32_t kInputAddrHi = 0x14;
+  static constexpr std::uint32_t kOutputAddrLo = 0x18;
+  static constexpr std::uint32_t kOutputAddrHi = 0x1c;
+  static constexpr std::uint32_t kBatch = 0x20;
+};
+
+class MhsaAccelerator {
+ public:
+  MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr);
+
+  [[nodiscard]] AxiLiteRegisterFile& regs() { return regs_; }
+  [[nodiscard]] const hls::MhsaIpCore& ip() const { return *ip_; }
+
+  /// Cycles consumed by the last START (DMA + compute).
+  [[nodiscard]] std::int64_t last_cycles() const { return last_cycles_; }
+  /// Total cycles over the accelerator's lifetime.
+  [[nodiscard]] std::int64_t total_cycles() const { return total_cycles_; }
+  /// Simulated milliseconds at the 200 MHz PL clock.
+  [[nodiscard]] double last_ms() const { return last_cycles_ * hls::CycleModel::kClockNs * 1e-6; }
+
+  /// Convenience driver: stages `x` (B, D, H, W), runs the register
+  /// sequence, and returns the output read back from DDR.
+  [[nodiscard]] Tensor execute(const Tensor& x);
+
+ private:
+  void start();
+
+  std::unique_ptr<hls::MhsaIpCore> ip_;
+  DdrMemory& ddr_;
+  AxiLiteRegisterFile regs_;
+  AxiStreamDma dma_;
+  std::int64_t last_cycles_ = 0;
+  std::int64_t total_cycles_ = 0;
+  Shape staged_shape_{std::initializer_list<index_t>{0}};
+};
+
+}  // namespace nodetr::rt

@@ -1,0 +1,76 @@
+// Board-level interconnect models (Fig. 5): DDR memory, the 32-bit HP0
+// AXI4-Stream DMA path, and an AXI-Lite register file for memory-mapped IP
+// control.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::rt {
+
+using nodetr::tensor::index_t;
+using nodetr::tensor::Shape;
+using nodetr::tensor::Tensor;
+
+/// Shared DDR visible to both PS and PL.
+class DdrMemory {
+ public:
+  explicit DdrMemory(std::size_t bytes = 64 << 20) : mem_(bytes, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return mem_.size(); }
+
+  void write(std::uint64_t addr, const void* src, std::size_t bytes);
+  void read(std::uint64_t addr, void* dst, std::size_t bytes) const;
+
+  /// Stage a float tensor's payload at `addr`.
+  void write_tensor(std::uint64_t addr, const Tensor& t);
+  /// Read `shape.numel()` floats from `addr`.
+  [[nodiscard]] Tensor read_tensor(std::uint64_t addr, Shape shape) const;
+
+ private:
+  void check(std::uint64_t addr, std::size_t bytes) const;
+  std::vector<std::uint8_t> mem_;
+};
+
+/// DMA transfer cost model for the 32-bit high-performance (HP0) port:
+/// a fixed descriptor-setup latency plus one beat (4 bytes) per PL cycle.
+class AxiStreamDma {
+ public:
+  static constexpr std::int64_t kSetupCycles = 120;  ///< descriptor + trigger
+  static constexpr index_t kBeatBytes = 4;           ///< 32-bit data width
+
+  /// Cycles to move `bytes` in one direction.
+  [[nodiscard]] static std::int64_t transfer_cycles(std::int64_t bytes) {
+    return kSetupCycles + (bytes + kBeatBytes - 1) / kBeatBytes;
+  }
+
+  /// Accumulated cycles of all transfers issued through this engine.
+  void transfer(std::int64_t bytes) { total_cycles_ += transfer_cycles(bytes); }
+  [[nodiscard]] std::int64_t total_cycles() const { return total_cycles_; }
+  void reset() { total_cycles_ = 0; }
+
+ private:
+  std::int64_t total_cycles_ = 0;
+};
+
+/// AXI-Lite register file accessed via the HPM0 port (memory-mapped I/O).
+class AxiLiteRegisterFile {
+ public:
+  void write(std::uint32_t offset, std::uint32_t value);
+  [[nodiscard]] std::uint32_t read(std::uint32_t offset) const;
+
+  /// Register a write hook fired when `offset` is written (e.g. CTRL.START).
+  using WriteHook = std::function<void(std::uint32_t value)>;
+  void on_write(std::uint32_t offset, WriteHook hook) { hooks_[offset] = std::move(hook); }
+
+ private:
+  std::map<std::uint32_t, std::uint32_t> regs_;
+  std::map<std::uint32_t, WriteHook> hooks_;
+};
+
+}  // namespace nodetr::rt

@@ -1,0 +1,58 @@
+#include "nodetr/rt/accelerator.hpp"
+
+namespace nodetr::rt {
+
+namespace {
+constexpr std::uint64_t kDefaultInput = 0x0010'0000;
+constexpr std::uint64_t kDefaultOutput = 0x0080'0000;
+
+std::uint64_t addr64(const AxiLiteRegisterFile& regs, std::uint32_t lo, std::uint32_t hi) {
+  return (static_cast<std::uint64_t>(regs.read(hi)) << 32) | regs.read(lo);
+}
+}  // namespace
+
+MhsaAccelerator::MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr)
+    : ip_(std::move(ip)), ddr_(ddr) {
+  if (!ip_) throw std::invalid_argument("MhsaAccelerator: null IP core");
+  regs_.on_write(MhsaRegs::kCtrl, [this](std::uint32_t v) {
+    if (v & 1u) start();
+  });
+}
+
+void MhsaAccelerator::start() {
+  regs_.write(MhsaRegs::kStatus, 0);
+  const std::uint64_t in_addr = addr64(regs_, MhsaRegs::kInputAddrLo, MhsaRegs::kInputAddrHi);
+  const std::uint64_t out_addr = addr64(regs_, MhsaRegs::kOutputAddrLo, MhsaRegs::kOutputAddrHi);
+  const index_t batch = static_cast<index_t>(regs_.read(MhsaRegs::kBatch));
+  const auto& p = ip_->point();
+  const Shape shape{batch, p.dim, p.height, p.width};
+
+  dma_.reset();
+  // Weights + input stream in, output stream back (per image).
+  dma_.transfer(ip_->dma_bytes_per_image() * batch);
+  Tensor x = ddr_.read_tensor(in_addr, shape);
+  Tensor y = ip_->run(x);
+  ddr_.write_tensor(out_addr, y);
+
+  last_cycles_ = dma_.total_cycles() + ip_->last_cycles().total();
+  total_cycles_ += last_cycles_;
+  // Self-clearing start bit; done flag raised.
+  regs_.write(MhsaRegs::kStatus, 1);
+}
+
+Tensor MhsaAccelerator::execute(const Tensor& x) {
+  if (x.rank() != 4) throw std::invalid_argument("MhsaAccelerator::execute: rank must be 4");
+  ddr_.write_tensor(kDefaultInput, x);
+  regs_.write(MhsaRegs::kInputAddrLo, static_cast<std::uint32_t>(kDefaultInput));
+  regs_.write(MhsaRegs::kInputAddrHi, static_cast<std::uint32_t>(kDefaultInput >> 32));
+  regs_.write(MhsaRegs::kOutputAddrLo, static_cast<std::uint32_t>(kDefaultOutput));
+  regs_.write(MhsaRegs::kOutputAddrHi, static_cast<std::uint32_t>(kDefaultOutput >> 32));
+  regs_.write(MhsaRegs::kBatch, static_cast<std::uint32_t>(x.dim(0)));
+  regs_.write(MhsaRegs::kCtrl, 1);
+  if (regs_.read(MhsaRegs::kStatus) != 1) {
+    throw std::runtime_error("MhsaAccelerator: device did not complete");
+  }
+  return ddr_.read_tensor(kDefaultOutput, x.shape());
+}
+
+}  // namespace nodetr::rt

@@ -1,0 +1,44 @@
+#include "nodetr/rt/axi.hpp"
+
+#include <cstring>
+
+namespace nodetr::rt {
+
+void DdrMemory::check(std::uint64_t addr, std::size_t bytes) const {
+  if (addr + bytes > mem_.size()) {
+    throw std::out_of_range("DdrMemory: access beyond end of memory");
+  }
+}
+
+void DdrMemory::write(std::uint64_t addr, const void* src, std::size_t bytes) {
+  check(addr, bytes);
+  std::memcpy(mem_.data() + addr, src, bytes);
+}
+
+void DdrMemory::read(std::uint64_t addr, void* dst, std::size_t bytes) const {
+  check(addr, bytes);
+  std::memcpy(dst, mem_.data() + addr, bytes);
+}
+
+void DdrMemory::write_tensor(std::uint64_t addr, const Tensor& t) {
+  write(addr, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+}
+
+Tensor DdrMemory::read_tensor(std::uint64_t addr, Shape shape) const {
+  Tensor t(std::move(shape));
+  read(addr, t.data(), static_cast<std::size_t>(t.numel()) * sizeof(float));
+  return t;
+}
+
+void AxiLiteRegisterFile::write(std::uint32_t offset, std::uint32_t value) {
+  regs_[offset] = value;
+  auto it = hooks_.find(offset);
+  if (it != hooks_.end()) it->second(value);
+}
+
+std::uint32_t AxiLiteRegisterFile::read(std::uint32_t offset) const {
+  auto it = regs_.find(offset);
+  return it == regs_.end() ? 0 : it->second;
+}
+
+}  // namespace nodetr::rt

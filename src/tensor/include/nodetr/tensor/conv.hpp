@@ -1,0 +1,54 @@
+// Convolution kernels on NCHW tensors: im2col-based dense conv2d and a direct
+// depthwise conv, each with the backward kernels needed for training.
+#pragma once
+
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::tensor {
+
+/// Static geometry of a 2-D convolution.
+struct Conv2dGeom {
+  index_t in_channels = 0;
+  index_t out_channels = 0;
+  index_t kernel = 3;   ///< square kernel K x K
+  index_t stride = 1;
+  index_t pad = 1;
+
+  [[nodiscard]] index_t out_extent(index_t in) const {
+    return (in + 2 * pad - kernel) / stride + 1;
+  }
+};
+
+/// Unfold one image (C,H,W) into columns (C*K*K, Ho*Wo). Zero padding.
+void im2col(const float* img, index_t channels, index_t h, index_t w, const Conv2dGeom& g,
+            float* col);
+
+/// Fold columns (C*K*K, Ho*Wo) back into an image (C,H,W), accumulating overlaps.
+void col2im(const float* col, index_t channels, index_t h, index_t w, const Conv2dGeom& g,
+            float* img);
+
+/// Forward: x (N,Cin,H,W), weight (Cout,Cin,K,K), bias (Cout) or empty.
+[[nodiscard]] Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                            const Conv2dGeom& g);
+
+/// Backward w.r.t. input. grad_out (N,Cout,Ho,Wo) -> grad_x (N,Cin,H,W).
+[[nodiscard]] Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                                           const Conv2dGeom& g, index_t in_h, index_t in_w);
+
+/// Backward w.r.t. weight/bias; accumulates into grad_weight/grad_bias.
+void conv2d_backward_params(const Tensor& x, const Tensor& grad_out, const Conv2dGeom& g,
+                            Tensor& grad_weight, Tensor& grad_bias);
+
+/// Depthwise forward: x (N,C,H,W), weight (C,1,K,K) flattened to (C,K,K), bias (C) or empty.
+[[nodiscard]] Tensor depthwise_conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                                      const Conv2dGeom& g);
+
+[[nodiscard]] Tensor depthwise_conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                                                     const Conv2dGeom& g, index_t in_h,
+                                                     index_t in_w);
+
+void depthwise_conv2d_backward_params(const Tensor& x, const Tensor& grad_out,
+                                      const Conv2dGeom& g, Tensor& grad_weight,
+                                      Tensor& grad_bias);
+
+}  // namespace nodetr::tensor

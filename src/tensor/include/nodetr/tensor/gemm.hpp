@@ -1,0 +1,20 @@
+// Dense matrix multiplication kernels.
+#pragma once
+
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::tensor {
+
+/// C = A(MxK) * B(KxN). Blocked ikj kernel, parallelized over M.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A(MxK) * B(NxK)^T. Avoids materializing the transpose.
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A(KxM)^T * B(KxN). Avoids materializing the transpose.
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Raw kernel: c(MxN) += a(MxK) * b(KxN), all row-major, no allocation.
+void gemm_accumulate(const float* a, const float* b, float* c, index_t m, index_t k, index_t n);
+
+}  // namespace nodetr::tensor

@@ -1,0 +1,21 @@
+// Binary tensor (de)serialization for checkpoints. Little-endian, versioned.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::tensor {
+
+/// Write `t` (shape + float32 payload) to a binary stream.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Read a tensor previously written by write_tensor. Throws on malformed data.
+[[nodiscard]] Tensor read_tensor(std::istream& is);
+
+/// Convenience wrappers for single-tensor files.
+void save_tensor(const std::string& path, const Tensor& t);
+[[nodiscard]] Tensor load_tensor(const std::string& path);
+
+}  // namespace nodetr::tensor

@@ -1,0 +1,80 @@
+// Shape: dimension bookkeeping for row-major dense tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nodetr::tensor {
+
+/// Index/extent type used throughout the library.
+using index_t = std::int64_t;
+
+/// Dense, row-major tensor shape. Immutable after construction except via
+/// assignment. Provides extent queries, flat size, and stride computation.
+class Shape {
+ public:
+  Shape() = default;
+
+  /// Construct from explicit extents, e.g. Shape{2, 3, 4}.
+  Shape(std::initializer_list<index_t> dims) : dims_(dims) { validate(); }
+
+  explicit Shape(std::vector<index_t> dims) : dims_(std::move(dims)) { validate(); }
+
+  /// Number of dimensions (rank).
+  [[nodiscard]] index_t rank() const { return static_cast<index_t>(dims_.size()); }
+
+  /// Extent of dimension `d`. Negative `d` counts from the back (Python-style).
+  [[nodiscard]] index_t dim(index_t d) const {
+    if (d < 0) d += rank();
+    if (d < 0 || d >= rank()) throw std::out_of_range("Shape::dim: axis out of range");
+    return dims_[static_cast<std::size_t>(d)];
+  }
+
+  [[nodiscard]] index_t operator[](index_t d) const { return dim(d); }
+
+  /// Total number of elements (product of extents; 1 for rank-0).
+  [[nodiscard]] index_t numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), index_t{1},
+                           [](index_t a, index_t b) { return a * b; });
+  }
+
+  /// Row-major strides, in elements.
+  [[nodiscard]] std::vector<index_t> strides() const {
+    std::vector<index_t> s(dims_.size(), 1);
+    for (index_t d = rank() - 2; d >= 0; --d) {
+      s[static_cast<std::size_t>(d)] =
+          s[static_cast<std::size_t>(d + 1)] * dims_[static_cast<std::size_t>(d + 1)];
+    }
+    return s;
+  }
+
+  [[nodiscard]] const std::vector<index_t>& dims() const { return dims_; }
+
+  [[nodiscard]] bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  [[nodiscard]] bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  /// Human-readable form, e.g. "[2, 3, 4]".
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (index_t d : dims_) {
+      if (d < 0) throw std::invalid_argument("Shape: negative extent " + std::to_string(d));
+    }
+  }
+
+  std::vector<index_t> dims_;
+};
+
+}  // namespace nodetr::tensor

@@ -1,0 +1,129 @@
+// Tensor: dense, row-major, float32 N-D array with value semantics.
+//
+// This is the numeric substrate of the library. It is deliberately concrete
+// (float only) — quantized data lives in nodetr::fx::FixedTensor — and
+// deliberately owning (std::vector storage): training code mutates tensors
+// in place and relies on cheap moves rather than views.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nodetr/tensor/shape.hpp"
+
+namespace nodetr::tensor {
+
+class Tensor {
+ public:
+  /// Empty rank-1 tensor with zero elements.
+  Tensor() : shape_({0}) {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+  /// Tensor of the given shape filled with `fill`.
+  Tensor(Shape shape, float fill)
+      : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_.numel()), fill) {}
+
+  /// Tensor adopting existing data. `data.size()` must equal `shape.numel()`.
+  Tensor(Shape shape, std::vector<float> data);
+
+  // ---- factories -----------------------------------------------------------
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// [0, 1, 2, ...) as a rank-1 tensor of length n.
+  static Tensor arange(index_t n);
+
+  // ---- metadata ------------------------------------------------------------
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] index_t rank() const { return shape_.rank(); }
+  [[nodiscard]] index_t dim(index_t d) const { return shape_.dim(d); }
+  [[nodiscard]] index_t numel() const { return static_cast<index_t>(data_.size()); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  // ---- raw access ----------------------------------------------------------
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::span<float> span() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  [[nodiscard]] float& operator[](index_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] float operator[](index_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  // ---- multi-dimensional access (debug-checked) ------------------------------
+
+  [[nodiscard]] float& at(index_t i0) { return (*this)[offset({i0})]; }
+  [[nodiscard]] float& at(index_t i0, index_t i1) { return (*this)[offset({i0, i1})]; }
+  [[nodiscard]] float& at(index_t i0, index_t i1, index_t i2) {
+    return (*this)[offset({i0, i1, i2})];
+  }
+  [[nodiscard]] float& at(index_t i0, index_t i1, index_t i2, index_t i3) {
+    return (*this)[offset({i0, i1, i2, i3})];
+  }
+  [[nodiscard]] float at(index_t i0) const { return (*this)[offset({i0})]; }
+  [[nodiscard]] float at(index_t i0, index_t i1) const { return (*this)[offset({i0, i1})]; }
+  [[nodiscard]] float at(index_t i0, index_t i1, index_t i2) const {
+    return (*this)[offset({i0, i1, i2})];
+  }
+  [[nodiscard]] float at(index_t i0, index_t i1, index_t i2, index_t i3) const {
+    return (*this)[offset({i0, i1, i2, i3})];
+  }
+
+  /// Flat offset of a full multi-index (size must equal rank).
+  [[nodiscard]] index_t offset(std::initializer_list<index_t> idx) const;
+
+  // ---- shape manipulation ----------------------------------------------------
+
+  /// Same data, new shape (numel must match). Returns a copy.
+  [[nodiscard]] Tensor reshape(Shape new_shape) const;
+  /// In-place reshape (numel must match).
+  void reshape_inplace(Shape new_shape);
+  /// 2-D transpose. Requires rank 2.
+  [[nodiscard]] Tensor transposed() const;
+  /// General permutation of axes, e.g. permute({0,2,3,1}) for NCHW->NHWC.
+  [[nodiscard]] Tensor permute(const std::vector<index_t>& axes) const;
+  /// Rank-preserving slice of the leading axis: rows [begin, end).
+  [[nodiscard]] Tensor slice0(index_t begin, index_t end) const;
+
+  // ---- in-place arithmetic -----------------------------------------------------
+
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(const Tensor& o);  ///< elementwise (Hadamard)
+  Tensor& operator+=(float s);
+  Tensor& operator*=(float s);
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// this += alpha * o  (axpy)
+  void add_scaled(const Tensor& o, float alpha);
+
+  [[nodiscard]] bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// ---- out-of-place arithmetic ----------------------------------------------------
+
+[[nodiscard]] Tensor operator+(Tensor a, const Tensor& b);
+[[nodiscard]] Tensor operator-(Tensor a, const Tensor& b);
+[[nodiscard]] Tensor operator*(Tensor a, const Tensor& b);
+[[nodiscard]] Tensor operator*(Tensor a, float s);
+[[nodiscard]] Tensor operator*(float s, Tensor a);
+
+}  // namespace nodetr::tensor

@@ -1,0 +1,246 @@
+#include "nodetr/tensor/conv.hpp"
+
+#include <stdexcept>
+
+#include "nodetr/tensor/gemm.hpp"
+#include "nodetr/tensor/parallel.hpp"
+
+namespace nodetr::tensor {
+
+namespace {
+
+void check_input(const Tensor& x, const Conv2dGeom& g, const char* who) {
+  if (x.rank() != 4) throw std::invalid_argument(std::string(who) + ": input rank must be 4");
+  if (x.dim(1) != g.in_channels) {
+    throw std::invalid_argument(std::string(who) + ": channel mismatch");
+  }
+}
+
+}  // namespace
+
+void im2col(const float* img, index_t channels, index_t h, index_t w, const Conv2dGeom& g,
+            float* col) {
+  const index_t ho = g.out_extent(h), wo = g.out_extent(w);
+  const index_t plane = ho * wo;
+  index_t row = 0;
+  for (index_t c = 0; c < channels; ++c) {
+    const float* src = img + c * h * w;
+    for (index_t ky = 0; ky < g.kernel; ++ky) {
+      for (index_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* dst = col + row * plane;
+        for (index_t oy = 0; oy < ho; ++oy) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= h) {
+            for (index_t ox = 0; ox < wo; ++ox) dst[oy * wo + ox] = 0.0f;
+            continue;
+          }
+          for (index_t ox = 0; ox < wo; ++ox) {
+            const index_t ix = ox * g.stride + kx - g.pad;
+            dst[oy * wo + ox] = (ix >= 0 && ix < w) ? src[iy * w + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, index_t channels, index_t h, index_t w, const Conv2dGeom& g,
+            float* img) {
+  const index_t ho = g.out_extent(h), wo = g.out_extent(w);
+  const index_t plane = ho * wo;
+  index_t row = 0;
+  for (index_t c = 0; c < channels; ++c) {
+    float* dst = img + c * h * w;
+    for (index_t ky = 0; ky < g.kernel; ++ky) {
+      for (index_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* src = col + row * plane;
+        for (index_t oy = 0; oy < ho; ++oy) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (index_t ox = 0; ox < wo; ++ox) {
+            const index_t ix = ox * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < w) dst[iy * w + ix] += src[oy * wo + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias, const Conv2dGeom& g) {
+  check_input(x, g, "conv2d");
+  const index_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const index_t ho = g.out_extent(h), wo = g.out_extent(w);
+  const index_t krows = g.in_channels * g.kernel * g.kernel;
+  Tensor out(Shape{n, g.out_channels, ho, wo});
+  parallel_for(0, n, [&](index_t lo, index_t hi) {
+    std::vector<float> col(static_cast<std::size_t>(krows * ho * wo));
+    for (index_t s = lo; s < hi; ++s) {
+      im2col(x.data() + s * g.in_channels * h * w, g.in_channels, h, w, g, col.data());
+      float* o = out.data() + s * g.out_channels * ho * wo;
+      gemm_accumulate(weight.data(), col.data(), o, g.out_channels, krows, ho * wo);
+      if (!bias.empty()) {
+        for (index_t c = 0; c < g.out_channels; ++c) {
+          const float b = bias[c];
+          float* plane = o + c * ho * wo;
+          for (index_t i = 0; i < ho * wo; ++i) plane[i] += b;
+        }
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight, const Conv2dGeom& g,
+                             index_t in_h, index_t in_w) {
+  const index_t n = grad_out.dim(0), ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const index_t krows = g.in_channels * g.kernel * g.kernel;
+  Tensor gx(Shape{n, g.in_channels, in_h, in_w});
+  parallel_for(0, n, [&](index_t lo, index_t hi) {
+    std::vector<float> col(static_cast<std::size_t>(krows * ho * wo));
+    for (index_t s = lo; s < hi; ++s) {
+      std::fill(col.begin(), col.end(), 0.0f);
+      // col = W^T (Cout x krows)^T * grad_out (Cout x Ho*Wo)
+      const float* go = grad_out.data() + s * g.out_channels * ho * wo;
+      for (index_t c = 0; c < g.out_channels; ++c) {
+        const float* wrow = weight.data() + c * krows;
+        const float* grow = go + c * ho * wo;
+        for (index_t r = 0; r < krows; ++r) {
+          const float wv = wrow[r];
+          if (wv == 0.0f) continue;
+          float* crow = col.data() + r * ho * wo;
+          for (index_t i = 0; i < ho * wo; ++i) crow[i] += wv * grow[i];
+        }
+      }
+      col2im(col.data(), g.in_channels, in_h, in_w, g, gx.data() + s * g.in_channels * in_h * in_w);
+    }
+  }, /*grain=*/1);
+  return gx;
+}
+
+void conv2d_backward_params(const Tensor& x, const Tensor& grad_out, const Conv2dGeom& g,
+                            Tensor& grad_weight, Tensor& grad_bias) {
+  const index_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const index_t ho = g.out_extent(h), wo = g.out_extent(w);
+  const index_t krows = g.in_channels * g.kernel * g.kernel;
+  std::vector<float> col(static_cast<std::size_t>(krows * ho * wo));
+  for (index_t s = 0; s < n; ++s) {
+    im2col(x.data() + s * g.in_channels * h * w, g.in_channels, h, w, g, col.data());
+    const float* go = grad_out.data() + s * g.out_channels * ho * wo;
+    // grad_weight (Cout x krows) += grad_out (Cout x P) * col^T (P x krows)
+    parallel_for(0, g.out_channels, [&](index_t lo, index_t hi) {
+      for (index_t c = lo; c < hi; ++c) {
+        const float* grow = go + c * ho * wo;
+        float* wrow = grad_weight.data() + c * krows;
+        for (index_t r = 0; r < krows; ++r) {
+          const float* crow = col.data() + r * ho * wo;
+          double acc = 0.0;
+          for (index_t i = 0; i < ho * wo; ++i) acc += static_cast<double>(grow[i]) * crow[i];
+          wrow[r] += static_cast<float>(acc);
+        }
+        if (!grad_bias.empty()) {
+          double acc = 0.0;
+          for (index_t i = 0; i < ho * wo; ++i) acc += grow[i];
+          grad_bias[c] += static_cast<float>(acc);
+        }
+      }
+    }, /*grain=*/4);
+  }
+}
+
+Tensor depthwise_conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                        const Conv2dGeom& g) {
+  check_input(x, g, "depthwise_conv2d");
+  const index_t n = x.dim(0), c_ = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const index_t ho = g.out_extent(h), wo = g.out_extent(w);
+  Tensor out(Shape{n, c_, ho, wo});
+  parallel_for(0, n * c_, [&](index_t lo, index_t hi) {
+    for (index_t sc = lo; sc < hi; ++sc) {
+      const index_t c = sc % c_;
+      const float* src = x.data() + sc * h * w;
+      const float* ker = weight.data() + c * g.kernel * g.kernel;
+      const float b = bias.empty() ? 0.0f : bias[c];
+      float* dst = out.data() + sc * ho * wo;
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          float acc = b;
+          for (index_t ky = 0; ky < g.kernel; ++ky) {
+            const index_t iy = oy * g.stride + ky - g.pad;
+            if (iy < 0 || iy >= h) continue;
+            for (index_t kx = 0; kx < g.kernel; ++kx) {
+              const index_t ix = ox * g.stride + kx - g.pad;
+              if (ix >= 0 && ix < w) acc += ker[ky * g.kernel + kx] * src[iy * w + ix];
+            }
+          }
+          dst[oy * wo + ox] = acc;
+        }
+      }
+    }
+  }, /*grain=*/1);
+  return out;
+}
+
+Tensor depthwise_conv2d_backward_input(const Tensor& grad_out, const Tensor& weight,
+                                       const Conv2dGeom& g, index_t in_h, index_t in_w) {
+  const index_t n = grad_out.dim(0), c_ = grad_out.dim(1), ho = grad_out.dim(2),
+                wo = grad_out.dim(3);
+  Tensor gx(Shape{n, c_, in_h, in_w});
+  parallel_for(0, n * c_, [&](index_t lo, index_t hi) {
+    for (index_t sc = lo; sc < hi; ++sc) {
+      const index_t c = sc % c_;
+      const float* ker = weight.data() + c * g.kernel * g.kernel;
+      const float* go = grad_out.data() + sc * ho * wo;
+      float* dst = gx.data() + sc * in_h * in_w;
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          const float gv = go[oy * wo + ox];
+          if (gv == 0.0f) continue;
+          for (index_t ky = 0; ky < g.kernel; ++ky) {
+            const index_t iy = oy * g.stride + ky - g.pad;
+            if (iy < 0 || iy >= in_h) continue;
+            for (index_t kx = 0; kx < g.kernel; ++kx) {
+              const index_t ix = ox * g.stride + kx - g.pad;
+              if (ix >= 0 && ix < in_w) dst[iy * in_w + ix] += gv * ker[ky * g.kernel + kx];
+            }
+          }
+        }
+      }
+    }
+  }, /*grain=*/1);
+  return gx;
+}
+
+void depthwise_conv2d_backward_params(const Tensor& x, const Tensor& grad_out,
+                                      const Conv2dGeom& g, Tensor& grad_weight,
+                                      Tensor& grad_bias) {
+  const index_t n = x.dim(0), c_ = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const index_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  for (index_t s = 0; s < n; ++s) {
+    for (index_t c = 0; c < c_; ++c) {
+      const float* src = x.data() + (s * c_ + c) * h * w;
+      const float* go = grad_out.data() + (s * c_ + c) * ho * wo;
+      float* gw = grad_weight.data() + c * g.kernel * g.kernel;
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          const float gv = go[oy * wo + ox];
+          if (gv == 0.0f) continue;
+          for (index_t ky = 0; ky < g.kernel; ++ky) {
+            const index_t iy = oy * g.stride + ky - g.pad;
+            if (iy < 0 || iy >= h) continue;
+            for (index_t kx = 0; kx < g.kernel; ++kx) {
+              const index_t ix = ox * g.stride + kx - g.pad;
+              if (ix >= 0 && ix < w) gw[ky * g.kernel + kx] += gv * src[iy * w + ix];
+            }
+          }
+        }
+      }
+      if (!grad_bias.empty()) {
+        double acc = 0.0;
+        for (index_t i = 0; i < ho * wo; ++i) acc += go[i];
+        grad_bias[c] += static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace nodetr::tensor

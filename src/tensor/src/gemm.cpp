@@ -1,0 +1,93 @@
+#include "nodetr/tensor/gemm.hpp"
+
+#include <stdexcept>
+
+#include "nodetr/tensor/parallel.hpp"
+
+namespace nodetr::tensor {
+
+namespace {
+void check_rank2(const Tensor& t, const char* name) {
+  if (t.rank() != 2) throw std::invalid_argument(std::string(name) + ": rank must be 2");
+}
+}  // namespace
+
+void gemm_accumulate(const float* a, const float* b, float* c, index_t m, index_t k, index_t n) {
+  // ikj order: streams through b and c rows; the inner j loop vectorizes.
+  for (index_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (index_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul: a");
+  check_rank2(b, "matmul: b");
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul: inner dimensions mismatch " + a.shape().to_string() +
+                                " x " + b.shape().to_string());
+  }
+  Tensor c(Shape{m, n});
+  parallel_for(0, m, [&](index_t lo, index_t hi) {
+    gemm_accumulate(a.data() + lo * k, b.data(), c.data() + lo * n, hi - lo, k, n);
+  }, /*grain=*/16);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_nt: a");
+  check_rank2(b, "matmul_nt: b");
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k) {
+    throw std::invalid_argument("matmul_nt: inner dimensions mismatch " + a.shape().to_string() +
+                                " x " + b.shape().to_string() + "^T");
+  }
+  Tensor c(Shape{m, n});
+  parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const float* arow = a.data() + i * k;
+      float* crow = c.data() + i * n;
+      for (index_t j = 0; j < n; ++j) {
+        const float* brow = b.data() + j * k;
+        double acc = 0.0;
+        for (index_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+        crow[j] = static_cast<float>(acc);
+      }
+    }
+  }, /*grain=*/16);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  check_rank2(a, "matmul_tn: a");
+  check_rank2(b, "matmul_tn: b");
+  const index_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k) {
+    throw std::invalid_argument("matmul_tn: inner dimensions mismatch " + a.shape().to_string() +
+                                "^T x " + b.shape().to_string());
+  }
+  Tensor c(Shape{m, n});
+  // c[i][j] = sum_p a[p][i] * b[p][j]; accumulate row-by-row of a/b.
+  for (index_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    parallel_for(0, m, [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c.data() + i * n;
+        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }, /*grain=*/64);
+  }
+  return c;
+}
+
+}  // namespace nodetr::tensor

@@ -1,0 +1,92 @@
+#include "nodetr/tensor/parallel.hpp"
+
+#include <algorithm>
+
+namespace nodetr::tensor {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  // The calling thread participates, so spawn n-1 workers.
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    std::unique_lock lk(mu_);
+    cv_work_.wait(lk, [&] { return stop_ || (fn_ != nullptr && epoch_ != seen_epoch); });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    const auto* fn = fn_;
+    ++active_;
+    while (next_chunk_ < total_chunks_) {
+      const std::size_t c = next_chunk_++;
+      lk.unlock();
+      (*fn)(c);
+      lk.lock();
+    }
+    if (--active_ == 0) cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  std::unique_lock lk(mu_);
+  fn_ = &fn;
+  next_chunk_ = 0;
+  total_chunks_ = num_chunks;
+  ++epoch_;
+  cv_work_.notify_all();
+  // Caller participates too.
+  while (next_chunk_ < total_chunks_) {
+    const std::size_t c = next_chunk_++;
+    lk.unlock();
+    fn(c);
+    lk.lock();
+  }
+  cv_done_.wait(lk, [&] { return active_ == 0; });
+  fn_ = nullptr;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(index_t begin, index_t end, const std::function<void(index_t, index_t)>& body,
+                  index_t grain) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  auto& pool = ThreadPool::global();
+  const index_t max_chunks = static_cast<index_t>(pool.size()) * 4;
+  const index_t chunks = std::clamp<index_t>(n / std::max<index_t>(grain, 1), 1, max_chunks);
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  const index_t per = (n + chunks - 1) / chunks;
+  pool.run_chunks(static_cast<std::size_t>(chunks), [&](std::size_t c) {
+    const index_t lo = begin + static_cast<index_t>(c) * per;
+    const index_t hi = std::min(lo + per, end);
+    if (lo < hi) body(lo, hi);
+  });
+}
+
+}  // namespace nodetr::tensor

@@ -1,0 +1,60 @@
+#include "nodetr/tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace nodetr::tensor {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4e445431;  // "NDT1"
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  const std::uint32_t magic = kMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  const std::uint32_t rank = static_cast<std::uint32_t>(t.rank());
+  os.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+  for (index_t d = 0; d < t.rank(); ++d) {
+    const std::int64_t e = t.dim(d);
+    os.write(reinterpret_cast<const char*>(&e), sizeof e);
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!os) throw std::runtime_error("write_tensor: stream failure");
+}
+
+Tensor read_tensor(std::istream& is) {
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (!is || magic != kMagic) throw std::runtime_error("read_tensor: bad magic");
+  std::uint32_t rank = 0;
+  is.read(reinterpret_cast<char*>(&rank), sizeof rank);
+  if (!is || rank > 8) throw std::runtime_error("read_tensor: bad rank");
+  std::vector<index_t> dims(rank);
+  for (auto& d : dims) {
+    std::int64_t e = 0;
+    is.read(reinterpret_cast<char*>(&e), sizeof e);
+    if (!is || e < 0) throw std::runtime_error("read_tensor: bad extent");
+    d = e;
+  }
+  Tensor t{Shape(dims)};
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!is) throw std::runtime_error("read_tensor: truncated payload");
+  return t;
+}
+
+void save_tensor(const std::string& path, const Tensor& t) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_tensor: cannot open " + path);
+  write_tensor(os, t);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_tensor: cannot open " + path);
+  return read_tensor(is);
+}
+
+}  // namespace nodetr::tensor

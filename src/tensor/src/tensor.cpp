@@ -1,0 +1,157 @@
+#include "nodetr/tensor/tensor.hpp"
+
+#include <stdexcept>
+
+namespace nodetr::tensor {
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (static_cast<index_t>(data_.size()) != shape_.numel()) {
+    throw std::invalid_argument("Tensor: data size " + std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+  }
+}
+
+Tensor Tensor::arange(index_t n) {
+  Tensor t(Shape{n});
+  for (index_t i = 0; i < n; ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+index_t Tensor::offset(std::initializer_list<index_t> idx) const {
+  if (static_cast<index_t>(idx.size()) != shape_.rank()) {
+    throw std::invalid_argument("Tensor::offset: index rank mismatch");
+  }
+  const auto strides = shape_.strides();
+  index_t off = 0;
+  index_t d = 0;
+  for (index_t i : idx) {
+    assert(i >= 0 && i < shape_.dim(d));
+    off += i * strides[static_cast<std::size_t>(d)];
+    ++d;
+  }
+  return off;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshape: numel mismatch " + shape_.to_string() +
+                                " -> " + new_shape.to_string());
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::reshape_inplace(Shape new_shape) {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshape_inplace: numel mismatch");
+  }
+  shape_ = std::move(new_shape);
+}
+
+Tensor Tensor::transposed() const {
+  if (rank() != 2) throw std::invalid_argument("Tensor::transposed: rank must be 2");
+  const index_t r = dim(0), c = dim(1);
+  Tensor out(Shape{c, r});
+  for (index_t i = 0; i < r; ++i) {
+    for (index_t j = 0; j < c; ++j) out[j * r + i] = (*this)[i * c + j];
+  }
+  return out;
+}
+
+Tensor Tensor::permute(const std::vector<index_t>& axes) const {
+  const index_t r = rank();
+  if (static_cast<index_t>(axes.size()) != r) {
+    throw std::invalid_argument("Tensor::permute: axes rank mismatch");
+  }
+  std::vector<index_t> new_dims(static_cast<std::size_t>(r));
+  std::vector<bool> seen(static_cast<std::size_t>(r), false);
+  for (index_t d = 0; d < r; ++d) {
+    const index_t a = axes[static_cast<std::size_t>(d)];
+    if (a < 0 || a >= r || seen[static_cast<std::size_t>(a)]) {
+      throw std::invalid_argument("Tensor::permute: invalid axis permutation");
+    }
+    seen[static_cast<std::size_t>(a)] = true;
+    new_dims[static_cast<std::size_t>(d)] = dim(a);
+  }
+  Tensor out{Shape(new_dims)};
+  const auto in_strides = shape_.strides();
+  const auto out_strides = out.shape().strides();
+  const index_t n = numel();
+  // Walk output positions; map each back to the source offset.
+  std::vector<index_t> idx(static_cast<std::size_t>(r), 0);
+  for (index_t flat = 0; flat < n; ++flat) {
+    index_t rem = flat;
+    index_t src = 0;
+    for (index_t d = 0; d < r; ++d) {
+      const index_t q = rem / out_strides[static_cast<std::size_t>(d)];
+      rem -= q * out_strides[static_cast<std::size_t>(d)];
+      src += q * in_strides[static_cast<std::size_t>(axes[static_cast<std::size_t>(d)])];
+    }
+    out[flat] = (*this)[src];
+  }
+  return out;
+}
+
+Tensor Tensor::slice0(index_t begin, index_t end) const {
+  if (rank() < 1 || begin < 0 || end < begin || end > dim(0)) {
+    throw std::out_of_range("Tensor::slice0: bad range");
+  }
+  std::vector<index_t> dims = shape_.dims();
+  dims[0] = end - begin;
+  const index_t row = numel() / std::max<index_t>(dim(0), 1);
+  Tensor out{Shape(dims)};
+  std::copy(data() + begin * row, data() + end * row, out.data());
+  return out;
+}
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (!a.same_shape(b)) {
+    throw std::invalid_argument(std::string("Tensor ") + op + ": shape mismatch " +
+                                a.shape().to_string() + " vs " + b.shape().to_string());
+  }
+}
+}  // namespace
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  check_same_shape(*this, o, "+=");
+  for (index_t i = 0; i < numel(); ++i) data_[static_cast<std::size_t>(i)] += o[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  check_same_shape(*this, o, "-=");
+  for (index_t i = 0; i < numel(); ++i) data_[static_cast<std::size_t>(i)] -= o[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& o) {
+  check_same_shape(*this, o, "*=");
+  for (index_t i = 0; i < numel(); ++i) data_[static_cast<std::size_t>(i)] *= o[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float s) {
+  for (auto& v : data_) v += s;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_scaled(const Tensor& o, float alpha) {
+  check_same_shape(*this, o, "add_scaled");
+  for (index_t i = 0; i < numel(); ++i) data_[static_cast<std::size_t>(i)] += alpha * o[i];
+}
+
+Tensor operator+(Tensor a, const Tensor& b) { a += b; return a; }
+Tensor operator-(Tensor a, const Tensor& b) { a -= b; return a; }
+Tensor operator*(Tensor a, const Tensor& b) { a *= b; return a; }
+Tensor operator*(Tensor a, float s) { a *= s; return a; }
+Tensor operator*(float s, Tensor a) { a *= s; return a; }
+
+}  // namespace nodetr::tensor

@@ -1,0 +1,17 @@
+// Model checkpointing: parameters are saved/loaded in traversal order.
+#pragma once
+
+#include <string>
+
+#include "nodetr/nn/module.hpp"
+
+namespace nodetr::train {
+
+/// Save every parameter of `model` (depth-first order) to a binary file.
+void save_checkpoint(const std::string& path, nodetr::nn::Module& model);
+
+/// Load parameters saved by save_checkpoint into an identically structured
+/// model. Throws on count/shape mismatch.
+void load_checkpoint(const std::string& path, nodetr::nn::Module& model);
+
+}  // namespace nodetr::train

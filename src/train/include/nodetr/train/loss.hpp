@@ -1,0 +1,21 @@
+// Classification loss.
+#pragma once
+
+#include <vector>
+
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::train {
+
+using nodetr::tensor::index_t;
+using nodetr::tensor::Tensor;
+
+/// Softmax cross entropy averaged over the batch.
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad_logits;  ///< d loss / d logits, (B, K)
+};
+
+[[nodiscard]] LossResult cross_entropy(const Tensor& logits, const std::vector<index_t>& labels);
+
+}  // namespace nodetr::train

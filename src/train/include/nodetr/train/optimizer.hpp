@@ -1,0 +1,37 @@
+// SGD with momentum and weight decay (the paper's optimizer, Sec. VI-A2).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nodetr/nn/module.hpp"
+
+namespace nodetr::train {
+
+using nodetr::nn::Param;
+using nodetr::tensor::index_t;
+using nodetr::tensor::Tensor;
+
+struct SgdConfig {
+  float lr = 0.1f;             ///< initial learning rate (paper: 0.1)
+  float momentum = 0.9f;       ///< paper: 0.9
+  float weight_decay = 1e-4f;  ///< paper: 1e-4
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  /// v <- mu v + (g + wd * w);  w <- w - lr * v.
+  void step(const std::vector<Param*>& params);
+
+  [[nodiscard]] float lr() const { return config_.lr; }
+  void set_lr(float lr) { config_.lr = lr; }
+  [[nodiscard]] const SgdConfig& config() const { return config_; }
+
+ private:
+  SgdConfig config_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+}  // namespace nodetr::train

@@ -1,0 +1,38 @@
+// CosineAnnealingWarmRestarts learning-rate schedule (Sec. VI-A2):
+// initial restart period T_0 = 10 epochs, period multiplier T_mult = 2,
+// eta_min = 1e-4, matching the PyTorch scheduler the paper uses. This is why
+// the paper's accuracy curves (Figs. 6-8) are non-monotone: each restart
+// kicks the learning rate back up.
+#pragma once
+
+#include "nodetr/tensor/shape.hpp"
+
+namespace nodetr::train {
+
+using nodetr::tensor::index_t;
+
+struct CosineWarmRestartsConfig {
+  float eta_max = 0.1f;   ///< paper: initial learning rate 0.1
+  float eta_min = 1e-4f;  ///< paper: minimum learning rate 1e-4
+  index_t t0 = 10;        ///< paper: initial restart period
+  index_t t_mult = 2;     ///< paper: period growth factor
+};
+
+class CosineWarmRestarts {
+ public:
+  explicit CosineWarmRestarts(CosineWarmRestartsConfig config = {});
+
+  /// Learning rate at integer `epoch` (0-based).
+  [[nodiscard]] float lr_at(index_t epoch) const;
+
+  /// True when `epoch` is the first epoch of a new restart cycle.
+  [[nodiscard]] bool is_restart(index_t epoch) const;
+
+ private:
+  /// Locate epoch within its cycle: returns (position, cycle length).
+  [[nodiscard]] std::pair<index_t, index_t> locate(index_t epoch) const;
+
+  CosineWarmRestartsConfig config_;
+};
+
+}  // namespace nodetr::train

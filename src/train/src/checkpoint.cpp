@@ -1,0 +1,54 @@
+#include "nodetr/train/checkpoint.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "nodetr/tensor/serialize.hpp"
+
+namespace nodetr::train {
+
+void save_checkpoint(const std::string& path, nodetr::nn::Module& model) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  const auto params = model.parameters();
+  const auto buffers = model.buffers();
+  const std::uint64_t pcount = params.size();
+  const std::uint64_t bcount = buffers.size();
+  os.write(reinterpret_cast<const char*>(&pcount), sizeof pcount);
+  os.write(reinterpret_cast<const char*>(&bcount), sizeof bcount);
+  for (const auto* p : params) nodetr::tensor::write_tensor(os, p->value);
+  for (const auto* b : buffers) nodetr::tensor::write_tensor(os, *b);
+}
+
+void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  std::uint64_t pcount = 0, bcount = 0;
+  is.read(reinterpret_cast<char*>(&pcount), sizeof pcount);
+  is.read(reinterpret_cast<char*>(&bcount), sizeof bcount);
+  auto params = model.parameters();
+  auto buffers = model.buffers();
+  if (pcount != params.size() || bcount != buffers.size()) {
+    throw std::runtime_error("load_checkpoint: parameter/buffer count mismatch (file " +
+                             std::to_string(pcount) + "/" + std::to_string(bcount) +
+                             ", model " + std::to_string(params.size()) + "/" +
+                             std::to_string(buffers.size()) + ")");
+  }
+  for (auto* p : params) {
+    nodetr::tensor::Tensor t = nodetr::tensor::read_tensor(is);
+    if (!(t.shape() == p->value.shape())) {
+      throw std::runtime_error("load_checkpoint: shape mismatch for " + p->name);
+    }
+    p->value = std::move(t);
+  }
+  for (auto* b : buffers) {
+    nodetr::tensor::Tensor t = nodetr::tensor::read_tensor(is);
+    if (!(t.shape() == b->shape())) {
+      throw std::runtime_error("load_checkpoint: buffer shape mismatch");
+    }
+    *b = std::move(t);
+  }
+}
+
+}  // namespace nodetr::train

@@ -1,0 +1,35 @@
+#include "nodetr/train/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nodetr/tensor/ops.hpp"
+
+namespace nodetr::train {
+
+LossResult cross_entropy(const Tensor& logits, const std::vector<index_t>& labels) {
+  if (logits.rank() != 2) throw std::invalid_argument("cross_entropy: logits must be rank 2");
+  const index_t b = logits.dim(0), k = logits.dim(1);
+  if (static_cast<index_t>(labels.size()) != b) {
+    throw std::invalid_argument("cross_entropy: label count mismatch");
+  }
+  const Tensor logp = nodetr::tensor::log_softmax_rows(logits);
+  LossResult res;
+  res.grad_logits = Tensor(logits.shape());
+  double total = 0.0;
+  const float invb = 1.0f / static_cast<float>(b);
+  for (index_t r = 0; r < b; ++r) {
+    const index_t y = labels[static_cast<std::size_t>(r)];
+    if (y < 0 || y >= k) throw std::invalid_argument("cross_entropy: label out of range");
+    total -= logp[r * k + y];
+    // d/d logits = (softmax - onehot) / B.
+    for (index_t c = 0; c < k; ++c) {
+      res.grad_logits[r * k + c] = std::exp(logp[r * k + c]) * invb;
+    }
+    res.grad_logits[r * k + y] -= invb;
+  }
+  res.loss = static_cast<float>(total / b);
+  return res;
+}
+
+}  // namespace nodetr::train

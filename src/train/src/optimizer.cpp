@@ -1,0 +1,18 @@
+#include "nodetr/train/optimizer.hpp"
+
+namespace nodetr::train {
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& v = it->second;
+    const float mu = config_.momentum, wd = config_.weight_decay, lr = config_.lr;
+    for (index_t i = 0; i < p->value.numel(); ++i) {
+      const float g = p->grad[i] + wd * p->value[i];
+      v[i] = mu * v[i] + g;
+      p->value[i] -= lr * v[i];
+    }
+  }
+}
+
+}  // namespace nodetr::train

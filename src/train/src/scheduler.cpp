@@ -1,0 +1,35 @@
+#include "nodetr/train/scheduler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nodetr::train {
+
+CosineWarmRestarts::CosineWarmRestarts(CosineWarmRestartsConfig config) : config_(config) {
+  if (config_.t0 <= 0 || config_.t_mult < 1) {
+    throw std::invalid_argument("CosineWarmRestarts: t0 must be > 0 and t_mult >= 1");
+  }
+}
+
+std::pair<index_t, index_t> CosineWarmRestarts::locate(index_t epoch) const {
+  if (epoch < 0) throw std::invalid_argument("CosineWarmRestarts: negative epoch");
+  index_t cycle_len = config_.t0;
+  index_t start = 0;
+  while (epoch >= start + cycle_len) {
+    start += cycle_len;
+    cycle_len *= config_.t_mult;
+  }
+  return {epoch - start, cycle_len};
+}
+
+float CosineWarmRestarts::lr_at(index_t epoch) const {
+  const auto [pos, len] = locate(epoch);
+  const double cosine =
+      std::cos(3.141592653589793 * static_cast<double>(pos) / static_cast<double>(len));
+  return static_cast<float>(config_.eta_min +
+                            (config_.eta_max - config_.eta_min) * 0.5 * (1.0 + cosine));
+}
+
+bool CosineWarmRestarts::is_restart(index_t epoch) const { return locate(epoch).first == 0; }
+
+}  // namespace nodetr::train

@@ -1,0 +1,74 @@
+// Shared numerical gradient checking for Module backward implementations.
+//
+// Checks d/dx [ sum(cot * f(x)) ] via central differences against the
+// analytic backward, for both the input and every parameter. Modules with
+// stochastic forward passes (Dropout) or batch statistics must be handled by
+// the caller (eval mode or fixed seeds).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "nodetr/nn/module.hpp"
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace nodetr::testing {
+
+using nodetr::nn::Module;
+using nodetr::tensor::index_t;
+using nodetr::tensor::Rng;
+using nodetr::tensor::Tensor;
+
+inline float loss_of(Module& m, const Tensor& x, const Tensor& cot) {
+  Tensor y = m.forward(x);
+  float acc = 0.0f;
+  for (index_t i = 0; i < y.numel(); ++i) acc += y[i] * cot[i];
+  return acc;
+}
+
+/// Verify input and parameter gradients of `m` at `x`. `checks` limits how
+/// many coordinates are probed per tensor (spread evenly); tolerances are
+/// loose because fp32 central differences are noisy.
+inline void expect_gradients_match(Module& m, const Tensor& x, std::uint64_t seed = 1234,
+                                   index_t checks = 8, float eps = 1e-2f, float tol = 2e-2f) {
+  Rng rng(seed);
+  Tensor y0 = m.forward(x);
+  Tensor cot = rng.randn(y0.shape());
+
+  m.zero_grad();
+  m.forward(x);  // repopulate caches (zero_grad does not clear them, but be explicit)
+  Tensor gx = m.backward(cot);
+
+  // Input gradient.
+  const index_t nx = x.numel();
+  const index_t step_x = std::max<index_t>(nx / checks, 1);
+  for (index_t i = 0; i < nx; i += step_x) {
+    Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float num = (loss_of(m, xp, cot) - loss_of(m, xm, cot)) / (2 * eps);
+    EXPECT_NEAR(gx[i], num, tol * std::max(1.0f, std::fabs(num))) << "input grad at " << i;
+  }
+
+  // Parameter gradients.
+  for (nodetr::nn::Param* p : m.parameters()) {
+    const index_t np = p->value.numel();
+    if (np == 0) continue;
+    const index_t step_p = std::max<index_t>(np / checks, 1);
+    for (index_t i = 0; i < np; i += step_p) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const float fp = loss_of(m, x, cot);
+      p->value[i] = orig - eps;
+      const float fm = loss_of(m, x, cot);
+      p->value[i] = orig;
+      const float num = (fp - fm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol * std::max(1.0f, std::fabs(num)))
+          << "param " << p->name << " grad at " << i;
+    }
+  }
+  // Leave caches consistent for any further use.
+  m.forward(x);
+}
+
+}  // namespace nodetr::testing

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nodetr/data/augment.hpp"
+#include "nodetr/data/loader.hpp"
+#include "nodetr/data/synth_stl.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace d = nodetr::data;
+namespace nt = nodetr::tensor;
+
+TEST(SynthStl, SplitSizesAndShapes) {
+  d::SynthStl ds({.image_size = 16, .train_per_class = 4, .test_per_class = 2, .seed = 1});
+  EXPECT_EQ(ds.train().size(), 40u);
+  EXPECT_EQ(ds.test().size(), 20u);
+  EXPECT_EQ(ds.train()[0].image.shape(), (nt::Shape{3, 16, 16}));
+}
+
+TEST(SynthStl, AllClassesPresent) {
+  d::SynthStl ds({.image_size = 16, .train_per_class = 2, .test_per_class = 1, .seed = 2});
+  std::set<nt::index_t> labels;
+  for (const auto& s : ds.train()) labels.insert(s.label);
+  EXPECT_EQ(labels.size(), 10u);
+}
+
+TEST(SynthStl, DeterministicFromSeed) {
+  d::SynthStlConfig cfg{.image_size = 16, .train_per_class = 2, .test_per_class = 1, .seed = 3};
+  d::SynthStl a(cfg), b(cfg);
+  EXPECT_TRUE(nt::allclose(a.train()[5].image, b.train()[5].image, 0.0f, 0.0f));
+}
+
+TEST(SynthStl, DifferentSeedsDiffer) {
+  d::SynthStlConfig cfg{.image_size = 16, .train_per_class = 2, .test_per_class = 1, .seed = 4};
+  d::SynthStl a(cfg);
+  cfg.seed = 5;
+  d::SynthStl b(cfg);
+  EXPECT_GT(nt::max_abs_diff(a.train()[0].image, b.train()[0].image), 1e-3f);
+}
+
+TEST(SynthStl, PixelsInUnitRange) {
+  d::SynthStl ds({.image_size = 24, .train_per_class = 2, .test_per_class = 1, .seed = 6});
+  for (const auto& s : ds.train()) {
+    EXPECT_GE(nt::min(s.image), 0.0f);
+    EXPECT_LE(nt::max(s.image), 1.0f);
+  }
+}
+
+TEST(SynthStl, ClassNames) {
+  EXPECT_STREQ(d::SynthStl::class_name(0), "h-stripes");
+  EXPECT_STREQ(d::SynthStl::class_name(9), "corner-pair");
+  EXPECT_STREQ(d::SynthStl::class_name(10), "unknown");
+}
+
+TEST(SynthStl, TooSmallImageRejected) {
+  EXPECT_THROW(d::SynthStl({.image_size = 4}), std::invalid_argument);
+}
+
+TEST(Augment, FlipIsExactMirror) {
+  nt::Rng rng(1);
+  d::SynthStl ds({.image_size = 12, .train_per_class = 1, .test_per_class = 1, .seed = 7});
+  const auto& img = ds.train()[0].image;
+  auto flipped = d::random_horizontal_flip(img, rng, 1.0f);
+  for (nt::index_t c = 0; c < 3; ++c)
+    for (nt::index_t y = 0; y < 12; ++y)
+      for (nt::index_t x = 0; x < 12; ++x) {
+        EXPECT_EQ(flipped.at(c, y, x), img.at(c, y, 11 - x));
+      }
+  // Double flip restores the original.
+  auto twice = d::random_horizontal_flip(flipped, rng, 1.0f);
+  EXPECT_TRUE(nt::allclose(twice, img, 0.0f, 0.0f));
+}
+
+TEST(Augment, FlipProbabilityZeroIsIdentity) {
+  nt::Rng rng(2);
+  nt::Tensor img = rng.rand(nt::Shape{3, 8, 8});
+  EXPECT_TRUE(nt::allclose(d::random_horizontal_flip(img, rng, 0.0f), img, 0.0f, 0.0f));
+}
+
+TEST(Augment, ColorJitterStaysInRangeAndPerturbs) {
+  nt::Rng rng(3);
+  nt::Tensor img = rng.rand(nt::Shape{3, 8, 8}, 0.2f, 0.8f);
+  auto out = d::color_jitter(img, rng);
+  EXPECT_GE(nt::min(out), 0.0f);
+  EXPECT_LE(nt::max(out), 1.0f);
+  EXPECT_GT(nt::max_abs_diff(out, img), 1e-4f);
+}
+
+TEST(Augment, RandomErasingChangesBoundedRegion) {
+  nt::Rng rng(4);
+  nt::Tensor img(nt::Shape{3, 16, 16}, 0.5f);
+  auto out = d::random_erasing(img, rng, {.p = 1.0f});
+  nt::index_t changed = 0;
+  for (nt::index_t i = 0; i < img.numel(); ++i) changed += (out[i] != img[i]);
+  EXPECT_GT(changed, 0);
+  // Erased area is at most area_max (plus rounding).
+  EXPECT_LT(changed, img.numel() / 3);
+}
+
+TEST(Augment, RandomErasingZeroProbabilityIsIdentity) {
+  nt::Rng rng(5);
+  nt::Tensor img = rng.rand(nt::Shape{3, 8, 8});
+  EXPECT_TRUE(nt::allclose(d::random_erasing(img, rng, {.p = 0.0f}), img, 0.0f, 0.0f));
+}
+
+TEST(Augment, PipelineRejectsNonImages) {
+  nt::Rng rng(6);
+  EXPECT_THROW(d::augment_train(nt::Tensor(nt::Shape{1, 8, 8}), rng), std::invalid_argument);
+}
+
+TEST(Loader, CoversEverySampleOncePerEpoch) {
+  d::SynthStl ds({.image_size = 12, .train_per_class = 3, .test_per_class = 1, .seed = 8});
+  d::BatchLoader loader(ds.train(), 7, /*seed=*/9);
+  EXPECT_EQ(loader.batches_per_epoch(), (30 + 6) / 7);
+  d::Batch batch;
+  nt::index_t total = 0;
+  std::vector<nt::index_t> class_counts(10, 0);
+  while (loader.next(batch)) {
+    total += batch.images.dim(0);
+    EXPECT_EQ(batch.images.dim(0), static_cast<nt::index_t>(batch.labels.size()));
+    for (auto l : batch.labels) class_counts[static_cast<std::size_t>(l)]++;
+  }
+  EXPECT_EQ(total, 30);
+  for (auto c : class_counts) EXPECT_EQ(c, 3);
+}
+
+TEST(Loader, ResetReshuffles) {
+  d::SynthStl ds({.image_size = 12, .train_per_class = 4, .test_per_class = 1, .seed = 10});
+  d::BatchLoader loader(ds.train(), 40, /*seed=*/11);
+  d::Batch b1, b2;
+  loader.next(b1);
+  loader.reset();
+  loader.next(b2);
+  bool same_order = true;
+  for (std::size_t i = 0; i < b1.labels.size(); ++i) same_order &= (b1.labels[i] == b2.labels[i]);
+  EXPECT_FALSE(same_order);
+}
+
+TEST(Loader, AugmentHookApplied) {
+  d::SynthStl ds({.image_size = 12, .train_per_class = 1, .test_per_class = 1, .seed = 12});
+  auto blackout = [](const nt::Tensor& img, nt::Rng&) { return nt::Tensor(img.shape()); };
+  d::BatchLoader loader(ds.train(), 5, 13, blackout);
+  d::Batch batch;
+  loader.next(batch);
+  EXPECT_EQ(nt::max(nt::abs(batch.images)), 0.0f);
+}
+
+TEST(Loader, StackRangeChecks) {
+  d::SynthStl ds({.image_size = 12, .train_per_class = 1, .test_per_class = 1, .seed = 14});
+  EXPECT_THROW(d::stack(ds.train(), 5, 4), std::out_of_range);
+  auto b = d::stack(ds.train(), 0, 3);
+  EXPECT_EQ(b.images.dim(0), 3);
+}

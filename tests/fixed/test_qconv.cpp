@@ -1,0 +1,104 @@
+#include "nodetr/fx/qconv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nodetr/tensor/conv.hpp"
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace fx = nodetr::fx;
+namespace nt = nodetr::tensor;
+
+namespace {
+const fx::FixedFormat kF{32, 16};
+const fx::FixedFormat kP{24, 8};
+}  // namespace
+
+TEST(QConv2d, MatchesFloatReference) {
+  nt::Conv2dGeom g{.in_channels = 3, .out_channels = 4, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(1);
+  auto x = rng.randn(nt::Shape{2, 3, 5, 5});
+  auto w = rng.randn(nt::Shape{4, 3, 3, 3});
+  auto b = rng.randn(nt::Shape{4});
+  auto qy = fx::qconv2d(fx::FixedTensor::from_float(x, kF), fx::FixedTensor::from_float(w, kP),
+                        fx::FixedTensor::from_float(b, kP), g, kF);
+  auto y = nt::conv2d(x, w, b, g);
+  EXPECT_LE(nt::max_abs_diff(qy.to_float(), y), 2e-2f);
+}
+
+TEST(QConv2d, ExactForIntegerData) {
+  nt::Conv2dGeom g{.in_channels = 1, .out_channels = 1, .kernel = 3, .stride = 1, .pad = 0};
+  nt::Tensor x(nt::Shape{1, 1, 3, 3}, 1.0f);
+  nt::Tensor w(nt::Shape{1, 1, 3, 3}, 2.0f);
+  auto qy = fx::qconv2d(fx::FixedTensor::from_float(x, kF), fx::FixedTensor::from_float(w, kP),
+                        {}, g, kF);
+  EXPECT_FLOAT_EQ(qy.to_float()[0], 18.0f);
+}
+
+TEST(QConv2d, Stride2Geometry) {
+  nt::Conv2dGeom g{.in_channels = 2, .out_channels = 3, .kernel = 3, .stride = 2, .pad = 1};
+  nt::Rng rng(2);
+  auto x = rng.randn(nt::Shape{1, 2, 8, 8});
+  auto w = rng.randn(nt::Shape{3, 2, 3, 3});
+  auto qy = fx::qconv2d(fx::FixedTensor::from_float(x, kF), fx::FixedTensor::from_float(w, kP),
+                        {}, g, kF);
+  EXPECT_EQ(qy.shape(), (nt::Shape{1, 3, 4, 4}));
+  EXPECT_LE(nt::max_abs_diff(qy.to_float(), nt::conv2d(x, w, {}, g)), 2e-2f);
+}
+
+TEST(QDepthwise, MatchesFloatReference) {
+  nt::Conv2dGeom g{.in_channels = 3, .out_channels = 3, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(3);
+  auto x = rng.randn(nt::Shape{1, 3, 5, 5});
+  auto w = rng.randn(nt::Shape{3, 3, 3});
+  auto qy = fx::qdepthwise_conv2d(fx::FixedTensor::from_float(x, kF),
+                                  fx::FixedTensor::from_float(w, kP), g, kF);
+  EXPECT_LE(nt::max_abs_diff(qy.to_float(), nt::depthwise_conv2d(x, w, {}, g)), 1e-2f);
+}
+
+TEST(QScaleShift, FoldedBatchNorm) {
+  nt::Rng rng(4);
+  auto x = rng.randn(nt::Shape{1, 2, 3, 3});
+  nt::Tensor scale(nt::Shape{2}, std::vector<float>{2.0f, 0.5f});
+  nt::Tensor shift(nt::Shape{2}, std::vector<float>{1.0f, -1.0f});
+  auto qy = fx::qscale_shift_channels(fx::FixedTensor::from_float(x, kF),
+                                      fx::FixedTensor::from_float(scale, kP),
+                                      fx::FixedTensor::from_float(shift, kP));
+  for (nt::index_t c = 0; c < 2; ++c) {
+    for (nt::index_t i = 0; i < 9; ++i) {
+      const float want = x[c * 9 + i] * scale[c] + shift[c];
+      EXPECT_NEAR(qy.to_float()[c * 9 + i], want, 1e-2f);
+    }
+  }
+}
+
+TEST(QGlobalAvgPool, ExactMeanOfRepresentables) {
+  nt::Tensor x(nt::Shape{1, 1, 2, 2}, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  auto q = fx::qglobal_avg_pool(fx::FixedTensor::from_float(x, kF));
+  EXPECT_EQ(q.shape(), (nt::Shape{1, 1}));
+  EXPECT_FLOAT_EQ(q.to_float()[0], 2.5f);
+}
+
+TEST(QMaxPool, ExactComparatorSemantics) {
+  auto x = nt::Tensor::arange(16).reshape(nt::Shape{1, 1, 4, 4});
+  auto q = fx::qmax_pool(fx::FixedTensor::from_float(x, kF), 2, 2, 0);
+  auto f = q.to_float();
+  EXPECT_FLOAT_EQ(f[0], 5.0f);
+  EXPECT_FLOAT_EQ(f[3], 15.0f);
+}
+
+TEST(QConvKernels, NarrowFormatsIncreaseError) {
+  nt::Conv2dGeom g{.in_channels = 2, .out_channels = 2, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(5);
+  auto x = rng.randn(nt::Shape{1, 2, 6, 6});
+  auto w = rng.randn(nt::Shape{2, 2, 3, 3});
+  auto ref = nt::conv2d(x, w, {}, g);
+  float prev = -1.0f;
+  for (const auto& scheme : fx::table8_schemes()) {
+    auto qy = fx::qconv2d(fx::FixedTensor::from_float(x, scheme.feature),
+                          fx::FixedTensor::from_float(w, scheme.param), {}, g, scheme.feature);
+    const float err = nt::mean_abs_diff(qy.to_float(), ref);
+    EXPECT_GE(err, prev * 0.5f);
+    prev = std::max(prev, err);
+  }
+}

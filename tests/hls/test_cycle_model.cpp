@@ -1,0 +1,120 @@
+#include "nodetr/hls/cycle_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hls = nodetr::hls;
+
+namespace {
+// Table III reference values at (512ch, 3x3).
+constexpr std::int64_t kProjOrig = 40158722;
+constexpr std::int64_t kProjPar = 316009;
+constexpr std::int64_t kQr = 74132;
+constexpr std::int64_t kQk = 78740;
+constexpr std::int64_t kRelu = 1701;
+constexpr std::int64_t kAv = 370696;
+// Table III Total rows (3x projections + attention stages + data movement).
+constexpr std::int64_t kTotalOrig = 121866093;
+constexpr std::int64_t kTotalPar = 2337954;
+
+void expect_within(std::int64_t got, std::int64_t want, double tol, const char* what) {
+  EXPECT_NEAR(static_cast<double>(got), static_cast<double>(want),
+              tol * static_cast<double>(want))
+      << what;
+}
+}  // namespace
+
+TEST(CycleModel, Table3OriginalDesign) {
+  hls::CycleModel model;
+  auto point = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  point.parallel = hls::ParallelPlan::sequential();
+  auto b = model.estimate(point);
+  expect_within(b.projection_each, kProjOrig, 0.001, "projections");
+  expect_within(b.qr, kQr, 0.001, "QR^T");
+  expect_within(b.qk, kQk, 0.001, "QK^T");
+  expect_within(b.relu, kRelu, 0.001, "ReLU");
+  expect_within(b.av, kAv, 0.001, "AV");
+  expect_within(b.total(), kTotalOrig, 0.01, "total");
+}
+
+TEST(CycleModel, Table3ParallelizedDesign) {
+  hls::CycleModel model;
+  auto point = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  auto b = model.estimate(point);
+  expect_within(b.projection_each, kProjPar, 0.015, "projections");
+  // Attention-side stages are unchanged by the projection unroll.
+  expect_within(b.qr, kQr, 0.001, "QR^T");
+  expect_within(b.av, kAv, 0.001, "AV");
+  expect_within(b.total(), kTotalPar, 0.01, "total");
+}
+
+TEST(CycleModel, PaperSpeedups) {
+  hls::CycleModel model;
+  auto par = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  auto seq = par;
+  seq.parallel = hls::ParallelPlan::sequential();
+  const auto bp = model.estimate(par);
+  const auto bs = model.estimate(seq);
+  // "127x performance improvement of the matrix products and 52x overall".
+  const double proj_speedup = static_cast<double>(bs.projection_each) / bp.projection_each;
+  const double total_speedup = static_cast<double>(bs.total()) / bp.total();
+  EXPECT_NEAR(proj_speedup, 127.0, 3.0);
+  EXPECT_NEAR(total_speedup, 52.0, 2.0);
+}
+
+TEST(CycleModel, LatencyAt200MHz) {
+  hls::CycleModel model;
+  auto point = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  point.parallel = hls::ParallelPlan::sequential();
+  auto b = model.estimate(point);
+  // Table III: 40,158,722 cycles = 2.01e8 ns (5 ns/cycle), and the original
+  // total 121,866,093 cycles = 6.09e8 ns.
+  EXPECT_NEAR(b.projection_each * hls::CycleModel::kClockNs * 1e-8, 2.01, 0.01);
+  EXPECT_NEAR(hls::CycleModel::latency_ns(b) * 1e-8, 6.09, 0.02);
+}
+
+TEST(CycleModel, ProposedPointIsMuchCheaper) {
+  hls::CycleModel model;
+  auto bot = model.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed));
+  auto prop = model.estimate(hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed), true);
+  EXPECT_LT(prop.total(), bot.total());
+}
+
+TEST(CycleModel, UnrollScalesProjectionsOnly) {
+  hls::CycleModel model;
+  auto p64 = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  p64.parallel = {.partition = 32, .unroll = 64};
+  auto p128 = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  const auto b64 = model.estimate(p64);
+  const auto b128 = model.estimate(p128);
+  EXPECT_NEAR(static_cast<double>(b64.projection_each) / b128.projection_each, 2.0, 0.1);
+  EXPECT_EQ(b64.qk, b128.qk);
+}
+
+TEST(CycleModel, LayerNormTermOnlyWhenRequested) {
+  hls::CycleModel model;
+  auto point = hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed);
+  EXPECT_EQ(model.estimate(point, false).layer_norm, 0);
+  EXPECT_GT(model.estimate(point, true).layer_norm, 0);
+}
+
+TEST(CycleModel, FloatDatapathSlowerThanFixed) {
+  // Calibrated to Table IX: the float IP's MACs run at ~2x the initiation
+  // interval, so its compute stages take about twice as long; streaming is
+  // data-width bound and unchanged.
+  hls::CycleModel model;
+  auto fixed = model.estimate(hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed));
+  auto flt = model.estimate(hls::MhsaDesignPoint::proposed_64(hls::DataType::kFloat32));
+  EXPECT_NEAR(static_cast<double>(flt.av) / fixed.av, 2.0, 0.05);
+  EXPECT_EQ(flt.streaming, fixed.streaming);
+  EXPECT_GT(flt.total(), fixed.total());
+}
+
+TEST(DesignPoint, FactoryAndToString) {
+  auto p = hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed);
+  EXPECT_EQ(p.dim, 64);
+  EXPECT_EQ(p.tokens(), 36);
+  EXPECT_EQ(p.head_dim(), 16);
+  EXPECT_NE(p.to_string().find("64ch, 6x6"), std::string::npos);
+  auto f = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32);
+  EXPECT_NE(f.to_string().find("floating point"), std::string::npos);
+}

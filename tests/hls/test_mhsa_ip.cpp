@@ -1,0 +1,140 @@
+#include "nodetr/hls/mhsa_ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace hls = nodetr::hls;
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+
+namespace {
+
+nn::MhsaConfig module_cfg() {
+  return {.dim = 16, .heads = 4, .height = 3, .width = 3,
+          .attention = nn::AttentionKind::kRelu, .pos = nn::PosEncodingKind::kRelative2d,
+          .layer_norm_out = true};
+}
+
+hls::MhsaDesignPoint matching_point(hls::DataType dtype) {
+  hls::MhsaDesignPoint p;
+  p.dim = 16;
+  p.height = p.width = 3;
+  p.heads = 4;
+  p.dtype = dtype;
+  return p;
+}
+
+}  // namespace
+
+TEST(MhsaIp, FloatPathMatchesSoftwareModule) {
+  nt::Rng rng(1);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  mhsa.train(false);
+  auto x = rng.randn(nt::Shape{2, 16, 3, 3});
+  auto sw = mhsa.forward(x);
+  hls::MhsaIpCore ip(matching_point(hls::DataType::kFloat32),
+                     hls::MhsaWeights::from_module(mhsa));
+  auto hw = ip.run(x);
+  EXPECT_TRUE(nt::allclose(hw, sw, 1e-4f, 1e-5f));
+}
+
+TEST(MhsaIp, FixedPathTracksFloatWithinQuantError) {
+  nt::Rng rng(2);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  mhsa.train(false);
+  auto x = rng.randn(nt::Shape{1, 16, 3, 3});
+  auto sw = mhsa.forward(x);
+  auto point = matching_point(hls::DataType::kFixed);  // 32(16)-24(8)
+  hls::MhsaIpCore ip(point, hls::MhsaWeights::from_module(mhsa));
+  auto hw = ip.run(x);
+  // Paper (Table VIII): 32(16)-24(8) shows no degradation.
+  EXPECT_LT(nt::max_abs_diff(hw, sw), 5e-3f);
+}
+
+TEST(MhsaIp, FixedErrorGrowsAsFormatsNarrow) {
+  // Fig. 9/10 premise: value differences grow monotonically as the format
+  // narrows, exploding for 16(8)-12(4).
+  nt::Rng rng(3);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  mhsa.train(false);
+  auto x = rng.randn(nt::Shape{1, 16, 3, 3});
+  auto sw = mhsa.forward(x);
+  float prev = -1.0f;
+  for (const auto& scheme : fx::table8_schemes()) {
+    auto point = matching_point(hls::DataType::kFixed);
+    point.scheme = scheme;
+    hls::MhsaIpCore ip(point, hls::MhsaWeights::from_module(mhsa));
+    const float err = nt::mean_abs_diff(ip.run(x), sw);
+    EXPECT_GE(err, prev * 0.5f) << scheme.to_string();  // allow small non-monotone noise
+    prev = std::max(prev, err);
+  }
+  EXPECT_GT(prev, 1e-3f);  // the narrowest format has visible error
+}
+
+TEST(MhsaIp, DeterministicAcrossRuns) {
+  nt::Rng rng(4);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  auto x = rng.randn(nt::Shape{1, 16, 3, 3});
+  hls::MhsaIpCore ip(matching_point(hls::DataType::kFixed), hls::MhsaWeights::from_module(mhsa));
+  auto a = ip.run(x);
+  auto b = ip.run(x);
+  EXPECT_TRUE(nt::allclose(a, b, 0.0f, 0.0f));
+}
+
+TEST(MhsaIp, CyclesScaleWithBatch) {
+  nt::Rng rng(5);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  hls::MhsaIpCore ip(matching_point(hls::DataType::kFixed), hls::MhsaWeights::from_module(mhsa));
+  ip.run(rng.randn(nt::Shape{1, 16, 3, 3}));
+  const auto one = ip.last_cycles().total();
+  ip.run(rng.randn(nt::Shape{3, 16, 3, 3}));
+  EXPECT_EQ(ip.last_cycles().total(), 3 * one);
+}
+
+TEST(MhsaIp, Rank3InputSqueezed) {
+  nt::Rng rng(6);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  hls::MhsaIpCore ip(matching_point(hls::DataType::kFloat32), hls::MhsaWeights::from_module(mhsa));
+  auto y = ip.run(rng.randn(nt::Shape{16, 3, 3}));
+  EXPECT_EQ(y.shape(), (nt::Shape{16, 3, 3}));
+}
+
+TEST(MhsaIp, RejectsGeometryMismatch) {
+  nt::Rng rng(7);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  hls::MhsaIpCore ip(matching_point(hls::DataType::kFloat32), hls::MhsaWeights::from_module(mhsa));
+  EXPECT_THROW(ip.run(nt::Tensor(nt::Shape{1, 16, 4, 4})), std::invalid_argument);
+  auto bad_point = matching_point(hls::DataType::kFloat32);
+  bad_point.dim = 32;
+  EXPECT_THROW(hls::MhsaIpCore(bad_point, hls::MhsaWeights::from_module(mhsa)),
+               std::invalid_argument);
+}
+
+TEST(MhsaIp, DmaBytesAccountsAllStreams) {
+  nt::Rng rng(8);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  hls::MhsaIpCore ip(matching_point(hls::DataType::kFixed), hls::MhsaWeights::from_module(mhsa));
+  // in/out: 2*9*16; weights 3*16*16; rel 4*(3+3)*4; ln 2*16 — all x4 bytes.
+  const std::int64_t words = 2 * 9 * 16 + 3 * 16 * 16 + 4 * 6 * 4 + 32;
+  EXPECT_EQ(ip.dma_bytes_per_image(), words * 4);
+}
+
+TEST(MhsaIp, OverrideHookRoutesModuleThroughIp) {
+  nt::Rng rng(9);
+  nn::MultiHeadSelfAttention mhsa(module_cfg(), rng);
+  mhsa.train(false);
+  auto x = rng.randn(nt::Shape{1, 16, 3, 3});
+  auto sw = mhsa.forward(x);
+  auto ip = std::make_shared<hls::MhsaIpCore>(matching_point(hls::DataType::kFloat32),
+                                              hls::MhsaWeights::from_module(mhsa));
+  mhsa.set_forward_override(
+      [ip](const nt::Tensor& in, nn::MultiHeadSelfAttention&) { return ip->run(in); });
+  auto hw = mhsa.forward(x);
+  EXPECT_TRUE(nt::allclose(hw, sw, 1e-4f, 1e-5f));
+  EXPECT_THROW(mhsa.backward(nt::Tensor(sw.shape())), std::logic_error);
+  mhsa.clear_forward_override();
+  EXPECT_FALSE(mhsa.has_forward_override());
+}

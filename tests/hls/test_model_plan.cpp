@@ -1,0 +1,57 @@
+#include "nodetr/hls/model_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hls = nodetr::hls;
+namespace nt = nodetr::tensor;
+
+TEST(ConvCycleModel, MacCountsExact) {
+  hls::ConvCycleModel m(128);
+  // Dense conv: Cin*Cout*K^2*Ho*Wo.
+  EXPECT_EQ(m.conv2d("c", 3, 64, 3, 48, 48).macs, 3LL * 64 * 9 * 48 * 48);
+  // DSC: (Cin*K^2 + Cin*Cout) * Ho*Wo.
+  EXPECT_EQ(m.depthwise_separable("d", 64, 64, 3, 24, 24).macs,
+            (64LL * 9 + 64 * 64) * 24 * 24);
+  EXPECT_EQ(m.linear("l", 256, 10).macs, 2560);
+  EXPECT_EQ(m.elementwise("e", 100).macs, 0);
+}
+
+TEST(ConvCycleModel, UnrollSpeedsUpMacLayers) {
+  hls::ConvCycleModel seq(1), par(128);
+  const auto s = seq.conv2d("c", 64, 128, 3, 12, 12);
+  const auto p = par.conv2d("c", 64, 128, 3, 12, 12);
+  EXPECT_GT(s.cycles, 50 * p.cycles);
+  // Elementwise layers are already pipelined — unroll independent.
+  EXPECT_EQ(seq.elementwise("e", 1000).cycles, par.elementwise("e", 1000).cycles);
+}
+
+TEST(ProposedModelPlan, StructureAndTotals) {
+  const auto plan = hls::plan_proposed_model(96, 6, 128);
+  EXPECT_EQ(plan.solver_steps, 6);
+  EXPECT_FALSE(plan.layers.empty());
+  EXPECT_GT(plan.mhsa_cycles(), 0);
+  // Total covers all layers plus the per-step MHSA.
+  std::int64_t layer_sum = 0;
+  for (const auto& l : plan.layers) layer_sum += l.cycles;
+  EXPECT_EQ(plan.total_cycles(), layer_sum + plan.mhsa_cycles());
+  EXPECT_GT(plan.total_ms(), 0.0);
+}
+
+TEST(ProposedModelPlan, MoreSolverStepsCostMore) {
+  const auto c3 = hls::plan_proposed_model(96, 3, 128);
+  const auto c12 = hls::plan_proposed_model(96, 12, 128);
+  EXPECT_GT(c12.total_cycles(), c3.total_cycles());
+  // MHSA share scales exactly with the step count.
+  EXPECT_EQ(c12.mhsa_cycles(), 4 * c3.mhsa_cycles());
+}
+
+TEST(ProposedModelPlan, SmallerImagesAreCheaper) {
+  const auto big = hls::plan_proposed_model(96, 6, 128);
+  const auto small = hls::plan_proposed_model(32, 6, 128);
+  // Conv stages shrink with the image; (the fixed 6x6 MHSA point dominates
+  // less at 96px than the convs, so compare layer sums).
+  std::int64_t big_sum = 0, small_sum = 0;
+  for (const auto& l : big.layers) big_sum += l.cycles;
+  for (const auto& l : small.layers) small_sum += l.cycles;
+  EXPECT_GT(big_sum, small_sum);
+}

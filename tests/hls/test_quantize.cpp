@@ -1,0 +1,85 @@
+#include "nodetr/hls/quantize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nodetr/nn/activations.hpp"
+#include "nodetr/nn/linear.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace hls = nodetr::hls;
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+
+TEST(ScopedParamQuantization, QuantizesAndRestores) {
+  nt::Rng rng(1);
+  nn::Linear lin(8, 4, true, rng);
+  const nt::Tensor original = lin.weight().value;
+  {
+    hls::ScopedParamQuantization q(lin, fx::FixedFormat{8, 4});
+    // Values are on the 1/16 grid.
+    for (nt::index_t i = 0; i < lin.weight().value.numel(); ++i) {
+      const float v = lin.weight().value[i] * 16.0f;
+      EXPECT_NEAR(v, std::round(v), 1e-4f);
+    }
+    // Coarse grid actually changed something.
+    EXPECT_GT(nt::max_abs_diff(lin.weight().value, original), 0.0f);
+  }
+  EXPECT_TRUE(nt::allclose(lin.weight().value, original, 0.0f, 0.0f));
+}
+
+TEST(ActivationQuantizer, RoundsAndSaturates) {
+  auto hook = hls::activation_quantizer(fx::FixedFormat{8, 4});
+  nt::Tensor t(nt::Shape{3}, std::vector<float>{0.3f, 100.0f, -100.0f});
+  auto q = hook(t);
+  EXPECT_NEAR(q[0], 0.3125f, 1e-5f);  // nearest 1/16 step
+  EXPECT_NEAR(q[1], 7.9375f, 1e-5f);  // saturated max
+  EXPECT_NEAR(q[2], -8.0f, 1e-5f);    // saturated min
+}
+
+TEST(ActivationQuantization, InstalledOnNestedSequentials) {
+  nt::Rng rng(2);
+  auto inner = std::make_unique<nn::Sequential>();
+  inner->emplace<nn::ReLU>();
+  nn::Sequential outer;
+  outer.push_back(std::move(inner));
+  outer.emplace<nn::ReLU>();
+  hls::set_activation_quantization(outer, fx::FixedFormat{8, 4});
+  EXPECT_TRUE(outer.has_activation_hook());
+  EXPECT_TRUE(static_cast<nn::Sequential&>(outer[0]).has_activation_hook());
+  // Backward is blocked while quantized.
+  auto x = rng.rand(nt::Shape{2, 2});
+  auto y = outer.forward(x);
+  EXPECT_THROW((void)outer.backward(y), std::logic_error);
+  hls::clear_activation_quantization(outer);
+  EXPECT_FALSE(outer.has_activation_hook());
+  (void)outer.forward(x);
+  (void)outer.backward(y);  // works again
+}
+
+TEST(ActivationQuantization, WideFormatIsNearLossless) {
+  nt::Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(6, 6, true, rng);
+  net.emplace<nn::ReLU>();
+  auto x = rng.randn(nt::Shape{4, 6});
+  auto ref = net.forward(x);
+  net.set_activation_hook(hls::activation_quantizer(fx::kFeature32));
+  auto q = net.forward(x);
+  EXPECT_LT(nt::max_abs_diff(q, ref), 1e-4f);
+}
+
+TEST(ActivationQuantization, NarrowFormatDistortsMore) {
+  nt::Rng rng(4);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(6, 6, true, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(6, 6, true, rng);
+  auto x = rng.randn(nt::Shape{4, 6});
+  auto ref = net.forward(x);
+  net.set_activation_hook(hls::activation_quantizer(fx::FixedFormat{16, 8}));
+  const float err_wide = nt::max_abs_diff(net.forward(x), ref);
+  net.set_activation_hook(hls::activation_quantizer(fx::FixedFormat{8, 4}));
+  const float err_narrow = nt::max_abs_diff(net.forward(x), ref);
+  EXPECT_GT(err_narrow, err_wide);
+}

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "nodetr/hls/power.hpp"
+#include "nodetr/hls/resources.hpp"
+
+namespace hls = nodetr::hls;
+
+TEST(Resources, Table1CalibratedPoints) {
+  hls::ResourceModel model;
+  auto flt = model.estimate(
+      hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32, hls::BufferPlan::kNaive7));
+  EXPECT_EQ(flt.bram18, 1716);
+  EXPECT_EQ(flt.dsp, 680);
+  EXPECT_EQ(flt.ff, 89912);
+  EXPECT_EQ(flt.lut, 112698);
+  auto fix = model.estimate(
+      hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed, hls::BufferPlan::kNaive7));
+  EXPECT_EQ(fix.bram18, 1396);
+  EXPECT_EQ(fix.dsp, 137);
+}
+
+TEST(Resources, Table2BufferManagementMakesItFit) {
+  hls::ResourceModel model;
+  auto naive = model.estimate(
+      hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed, hls::BufferPlan::kNaive7));
+  auto shared = model.estimate(
+      hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed, hls::BufferPlan::kShared5));
+  EXPECT_EQ(shared.bram18, 559);
+  // Before: 233% BRAM (infeasible); after: 89% (fits).
+  EXPECT_FALSE(hls::Zcu104::fits(naive));
+  EXPECT_TRUE(hls::Zcu104::fits(shared));
+  EXPECT_NEAR(hls::Zcu104::bram_pct(naive), 233.0, 21.0);
+  EXPECT_NEAR(hls::Zcu104::bram_pct(shared), 89.0, 1.0);
+}
+
+TEST(Resources, Table7AllFourSynthesizedPoints) {
+  hls::ResourceModel model;
+  auto bot_f = model.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32));
+  EXPECT_EQ(bot_f.bram18, 693);
+  EXPECT_EQ(bot_f.ff, 101851);
+  auto bot_q = model.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed));
+  EXPECT_EQ(bot_q.lut, 55842);
+  auto prop_f = model.estimate(hls::MhsaDesignPoint::proposed_64(hls::DataType::kFloat32));
+  EXPECT_EQ(prop_f.bram18, 441);
+  EXPECT_EQ(prop_f.dsp, 868);
+  auto prop_q = model.estimate(hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed));
+  EXPECT_EQ(prop_q.bram18, 433);
+  EXPECT_EQ(prop_q.dsp, 212);
+  // Fixed point cuts DSP/FF/LUT sharply at both geometries (Sec. VI-B4).
+  EXPECT_LT(prop_q.dsp, prop_f.dsp);
+  EXPECT_LT(prop_q.ff, prop_f.ff);
+  EXPECT_LT(bot_q.lut, bot_f.lut);
+}
+
+TEST(Resources, AnalyticModelTrends) {
+  hls::ResourceModel model;
+  // Shared buffers use less BRAM than naive at any point.
+  auto p_naive = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed, hls::BufferPlan::kNaive7);
+  auto p_shared = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed,
+                                                   hls::BufferPlan::kShared5);
+  EXPECT_LT(model.analytic(p_shared).bram18, model.analytic(p_naive).bram18);
+  // Fixed point needs fewer DSPs than float at equal unroll.
+  auto p_float = p_shared;
+  p_float.dtype = hls::DataType::kFloat32;
+  EXPECT_LT(model.analytic(p_shared).dsp, model.analytic(p_float).dsp);
+  // Wider unroll costs more DSPs.
+  auto wide = p_shared;
+  wide.parallel.unroll = 256;
+  EXPECT_GT(model.analytic(wide).dsp, model.analytic(p_shared).dsp);
+  // Bigger D needs more weight BRAM.
+  auto small = p_shared;
+  small.dim = 128;
+  EXPECT_LT(model.analytic(small).bram18, model.analytic(p_shared).bram18);
+}
+
+TEST(Resources, AnalyticRoughlyTracksCalibration) {
+  // The analytic model should land within ~40% of the synthesized BRAM for
+  // the big weight-dominated point (it exists to extrapolate, not replace).
+  hls::ResourceModel model;
+  auto p = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed, hls::BufferPlan::kNaive7);
+  const auto a = model.analytic(p);
+  EXPECT_NEAR(static_cast<double>(a.bram18), 1396.0, 0.4 * 1396.0);
+}
+
+TEST(Resources, OffTablePointUsesAnalytic) {
+  hls::ResourceModel model;
+  auto p = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed);
+  p.dim = 256;  // not a paper point
+  EXPECT_FALSE(model.calibrated(p).has_value());
+  EXPECT_GT(model.estimate(p).bram18, 0);
+}
+
+TEST(Power, PaperMeasurementsReproduced) {
+  hls::PowerModel power;
+  hls::ResourceModel res;
+  auto fixed = res.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed));
+  auto flt = res.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32));
+  EXPECT_NEAR(power.ip_watts(fixed), 0.866, 1e-3);
+  EXPECT_NEAR(power.ip_watts(flt), 3.977, 1e-3);
+}
+
+TEST(Power, Sec6B7EnergyEfficiencyGain) {
+  // Paper: fixed-point accel is 2.63x faster, total power 1.33x higher,
+  // energy efficiency 1.98x better.
+  hls::PowerModel power;
+  hls::ResourceModel res;
+  auto fixed = res.estimate(hls::MhsaDesignPoint::botnet_512(hls::DataType::kFixed));
+  const double cpu_ms = 35.18, accel_ms = 13.37;  // Table IX
+  const double power_ratio = power.accelerated_watts(fixed) / hls::PowerModel::kPsWatts;
+  EXPECT_NEAR(power_ratio, 1.33, 0.01);
+  EXPECT_NEAR(power.efficiency_gain(cpu_ms, accel_ms, fixed), 1.98, 0.02);
+}
+
+TEST(Power, MoreDspMorePower) {
+  hls::PowerModel power;
+  hls::ResourceUsage lo{.bram18 = 100, .dsp = 100, .ff = 0, .lut = 0};
+  hls::ResourceUsage hi{.bram18 = 100, .dsp = 800, .ff = 0, .lut = 0};
+  EXPECT_LT(power.ip_watts(lo), power.ip_watts(hi));
+}

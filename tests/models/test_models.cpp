@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "nodetr/models/zoo.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace m = nodetr::models;
+namespace nt = nodetr::tensor;
+
+TEST(ParamCounts, ResNet50CloseToPaper) {
+  nt::Rng rng(1);
+  auto net = m::resnet50(96, 10, rng);
+  const auto n = net->num_parameters();
+  // Paper: 23,522,362. Our torchvision-style reconstruction must be within 1%.
+  EXPECT_NEAR(static_cast<double>(n), 23522362.0, 0.01 * 23522362.0) << n;
+}
+
+TEST(ParamCounts, BoTNet50CloseToPaperAndSmallerThanResNet) {
+  nt::Rng rng(2);
+  auto res = m::resnet50(96, 10, rng);
+  auto bot = m::botnet50(96, 10, rng);
+  EXPECT_NEAR(static_cast<double>(bot->num_parameters()), 18885962.0, 0.01 * 18885962.0)
+      << bot->num_parameters();
+  // Table IV: BoTNet cuts ~19.7% off ResNet50.
+  const double reduction =
+      1.0 - static_cast<double>(bot->num_parameters()) / static_cast<double>(res->num_parameters());
+  EXPECT_NEAR(reduction, 0.197, 0.02);
+}
+
+TEST(ParamCounts, OdeNetCloseToPaper) {
+  nt::Rng rng(3);
+  auto net = m::odenet(96, 10, rng);
+  EXPECT_NEAR(static_cast<double>(net->num_parameters()), 599309.0, 0.01 * 599309.0)
+      << net->num_parameters();
+}
+
+TEST(ParamCounts, ProposedCloseToPaperAndReduction973) {
+  nt::Rng rng(4);
+  auto bot = m::botnet50(96, 10, rng);
+  auto prop = m::proposed_model(96, 10, rng);
+  EXPECT_NEAR(static_cast<double>(prop->num_parameters()), 513275.0, 0.015 * 513275.0)
+      << prop->num_parameters();
+  // Headline claim: 97.3% parameter reduction vs BoTNet.
+  const double reduction =
+      1.0 - static_cast<double>(prop->num_parameters()) / static_cast<double>(bot->num_parameters());
+  EXPECT_NEAR(reduction, 0.973, 0.005);
+}
+
+TEST(ParamCounts, ViTBaseCloseToPaperAndLargest) {
+  nt::Rng rng(5);
+  auto vit = m::vit_base(96, 10, rng);
+  EXPECT_NEAR(static_cast<double>(vit->num_parameters()), 78218506.0, 0.01 * 78218506.0)
+      << vit->num_parameters();
+}
+
+TEST(ParamCounts, OrderingMatchesTable4) {
+  nt::Rng rng(6);
+  // ViT > ResNet50 > BoTNet50 > ODENet > Proposed.
+  const auto vit = m::vit_base(96, 10, rng)->num_parameters();
+  const auto res = m::resnet50(96, 10, rng)->num_parameters();
+  const auto bot = m::botnet50(96, 10, rng)->num_parameters();
+  const auto ode = m::odenet(96, 10, rng)->num_parameters();
+  const auto prop = m::proposed_model(96, 10, rng)->num_parameters();
+  EXPECT_GT(vit, res);
+  EXPECT_GT(res, bot);
+  EXPECT_GT(bot, ode);
+  EXPECT_GT(ode, prop);
+}
+
+TEST(ParamCounts, OdeBlockStepsDontChangeParams) {
+  nt::Rng rng(7);
+  auto c2 = m::odenet(96, 10, rng, /*steps=*/2);
+  auto c12 = m::odenet(96, 10, rng, /*steps=*/12);
+  EXPECT_EQ(c2->num_parameters(), c12->num_parameters());
+}
+
+TEST(TinyModels, ForwardShapes) {
+  nt::Rng rng(8);
+  for (auto kind : m::tiny_models()) {
+    auto net = m::make_model(kind, 32, 10, rng);
+    net->train(false);
+    auto x = rng.rand(nt::Shape{2, 3, 32, 32});
+    auto y = net->forward(x);
+    EXPECT_EQ(y.shape(), (nt::Shape{2, 10})) << m::to_string(kind);
+    for (nt::index_t i = 0; i < y.numel(); ++i) {
+      EXPECT_FALSE(std::isnan(y[i])) << m::to_string(kind);
+    }
+  }
+}
+
+TEST(TinyModels, BackwardRunsAndProducesGradients) {
+  nt::Rng rng(9);
+  for (auto kind : m::tiny_models()) {
+    auto net = m::make_model(kind, 32, 10, rng);
+    net->train(true);
+    auto x = rng.rand(nt::Shape{2, 3, 32, 32});
+    auto y = net->forward(x);
+    net->zero_grad();
+    net->backward(nt::Tensor(y.shape(), 1.0f));
+    double total = 0.0;
+    for (auto* p : net->parameters()) {
+      for (nt::index_t i = 0; i < p->grad.numel(); ++i) total += std::fabs(p->grad[i]);
+    }
+    EXPECT_GT(total, 0.0) << m::to_string(kind);
+  }
+}
+
+TEST(Proposed, MhsaBlockIsWiredWithPaperDesignPoint) {
+  nt::Rng rng(10);
+  auto prop = m::proposed_model(96, 10, rng);
+  ASSERT_NE(prop->mhsa_block(), nullptr);
+  // The paper's (64, 6, 6) design point: 64-dim MHSA on a 6x6 map.
+  EXPECT_EQ(prop->mhsa_block()->mhsa().config().dim, 64);
+  EXPECT_EQ(prop->mhsa_block()->mhsa().config().height, 6);
+  EXPECT_EQ(prop->final_spatial(), 6);
+  // Eq. 16/17: ReLU attention + output LayerNorm + relative encoding.
+  EXPECT_EQ(prop->mhsa_block()->mhsa().config().attention, m::AttentionKind::kRelu);
+  EXPECT_TRUE(prop->mhsa_block()->mhsa().config().layer_norm_out);
+  EXPECT_EQ(prop->mhsa_block()->mhsa().config().pos, m::PosEncodingKind::kRelative2d);
+}
+
+TEST(OdeNetModel, PlainBackboneHasNoMhsa) {
+  nt::Rng rng(11);
+  auto ode = m::odenet(96, 10, rng);
+  EXPECT_EQ(ode->mhsa_block(), nullptr);
+  EXPECT_EQ(ode->ode_blocks().size(), 3u);
+}
+
+TEST(Zoo, NamesAndFactories) {
+  EXPECT_EQ(m::to_string(m::ModelKind::kProposed), "proposed");
+  EXPECT_EQ(m::paper_name(m::ModelKind::kProposed), "Proposed model");
+  EXPECT_EQ(m::table4_models().size(), 5u);
+  EXPECT_EQ(m::tiny_models().size(), 5u);
+  EXPECT_EQ(m::paper_param_count(m::ModelKind::kOdeNet), 599309);
+}
+
+TEST(Zoo, InvalidImageSizesRejected) {
+  nt::Rng rng(12);
+  EXPECT_THROW(m::odenet(50, 10, rng), std::invalid_argument);  // not /16
+  m::ViTConfig bad;
+  bad.image_size = 50;
+  bad.patch_size = 16;
+  EXPECT_THROW(m::ViT(bad, rng), std::invalid_argument);
+}

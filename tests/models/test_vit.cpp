@@ -1,0 +1,75 @@
+#include "nodetr/models/vit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace m = nodetr::models;
+namespace nt = nodetr::tensor;
+
+namespace {
+m::ViTConfig micro_cfg() {
+  m::ViTConfig cfg;
+  cfg.image_size = 16;
+  cfg.patch_size = 8;
+  cfg.classes = 4;
+  cfg.dim = 8;
+  cfg.depth = 2;
+  cfg.heads = 2;
+  cfg.mlp_dim = 16;
+  return cfg;
+}
+}  // namespace
+
+TEST(ViTBlock, ShapePreserved) {
+  nt::Rng rng(1);
+  m::ViTBlock block(8, 2, 16, rng);
+  auto x = rng.randn(nt::Shape{2, 5, 8});
+  EXPECT_EQ(block.forward(x).shape(), x.shape());
+}
+
+TEST(ViTBlock, GradCheck) {
+  nt::Rng rng(2);
+  m::ViTBlock block(4, 2, 8, rng);
+  auto x = rng.randn(nt::Shape{1, 3, 4});
+  nodetr::testing::expect_gradients_match(block, x, /*seed=*/21, /*checks=*/5, /*eps=*/1e-2f,
+                                          /*tol=*/6e-2f);
+}
+
+TEST(ViT, TokenCountIncludesClassToken) {
+  nt::Rng rng(3);
+  m::ViT vit(micro_cfg(), rng);
+  EXPECT_EQ(vit.tokens(), 2 * 2 + 1);
+}
+
+TEST(ViT, ForwardShape) {
+  nt::Rng rng(4);
+  m::ViT vit(micro_cfg(), rng);
+  auto x = rng.rand(nt::Shape{3, 3, 16, 16});
+  EXPECT_EQ(vit.forward(x).shape(), (nt::Shape{3, 4}));
+}
+
+TEST(ViT, GradCheckMicro) {
+  nt::Rng rng(5);
+  m::ViT vit(micro_cfg(), rng);
+  auto x = rng.rand(nt::Shape{1, 3, 16, 16});
+  // Small eps: the class token feeds several LayerNorms whose curvature makes
+  // coarse central differences unreliable.
+  nodetr::testing::expect_gradients_match(vit, x, /*seed=*/22, /*checks=*/4, /*eps=*/1e-3f,
+                                          /*tol=*/8e-2f);
+}
+
+TEST(ViT, ParamCountFormula) {
+  nt::Rng rng(6);
+  auto cfg = micro_cfg();
+  m::ViT vit(cfg, rng);
+  const nt::index_t d = cfg.dim, t = 5, mlp = cfg.mlp_dim;
+  const nt::index_t patch = 3 * cfg.patch_size * cfg.patch_size * d + d;
+  const nt::index_t block = 2 * (2 * d) +            // two LayerNorms
+                            3 * d * d +              // qkv, no bias/out-proj
+                            (d * mlp + mlp) + (mlp * d + d);  // MLP
+  const nt::index_t expected = patch + d /*cls*/ + t * d /*pos*/ + cfg.depth * block +
+                               2 * d /*final LN*/ + (d * cfg.classes + cfg.classes);
+  EXPECT_EQ(vit.num_parameters(), expected);
+}

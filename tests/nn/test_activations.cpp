@@ -1,0 +1,53 @@
+#include "nodetr/nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(ReluModule, ForwardClampsAndBackwardMasks) {
+  nn::ReLU relu;
+  nt::Tensor x(nt::Shape{4}, std::vector<float>{-1.0f, 0.0f, 0.5f, 2.0f});
+  auto y = relu.forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_EQ(y[2], 0.5f);
+  nt::Tensor g(nt::Shape{4}, 1.0f);
+  auto gx = relu.backward(g);
+  EXPECT_EQ(gx[0], 0.0f);
+  EXPECT_EQ(gx[1], 0.0f);  // subgradient 0 at exactly zero
+  EXPECT_EQ(gx[2], 1.0f);
+  EXPECT_EQ(gx[3], 1.0f);
+}
+
+TEST(ReluModule, GradCheck) {
+  nn::ReLU relu;
+  nt::Rng rng(1);
+  auto x = rng.randn(nt::Shape{3, 7});
+  nodetr::testing::expect_gradients_match(relu, x);
+}
+
+TEST(GeluModule, KnownValues) {
+  nn::GELU gelu;
+  nt::Tensor x(nt::Shape{3}, std::vector<float>{-10.0f, 0.0f, 10.0f});
+  auto y = gelu.forward(x);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 10.0f, 1e-3f);
+}
+
+TEST(GeluModule, GradCheck) {
+  nn::GELU gelu;
+  nt::Rng rng(2);
+  auto x = rng.randn(nt::Shape{4, 5});
+  nodetr::testing::expect_gradients_match(gelu, x);
+}
+
+TEST(GeluModule, MonotoneAbovePositiveRegion) {
+  nn::GELU gelu;
+  nt::Tensor x(nt::Shape{2}, std::vector<float>{1.0f, 2.0f});
+  auto y = gelu.forward(x);
+  EXPECT_LT(y[0], y[1]);
+}

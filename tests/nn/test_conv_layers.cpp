@@ -1,0 +1,64 @@
+#include "nodetr/nn/conv_layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(Conv2dModule, OutputShape) {
+  nt::Rng rng(1);
+  nn::Conv2d conv(3, 8, 3, 2, 1, true, rng);
+  auto x = rng.randn(nt::Shape{2, 3, 8, 8});
+  auto y = conv.forward(x);
+  EXPECT_EQ(y.shape(), (nt::Shape{2, 8, 4, 4}));
+}
+
+TEST(Conv2dModule, ParameterCount) {
+  nt::Rng rng(2);
+  nn::Conv2d with(3, 8, 3, 1, 1, true, rng);
+  EXPECT_EQ(with.num_parameters(), 8 * 3 * 3 * 3 + 8);
+  nn::Conv2d without(3, 8, 3, 1, 1, false, rng);
+  EXPECT_EQ(without.num_parameters(), 8 * 3 * 3 * 3);
+}
+
+TEST(Conv2dModule, GradCheck) {
+  nt::Rng rng(3);
+  nn::Conv2d conv(2, 3, 3, 1, 1, true, rng);
+  auto x = rng.randn(nt::Shape{1, 2, 4, 4});
+  nodetr::testing::expect_gradients_match(conv, x);
+}
+
+TEST(Conv2dModule, GradCheckStride2) {
+  nt::Rng rng(4);
+  nn::Conv2d conv(2, 2, 3, 2, 1, false, rng);
+  auto x = rng.randn(nt::Shape{2, 2, 5, 5});
+  nodetr::testing::expect_gradients_match(conv, x);
+}
+
+TEST(DscModule, ParameterSizeFormula) {
+  // Paper Sec. IV: DSC parameter size is N*K^2 + N*M (vs dense N*M*K^2).
+  nt::Rng rng(5);
+  const nt::index_t n = 16, m = 32, k = 3;
+  nn::DepthwiseSeparableConv dsc(n, m, k, 1, 1, rng);
+  EXPECT_EQ(dsc.num_parameters(), n * k * k + n * m);
+  nn::Conv2d dense(n, m, k, 1, 1, false, rng);
+  EXPECT_EQ(dense.num_parameters(), n * m * k * k);
+  // Roughly K^2 reduction when N, M >> K.
+  EXPECT_GT(static_cast<double>(dense.num_parameters()) / dsc.num_parameters(), 5.0);
+}
+
+TEST(DscModule, OutputShapePreservedWithSamePadding) {
+  nt::Rng rng(6);
+  nn::DepthwiseSeparableConv dsc(4, 8, 3, 1, 1, rng);
+  auto x = rng.randn(nt::Shape{2, 4, 6, 6});
+  EXPECT_EQ(dsc.forward(x).shape(), (nt::Shape{2, 8, 6, 6}));
+}
+
+TEST(DscModule, GradCheck) {
+  nt::Rng rng(7);
+  nn::DepthwiseSeparableConv dsc(3, 4, 3, 1, 1, rng);
+  auto x = rng.randn(nt::Shape{1, 3, 4, 4});
+  nodetr::testing::expect_gradients_match(dsc, x);
+}

@@ -1,0 +1,64 @@
+#include "nodetr/nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(Linear, OutputShapeAndBias) {
+  nt::Rng rng(1);
+  nn::Linear lin(4, 3, /*bias=*/true, rng);
+  auto x = rng.randn(nt::Shape{5, 4});
+  auto y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (nt::Shape{5, 3}));
+  // Shifting the bias shifts the output by the same amount.
+  lin.bias().value[1] += 10.0f;
+  auto y2 = lin.forward(x);
+  EXPECT_NEAR(y2.at(2, 1) - y.at(2, 1), 10.0f, 1e-5f);
+  EXPECT_NEAR(y2.at(2, 0) - y.at(2, 0), 0.0f, 1e-5f);
+}
+
+TEST(Linear, NoBiasHasFewerParameters) {
+  nt::Rng rng(2);
+  nn::Linear with(4, 3, true, rng), without(4, 3, false, rng);
+  EXPECT_EQ(with.num_parameters(), 4 * 3 + 3);
+  EXPECT_EQ(without.num_parameters(), 4 * 3);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  nt::Rng rng(3);
+  nn::Linear lin(4, 3, true, rng);
+  EXPECT_THROW(lin.forward(nt::Tensor(nt::Shape{2, 5})), std::invalid_argument);
+}
+
+TEST(Linear, GradCheckWithBias) {
+  nt::Rng rng(4);
+  nn::Linear lin(6, 4, true, rng);
+  auto x = rng.randn(nt::Shape{3, 6});
+  nodetr::testing::expect_gradients_match(lin, x);
+}
+
+TEST(Linear, GradCheckNoBias) {
+  nt::Rng rng(5);
+  nn::Linear lin(5, 2, false, rng);
+  auto x = rng.randn(nt::Shape{2, 5});
+  nodetr::testing::expect_gradients_match(lin, x);
+}
+
+TEST(Linear, GradientsAccumulateAcrossBackwardCalls) {
+  nt::Rng rng(6);
+  nn::Linear lin(3, 2, false, rng);
+  auto x = rng.randn(nt::Shape{2, 3});
+  auto y = lin.forward(x);
+  nt::Tensor cot(y.shape(), 1.0f);
+  lin.zero_grad();
+  lin.backward(cot);
+  const float g1 = lin.weight().grad[0];
+  lin.forward(x);
+  lin.backward(cot);
+  EXPECT_NEAR(lin.weight().grad[0], 2 * g1, 1e-5f);
+  lin.zero_grad();
+  EXPECT_EQ(lin.weight().grad[0], 0.0f);
+}

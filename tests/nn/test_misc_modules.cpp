@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+#include "nodetr/nn/activations.hpp"
+#include "nodetr/nn/dropout.hpp"
+#include "nodetr/nn/linear.hpp"
+#include "nodetr/nn/posenc.hpp"
+#include "nodetr/nn/sequential.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(DropoutModule, EvalModeIsIdentity) {
+  nn::Dropout drop(0.5f);
+  drop.train(false);
+  nt::Rng rng(1);
+  auto x = rng.randn(nt::Shape{100});
+  EXPECT_TRUE(nt::allclose(drop.forward(x), x, 0.0f, 0.0f));
+}
+
+TEST(DropoutModule, TrainModeDropsRoughlyP) {
+  nn::Dropout drop(0.3f, /*seed=*/9);
+  drop.train(true);
+  auto x = nt::Tensor::ones(nt::Shape{10000});
+  auto y = drop.forward(x);
+  nt::index_t zeros = 0;
+  for (nt::index_t i = 0; i < y.numel(); ++i) zeros += (y[i] == 0.0f);
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+  // Surviving activations scale by 1/(1-p), keeping the expectation fixed.
+  EXPECT_NEAR(nt::mean(y), 1.0f, 0.05f);
+}
+
+TEST(DropoutModule, BackwardUsesSameMask) {
+  nn::Dropout drop(0.5f, 7);
+  drop.train(true);
+  auto x = nt::Tensor::ones(nt::Shape{64});
+  auto y = drop.forward(x);
+  auto gx = drop.backward(nt::Tensor::ones(nt::Shape{64}));
+  for (nt::index_t i = 0; i < 64; ++i) EXPECT_EQ(gx[i], y[i]);
+}
+
+TEST(DropoutModule, InvalidProbabilityThrows) {
+  EXPECT_THROW(nn::Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(nn::Dropout(1.0f), std::invalid_argument);
+}
+
+TEST(SequentialModule, ChainsForwardAndBackward) {
+  nt::Rng rng(2);
+  nn::Sequential seq;
+  seq.emplace<nn::Linear>(4, 8, true, rng);
+  seq.emplace<nn::ReLU>();
+  seq.emplace<nn::Linear>(8, 2, true, rng);
+  auto x = rng.randn(nt::Shape{3, 4});
+  auto y = seq.forward(x);
+  EXPECT_EQ(y.shape(), (nt::Shape{3, 2}));
+  EXPECT_EQ(seq.num_parameters(), 4 * 8 + 8 + 8 * 2 + 2);
+  nodetr::testing::expect_gradients_match(seq, x);
+}
+
+TEST(SequentialModule, TrainModePropagatesToChildren) {
+  nt::Rng rng(3);
+  nn::Sequential seq;
+  auto& drop = seq.emplace<nn::Dropout>(0.5f);
+  seq.train(false);
+  EXPECT_FALSE(drop.training());
+  seq.train(true);
+  EXPECT_TRUE(drop.training());
+}
+
+TEST(SinusoidalEncoding, FirstPositionIsSinZeroCosZero) {
+  auto p = nn::sinusoidal_encoding(4, 6);
+  EXPECT_FLOAT_EQ(p.at(0, 0), 0.0f);  // sin(0)
+  EXPECT_FLOAT_EQ(p.at(0, 1), 1.0f);  // cos(0)
+  EXPECT_FLOAT_EQ(p.at(0, 4), 0.0f);
+}
+
+TEST(SinusoidalEncoding, ValuesBoundedByOne) {
+  auto p = nn::sinusoidal_encoding(50, 32);
+  for (nt::index_t i = 0; i < p.numel(); ++i) {
+    EXPECT_LE(p[i], 1.0f);
+    EXPECT_GE(p[i], -1.0f);
+  }
+}
+
+TEST(SinusoidalEncoding, DistinctPositionsGetDistinctCodes) {
+  auto p = nn::sinusoidal_encoding(10, 16);
+  for (nt::index_t i = 1; i < 10; ++i) {
+    EXPECT_GT(nt::max_abs_diff(p.slice0(0, 1), p.slice0(i, i + 1)), 1e-3f) << "position " << i;
+  }
+}

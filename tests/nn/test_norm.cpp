@@ -1,0 +1,128 @@
+#include "nodetr/nn/norm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(BatchNorm, TrainModeNormalizesPerChannel) {
+  nt::Rng rng(1);
+  nn::BatchNorm2d bn(3);
+  bn.train(true);
+  auto x = rng.randn(nt::Shape{4, 3, 5, 5}, 2.0f, 3.0f);
+  auto y = bn.forward(x);
+  // Each channel of the output has ~zero mean and ~unit variance.
+  for (nt::index_t c = 0; c < 3; ++c) {
+    double s = 0.0, s2 = 0.0;
+    nt::index_t n = 0;
+    for (nt::index_t b = 0; b < 4; ++b)
+      for (nt::index_t i = 0; i < 25; ++i) {
+        const float v = y.data()[(b * 3 + c) * 25 + i];
+        s += v;
+        s2 += static_cast<double>(v) * v;
+        ++n;
+      }
+    EXPECT_NEAR(s / n, 0.0, 1e-4);
+    EXPECT_NEAR(s2 / n, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataMoments) {
+  nt::Rng rng(2);
+  nn::BatchNorm2d bn(2);
+  bn.train(true);
+  for (int i = 0; i < 200; ++i) {
+    auto x = rng.randn(nt::Shape{8, 2, 4, 4}, 1.5f, 2.0f);
+    bn.forward(x);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 1.5f, 0.15f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 0.5f);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  nt::Rng rng(3);
+  nn::BatchNorm2d bn(2);
+  bn.train(true);
+  for (int i = 0; i < 100; ++i) bn.forward(rng.randn(nt::Shape{8, 2, 4, 4}, 1.0f, 1.0f));
+  bn.train(false);
+  // In eval mode a single constant input maps deterministically through the
+  // frozen statistics; two different batches must not influence each other.
+  auto x1 = nt::Tensor::full(nt::Shape{1, 2, 4, 4}, 1.0f);
+  auto y1 = bn.forward(x1);
+  bn.forward(rng.randn(nt::Shape{4, 2, 4, 4}, 50.0f, 1.0f));
+  auto y1_again = bn.forward(x1);
+  EXPECT_TRUE(nt::allclose(y1, y1_again, 1e-6f, 1e-6f));
+}
+
+TEST(BatchNorm, GradCheckTrainMode) {
+  nt::Rng rng(4);
+  nn::BatchNorm2d bn(2);
+  bn.train(true);
+  auto x = rng.randn(nt::Shape{3, 2, 3, 3});
+  // BatchNorm gradients are small & coupled; use a slightly looser tolerance.
+  nodetr::testing::expect_gradients_match(bn, x, /*seed=*/44, /*checks=*/6, /*eps=*/1e-2f,
+                                          /*tol=*/5e-2f);
+}
+
+TEST(BatchNorm, GradCheckEvalMode) {
+  nt::Rng rng(5);
+  nn::BatchNorm2d bn(2);
+  bn.train(true);
+  for (int i = 0; i < 20; ++i) bn.forward(rng.randn(nt::Shape{4, 2, 3, 3}));
+  bn.train(false);
+  auto x = rng.randn(nt::Shape{2, 2, 3, 3});
+  nodetr::testing::expect_gradients_match(bn, x);
+}
+
+TEST(BatchNorm, RejectsWrongChannelCount) {
+  nt::Rng rng(6);
+  nn::BatchNorm2d bn(3);
+  EXPECT_THROW(bn.forward(nt::Tensor(nt::Shape{1, 2, 4, 4})), std::invalid_argument);
+}
+
+TEST(LayerNormModule, NormalizesRows) {
+  nt::Rng rng(7);
+  nn::LayerNorm ln(16);
+  auto x = rng.randn(nt::Shape{5, 16}, 4.0f, 3.0f);
+  auto y = ln.forward(x);
+  for (nt::index_t r = 0; r < 5; ++r) {
+    auto row = y.slice0(r, r + 1);
+    EXPECT_NEAR(nt::mean(row), 0.0f, 1e-4f);
+    EXPECT_NEAR(nt::variance(row), 1.0f, 1e-2f);
+  }
+}
+
+TEST(LayerNormModule, AppliesGainAndBias) {
+  nt::Rng rng(8);
+  nn::LayerNorm ln(4);
+  auto params = ln.parameters();
+  params[0]->value.fill(2.0f);  // gamma
+  params[1]->value.fill(1.0f);  // beta
+  auto x = rng.randn(nt::Shape{3, 4});
+  auto y = ln.forward(x);
+  // mean = beta, variance = gamma^2 per row.
+  for (nt::index_t r = 0; r < 3; ++r) {
+    auto row = y.slice0(r, r + 1);
+    EXPECT_NEAR(nt::mean(row), 1.0f, 1e-4f);
+    EXPECT_NEAR(nt::variance(row), 4.0f, 5e-2f);
+  }
+}
+
+TEST(LayerNormModule, HandlesHigherRankInputs) {
+  nt::Rng rng(9);
+  nn::LayerNorm ln(8);
+  auto x = rng.randn(nt::Shape{2, 3, 8});
+  auto y = ln.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(LayerNormModule, GradCheck) {
+  nt::Rng rng(10);
+  nn::LayerNorm ln(6);
+  auto x = rng.randn(nt::Shape{4, 6});
+  nodetr::testing::expect_gradients_match(ln, x, /*seed=*/55, /*checks=*/8, /*eps=*/1e-2f,
+                                          /*tol=*/5e-2f);
+}

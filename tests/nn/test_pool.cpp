@@ -1,0 +1,68 @@
+#include "nodetr/nn/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(MaxPool, KnownValues) {
+  nn::MaxPool2d pool(2, 2, 0);
+  auto x = nt::Tensor::arange(16).reshape(nt::Shape{1, 1, 4, 4});
+  auto y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (nt::Shape{1, 1, 2, 2}));
+  EXPECT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmaxOnly) {
+  nn::MaxPool2d pool(2, 2, 0);
+  auto x = nt::Tensor::arange(16).reshape(nt::Shape{1, 1, 4, 4});
+  pool.forward(x);
+  nt::Tensor g(nt::Shape{1, 1, 2, 2}, 1.0f);
+  auto gx = pool.backward(g);
+  float total = 0.0f;
+  for (nt::index_t i = 0; i < 16; ++i) total += gx[i];
+  EXPECT_EQ(total, 4.0f);
+  EXPECT_EQ(gx.at(0, 0, 1, 1), 1.0f);   // index 5 is a window max
+  EXPECT_EQ(gx.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(MaxPool, PaddingProducesOverlapWindow) {
+  nn::MaxPool2d pool(3, 2, 1);
+  nt::Rng rng(1);
+  auto x = rng.randn(nt::Shape{1, 2, 8, 8});
+  auto y = pool.forward(x);
+  EXPECT_EQ(y.shape(), (nt::Shape{1, 2, 4, 4}));
+}
+
+TEST(AvgPool, UniformInputIsPreserved) {
+  nn::AvgPool2d pool(2, 2, 0);
+  auto x = nt::Tensor::full(nt::Shape{1, 1, 4, 4}, 3.0f);
+  auto y = pool.forward(x);
+  for (nt::index_t i = 0; i < y.numel(); ++i) EXPECT_FLOAT_EQ(y[i], 3.0f);
+}
+
+TEST(AvgPool, GradCheck) {
+  nt::Rng rng(2);
+  nn::AvgPool2d pool(2, 2, 0);
+  auto x = rng.randn(nt::Shape{1, 2, 4, 4});
+  nodetr::testing::expect_gradients_match(pool, x);
+}
+
+TEST(GlobalAvgPool, ReducesToChannelMeans) {
+  auto x = nt::Tensor::arange(2 * 3 * 2 * 2).reshape(nt::Shape{2, 3, 2, 2});
+  nn::GlobalAvgPool gap;
+  auto y = gap.forward(x);
+  EXPECT_EQ(y.shape(), (nt::Shape{2, 3}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.5f);   // mean of 0,1,2,3
+  EXPECT_FLOAT_EQ(y.at(1, 2), 21.5f);  // mean of 20..23
+}
+
+TEST(GlobalAvgPool, GradCheck) {
+  nt::Rng rng(3);
+  nn::GlobalAvgPool gap;
+  auto x = rng.randn(nt::Shape{2, 3, 3, 3});
+  nodetr::testing::expect_gradients_match(gap, x);
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "../common/gradcheck.hpp"
+#include "nodetr/nn/conv_layers.hpp"
+#include "nodetr/nn/linear.hpp"
+#include "nodetr/nn/norm.hpp"
+#include "nodetr/nn/residual.hpp"
+#include "nodetr/nn/seq_attention.hpp"
+#include "nodetr/nn/sequential.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(Residual, IdentitySkipAddsInput) {
+  nt::Rng rng(1);
+  auto body = std::make_unique<nn::Sequential>();
+  body->emplace<nn::Conv2d>(2, 2, 3, 1, 1, false, rng);
+  nn::Residual res(std::move(body), nullptr, /*final_relu=*/false);
+  auto x = rng.randn(nt::Shape{1, 2, 4, 4});
+  auto y = res.forward(x);
+  // Zeroing the conv weight makes the block the identity.
+  for (auto* p : res.parameters()) p->value.zero();
+  EXPECT_TRUE(nt::allclose(res.forward(x), x, 0.0f, 0.0f));
+  (void)y;
+}
+
+TEST(Residual, ProjectionSkipChangesShape) {
+  nt::Rng rng(2);
+  auto body = std::make_unique<nn::Sequential>();
+  body->emplace<nn::Conv2d>(2, 4, 3, 2, 1, false, rng);
+  auto skip = std::make_unique<nn::Sequential>();
+  skip->emplace<nn::Conv2d>(2, 4, 1, 2, 0, false, rng);
+  nn::Residual res(std::move(body), std::move(skip), true);
+  auto x = rng.randn(nt::Shape{1, 2, 6, 6});
+  EXPECT_EQ(res.forward(x).shape(), (nt::Shape{1, 4, 3, 3}));
+}
+
+TEST(Residual, FinalReluClamps) {
+  nt::Rng rng(3);
+  auto body = std::make_unique<nn::Sequential>();
+  body->emplace<nn::Conv2d>(1, 1, 1, 1, 0, false, rng);
+  nn::Residual res(std::move(body), nullptr, true);
+  auto x = rng.randn(nt::Shape{2, 1, 3, 3});
+  auto y = res.forward(x);
+  EXPECT_GE(nt::min(y), 0.0f);
+}
+
+TEST(Residual, GradCheckIdentitySkip) {
+  nt::Rng rng(4);
+  auto body = std::make_unique<nn::Sequential>();
+  body->emplace<nn::Conv2d>(2, 2, 3, 1, 1, false, rng);
+  nn::Residual res(std::move(body), nullptr, true);
+  auto x = rng.randn(nt::Shape{1, 2, 3, 3});
+  nodetr::testing::expect_gradients_match(res, x, /*seed=*/11, /*checks=*/6, /*eps=*/2e-3f,
+                                          /*tol=*/4e-2f);
+}
+
+TEST(Residual, GradCheckProjectionSkip) {
+  nt::Rng rng(5);
+  auto body = std::make_unique<nn::Sequential>();
+  body->emplace<nn::Conv2d>(2, 4, 3, 2, 1, false, rng);
+  auto skip = std::make_unique<nn::Sequential>();
+  skip->emplace<nn::Conv2d>(2, 4, 1, 2, 0, false, rng);
+  nn::Residual res(std::move(body), std::move(skip), false);
+  auto x = rng.randn(nt::Shape{1, 2, 4, 4});
+  nodetr::testing::expect_gradients_match(res, x);
+}
+
+TEST(Residual, NullBodyRejected) {
+  EXPECT_THROW(nn::Residual(nullptr), std::invalid_argument);
+}
+
+TEST(SeqMhsa, ShapePreservedAndHeadsValidated) {
+  nt::Rng rng(6);
+  nn::SeqMhsa attn(8, 2, rng);
+  auto x = rng.randn(nt::Shape{2, 5, 8});
+  EXPECT_EQ(attn.forward(x).shape(), x.shape());
+  EXPECT_THROW(nn::SeqMhsa(7, 2, rng), std::invalid_argument);
+  EXPECT_THROW(attn.forward(nt::Tensor(nt::Shape{2, 5, 4})), std::invalid_argument);
+}
+
+TEST(SeqMhsa, NoBiasNoOutputProjectionParamCount) {
+  // Faithful to the paper's Eq. 9: exactly 3 D*D projection matrices.
+  nt::Rng rng(7);
+  nn::SeqMhsa attn(16, 4, rng);
+  EXPECT_EQ(attn.num_parameters(), 3 * 16 * 16);
+}
+
+TEST(SeqMhsa, PermutationEquivariantOverTokens) {
+  nt::Rng rng(8);
+  nn::SeqMhsa attn(8, 2, rng);
+  auto x = rng.randn(nt::Shape{1, 4, 8});
+  auto y = attn.forward(x);
+  // Swap tokens 0 and 3.
+  auto xs = x;
+  for (nt::index_t c = 0; c < 8; ++c) std::swap(xs.at(0, 0, c), xs.at(0, 3, c));
+  auto ys = attn.forward(xs);
+  for (nt::index_t c = 0; c < 8; ++c) {
+    EXPECT_NEAR(ys.at(0, 3, c), y.at(0, 0, c), 1e-4f);
+    EXPECT_NEAR(ys.at(0, 0, c), y.at(0, 3, c), 1e-4f);
+  }
+}
+
+TEST(SeqMhsa, GradCheck) {
+  nt::Rng rng(9);
+  nn::SeqMhsa attn(4, 2, rng);
+  auto x = rng.randn(nt::Shape{2, 3, 4});
+  nodetr::testing::expect_gradients_match(attn, x, /*seed=*/13, /*checks=*/6, /*eps=*/1e-2f,
+                                          /*tol=*/5e-2f);
+}

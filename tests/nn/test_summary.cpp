@@ -1,0 +1,44 @@
+#include "nodetr/nn/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nodetr/nn/activations.hpp"
+#include "nodetr/nn/linear.hpp"
+#include "nodetr/nn/sequential.hpp"
+
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+
+TEST(WithCommas, Formats) {
+  EXPECT_EQ(nn::with_commas(0), "0");
+  EXPECT_EQ(nn::with_commas(999), "999");
+  EXPECT_EQ(nn::with_commas(1000), "1,000");
+  EXPECT_EQ(nn::with_commas(23522362), "23,522,362");
+  EXPECT_EQ(nn::with_commas(-1234), "-1,234");
+}
+
+TEST(Summary, ShowsTreeWithCounts) {
+  nt::Rng rng(1);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(4, 8, true, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(8, 2, true, rng);
+  const auto s = nn::summary(net);
+  EXPECT_NE(s.find("Sequential[3]"), std::string::npos);
+  EXPECT_NE(s.find("Linear(4->8)  (40 params)"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+  // Root line carries the subtree total: 40 + 18.
+  EXPECT_NE(s.find("[58 params total]"), std::string::npos);
+}
+
+TEST(Summary, NestedIndentation) {
+  nt::Rng rng(2);
+  auto inner = std::make_unique<nn::Sequential>();
+  inner->emplace<nn::ReLU>();
+  nn::Sequential outer;
+  outer.push_back(std::move(inner));
+  const auto s = nn::summary(outer);
+  // Child at depth 1 gets two spaces, grandchild four.
+  EXPECT_NE(s.find("\n  Sequential[1]"), std::string::npos);
+  EXPECT_NE(s.find("\n    ReLU"), std::string::npos);
+}

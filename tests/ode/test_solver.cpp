@@ -1,0 +1,125 @@
+#include "nodetr/ode/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ode = nodetr::ode;
+namespace nt = nodetr::tensor;
+
+namespace {
+
+// dz/dt = z  =>  z(1) = e * z(0).
+ode::OdeRhs exp_rhs() {
+  return [](const nt::Tensor& z, float) { return z; };
+}
+
+// dz/dt = cos(t), z(0)=0  =>  z(t)=sin(t). Time-dependent RHS.
+ode::OdeRhs cos_rhs() {
+  return [](const nt::Tensor& z, float t) {
+    nt::Tensor d(z.shape());
+    d.fill(std::cos(t));
+    return d;
+  };
+}
+
+float solve_exp(const ode::OdeSolver& s, nt::index_t steps) {
+  nt::Tensor z0(nt::Shape{1}, 1.0f);
+  return s.integrate(z0, 0.0f, 1.0f, steps, exp_rhs())[0];
+}
+
+}  // namespace
+
+TEST(Solvers, EulerConvergesToExp) {
+  ode::EulerSolver euler;
+  EXPECT_NEAR(solve_exp(euler, 1000), std::exp(1.0f), 2e-3f);
+}
+
+TEST(Solvers, EulerIsFirstOrder) {
+  ode::EulerSolver euler;
+  const float e = std::exp(1.0f);
+  const float err10 = std::fabs(solve_exp(euler, 10) - e);
+  const float err20 = std::fabs(solve_exp(euler, 20) - e);
+  // Halving h halves the error (within 20%).
+  EXPECT_NEAR(err10 / err20, 2.0f, 0.4f);
+}
+
+TEST(Solvers, MidpointIsSecondOrder) {
+  ode::MidpointSolver mid;
+  const float e = std::exp(1.0f);
+  const float err10 = std::fabs(solve_exp(mid, 10) - e);
+  const float err20 = std::fabs(solve_exp(mid, 20) - e);
+  EXPECT_NEAR(err10 / err20, 4.0f, 1.0f);
+}
+
+TEST(Solvers, Rk4IsFourthOrder) {
+  ode::Rk4Solver rk4;
+  const float e = std::exp(1.0f);
+  const double err5 = std::fabs(solve_exp(rk4, 5) - e);
+  const double err10 = std::fabs(solve_exp(rk4, 10) - e);
+  EXPECT_GT(err5 / std::max(err10, 1e-9), 8.0);  // ~16x in exact arithmetic
+}
+
+TEST(Solvers, AccuracyOrderingAtFixedSteps) {
+  const float e = std::exp(1.0f);
+  ode::EulerSolver euler;
+  ode::MidpointSolver mid;
+  ode::Rk4Solver rk4;
+  const float ee = std::fabs(solve_exp(euler, 8) - e);
+  const float em = std::fabs(solve_exp(mid, 8) - e);
+  const float er = std::fabs(solve_exp(rk4, 8) - e);
+  EXPECT_GT(ee, em);
+  EXPECT_GT(em, er);
+}
+
+TEST(Solvers, TimeDependentRhs) {
+  ode::Rk4Solver rk4;
+  nt::Tensor z0(nt::Shape{1}, 0.0f);
+  auto z = rk4.integrate(z0, 0.0f, 2.0f, 50, cos_rhs());
+  EXPECT_NEAR(z[0], std::sin(2.0f), 1e-4f);
+}
+
+TEST(Solvers, VectorStateIntegratesElementwise) {
+  ode::Rk4Solver rk4;
+  nt::Tensor z0(nt::Shape{3}, std::vector<float>{1.0f, 2.0f, -1.0f});
+  auto z = rk4.integrate(z0, 0.0f, 1.0f, 50, exp_rhs());
+  const float e = std::exp(1.0f);
+  EXPECT_NEAR(z[0], e, 1e-3f);
+  EXPECT_NEAR(z[1], 2 * e, 2e-3f);
+  EXPECT_NEAR(z[2], -e, 1e-3f);
+}
+
+TEST(Solvers, ZeroStepsRejected) {
+  ode::EulerSolver euler;
+  nt::Tensor z0(nt::Shape{1}, 1.0f);
+  EXPECT_THROW(euler.integrate(z0, 0.0f, 1.0f, 0, exp_rhs()), std::invalid_argument);
+}
+
+TEST(Solvers, DormandPrinceMeetsTolerance) {
+  ode::DormandPrince45 dp(1e-6f, 1e-8f);
+  nt::Tensor z0(nt::Shape{1}, 1.0f);
+  auto z = dp.integrate(z0, 0.0f, 1.0f, 0, exp_rhs());
+  EXPECT_NEAR(z[0], std::exp(1.0f), 1e-4f);
+  EXPECT_GT(dp.last_stats().accepted, 0);
+  EXPECT_GT(dp.last_stats().rhs_evals, 6);
+}
+
+TEST(Solvers, DormandPrinceAdaptsStepCount) {
+  // A looser tolerance must not need more steps than a tight one.
+  nt::Tensor z0(nt::Shape{1}, 1.0f);
+  ode::DormandPrince45 loose(1e-3f, 1e-5f), tight(1e-8f, 1e-10f);
+  loose.integrate(z0, 0.0f, 1.0f, 0, exp_rhs());
+  const auto loose_evals = loose.last_stats().rhs_evals;
+  tight.integrate(z0, 0.0f, 1.0f, 0, exp_rhs());
+  EXPECT_LE(loose_evals, tight.last_stats().rhs_evals);
+}
+
+TEST(Solvers, FactoryProducesAllKinds) {
+  for (auto kind : {ode::SolverKind::kEuler, ode::SolverKind::kMidpoint, ode::SolverKind::kRk4,
+                    ode::SolverKind::kDopri45}) {
+    auto s = ode::make_solver(kind);
+    ASSERT_NE(s, nullptr);
+    EXPECT_FALSE(s->name().empty());
+    EXPECT_GT(s->rhs_evals_per_step(), 0);
+  }
+}

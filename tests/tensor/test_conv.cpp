@@ -1,0 +1,202 @@
+#include "nodetr/tensor/conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace nt = nodetr::tensor;
+
+namespace {
+
+// Direct reference convolution for validation.
+nt::Tensor naive_conv2d(const nt::Tensor& x, const nt::Tensor& w, const nt::Tensor& b,
+                        const nt::Conv2dGeom& g) {
+  const auto n = x.dim(0), h = x.dim(2), ww = x.dim(3);
+  const auto ho = g.out_extent(h), wo = g.out_extent(ww);
+  nt::Tensor out(nt::Shape{n, g.out_channels, ho, wo});
+  for (nt::index_t s = 0; s < n; ++s)
+    for (nt::index_t oc = 0; oc < g.out_channels; ++oc)
+      for (nt::index_t oy = 0; oy < ho; ++oy)
+        for (nt::index_t ox = 0; ox < wo; ++ox) {
+          double acc = b.empty() ? 0.0 : b[oc];
+          for (nt::index_t ic = 0; ic < g.in_channels; ++ic)
+            for (nt::index_t ky = 0; ky < g.kernel; ++ky)
+              for (nt::index_t kx = 0; kx < g.kernel; ++kx) {
+                const auto iy = oy * g.stride + ky - g.pad;
+                const auto ix = ox * g.stride + kx - g.pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= ww) continue;
+                acc += static_cast<double>(x.at(s, ic, iy, ix)) *
+                       w[((oc * g.in_channels + ic) * g.kernel + ky) * g.kernel + kx];
+              }
+          out.at(s, oc, oy, ox) = static_cast<float>(acc);
+        }
+  return out;
+}
+
+// Numerical gradient of sum(conv(x)) w.r.t. x[i], central differences.
+float numgrad_input(const nt::Tensor& x, const nt::Tensor& w, const nt::Conv2dGeom& g,
+                    nt::index_t i) {
+  const float eps = 1e-3f;
+  nt::Tensor xp = x, xm = x;
+  xp[i] += eps;
+  xm[i] -= eps;
+  const float fp = nt::sum(nt::conv2d(xp, w, {}, g));
+  const float fm = nt::sum(nt::conv2d(xm, w, {}, g));
+  return (fp - fm) / (2 * eps);
+}
+
+}  // namespace
+
+TEST(Conv2d, Im2ColRoundTripIdentityKernel) {
+  // A 1x1 kernel stride 1 im2col is exactly the flattened image.
+  nt::Conv2dGeom g{.in_channels = 2, .out_channels = 2, .kernel = 1, .stride = 1, .pad = 0};
+  nt::Rng rng(1);
+  auto img = rng.randn(nt::Shape{2, 4, 4});
+  std::vector<float> col(2 * 16);
+  nt::im2col(img.data(), 2, 4, 4, g, col.data());
+  for (nt::index_t i = 0; i < img.numel(); ++i) EXPECT_FLOAT_EQ(col[static_cast<size_t>(i)], img[i]);
+}
+
+TEST(Conv2d, MatchesNaiveStride1Pad1) {
+  nt::Conv2dGeom g{.in_channels = 3, .out_channels = 4, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(2);
+  auto x = rng.randn(nt::Shape{2, 3, 6, 6});
+  auto w = rng.randn(nt::Shape{4, 3, 3, 3});
+  auto b = rng.randn(nt::Shape{4});
+  EXPECT_TRUE(nt::allclose(nt::conv2d(x, w, b, g), naive_conv2d(x, w, b, g), 1e-4f, 1e-4f));
+}
+
+TEST(Conv2d, MatchesNaiveStride2) {
+  nt::Conv2dGeom g{.in_channels = 2, .out_channels = 3, .kernel = 3, .stride = 2, .pad = 1};
+  nt::Rng rng(3);
+  auto x = rng.randn(nt::Shape{1, 2, 7, 7});
+  auto w = rng.randn(nt::Shape{3, 2, 3, 3});
+  auto out = nt::conv2d(x, w, {}, g);
+  EXPECT_EQ(out.shape(), (nt::Shape{1, 3, 4, 4}));
+  EXPECT_TRUE(nt::allclose(out, naive_conv2d(x, w, {}, g), 1e-4f, 1e-4f));
+}
+
+TEST(Conv2d, OutExtentFormula) {
+  nt::Conv2dGeom g{.in_channels = 1, .out_channels = 1, .kernel = 3, .stride = 2, .pad = 1};
+  EXPECT_EQ(g.out_extent(96), 48);
+  EXPECT_EQ(g.out_extent(7), 4);
+}
+
+TEST(Conv2d, BackwardInputMatchesNumerical) {
+  nt::Conv2dGeom g{.in_channels = 2, .out_channels = 2, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(4);
+  auto x = rng.randn(nt::Shape{1, 2, 4, 4});
+  auto w = rng.randn(nt::Shape{2, 2, 3, 3});
+  // d sum(y) / dx == conv2d_backward_input(ones).
+  auto y = nt::conv2d(x, w, {}, g);
+  nt::Tensor gout(y.shape(), 1.0f);
+  auto gx = nt::conv2d_backward_input(gout, w, g, 4, 4);
+  for (nt::index_t i : {0, 5, 17, 31}) {
+    EXPECT_NEAR(gx[i], numgrad_input(x, w, g, i), 1e-2f) << "at flat index " << i;
+  }
+}
+
+TEST(Conv2d, BackwardParamsMatchesNumerical) {
+  nt::Conv2dGeom g{.in_channels = 1, .out_channels = 2, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(5);
+  auto x = rng.randn(nt::Shape{1, 1, 4, 4});
+  auto w = rng.randn(nt::Shape{2, 1, 3, 3});
+  auto y = nt::conv2d(x, w, {}, g);
+  nt::Tensor gout(y.shape(), 1.0f);
+  nt::Tensor gw(w.shape()), gb(nt::Shape{2});
+  nt::conv2d_backward_params(x, gout, g, gw, gb);
+  const float eps = 1e-3f;
+  for (nt::index_t i : {0, 4, 9, 17}) {
+    nt::Tensor wp = w, wm = w;
+    wp[i] += eps;
+    wm[i] -= eps;
+    const float num =
+        (nt::sum(nt::conv2d(x, wp, {}, g)) - nt::sum(nt::conv2d(x, wm, {}, g))) / (2 * eps);
+    EXPECT_NEAR(gw[i], num, 1e-2f) << "weight index " << i;
+  }
+  // Bias gradient of sum() is just the output plane size.
+  EXPECT_NEAR(gb[0], 16.0f, 1e-3f);
+}
+
+TEST(Depthwise, MatchesPerChannelDenseConv) {
+  // A depthwise conv equals a dense conv whose cross-channel taps are zero.
+  nt::Conv2dGeom g{.in_channels = 3, .out_channels = 3, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(6);
+  auto x = rng.randn(nt::Shape{2, 3, 5, 5});
+  auto wd = rng.randn(nt::Shape{3, 3, 3});  // (C, K, K)
+  nt::Tensor wdense(nt::Shape{3, 3, 3, 3});
+  for (nt::index_t c = 0; c < 3; ++c)
+    for (nt::index_t ky = 0; ky < 3; ++ky)
+      for (nt::index_t kx = 0; kx < 3; ++kx)
+        wdense.at(c, c, ky, kx) = wd.at(c, ky, kx);
+  auto yd = nt::depthwise_conv2d(x, wd, {}, g);
+  auto ydense = nt::conv2d(x, wdense, {}, g);
+  EXPECT_TRUE(nt::allclose(yd, ydense, 1e-4f, 1e-4f));
+}
+
+TEST(Depthwise, BackwardInputMatchesNumerical) {
+  nt::Conv2dGeom g{.in_channels = 2, .out_channels = 2, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(7);
+  auto x = rng.randn(nt::Shape{1, 2, 4, 4});
+  auto w = rng.randn(nt::Shape{2, 3, 3});
+  auto y = nt::depthwise_conv2d(x, w, {}, g);
+  nt::Tensor gout(y.shape(), 1.0f);
+  auto gx = nt::depthwise_conv2d_backward_input(gout, w, g, 4, 4);
+  const float eps = 1e-3f;
+  for (nt::index_t i : {0, 7, 21}) {
+    nt::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const float num = (nt::sum(nt::depthwise_conv2d(xp, w, {}, g)) -
+                       nt::sum(nt::depthwise_conv2d(xm, w, {}, g))) /
+                      (2 * eps);
+    EXPECT_NEAR(gx[i], num, 1e-2f);
+  }
+}
+
+TEST(Depthwise, BackwardParamsMatchesNumerical) {
+  nt::Conv2dGeom g{.in_channels = 2, .out_channels = 2, .kernel = 3, .stride = 1, .pad = 1};
+  nt::Rng rng(8);
+  auto x = rng.randn(nt::Shape{1, 2, 4, 4});
+  auto w = rng.randn(nt::Shape{2, 3, 3});
+  auto y = nt::depthwise_conv2d(x, w, {}, g);
+  nt::Tensor gout(y.shape(), 1.0f);
+  nt::Tensor gw(w.shape()), gb(nt::Shape{2});
+  nt::depthwise_conv2d_backward_params(x, gout, g, gw, gb);
+  const float eps = 1e-3f;
+  for (nt::index_t i : {0, 8, 12}) {
+    nt::Tensor wp = w, wm = w;
+    wp[i] += eps;
+    wm[i] -= eps;
+    const float num = (nt::sum(nt::depthwise_conv2d(x, wp, {}, g)) -
+                       nt::sum(nt::depthwise_conv2d(x, wm, {}, g))) /
+                      (2 * eps);
+    EXPECT_NEAR(gw[i], num, 1e-2f);
+  }
+}
+
+// Parameterized sweep: forward conv matches naive across geometries.
+struct ConvCase {
+  int cin, cout, k, stride, pad, h, w;
+};
+
+class ConvGeometries : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGeometries, ForwardMatchesNaive) {
+  const auto p = GetParam();
+  nt::Conv2dGeom g{.in_channels = p.cin, .out_channels = p.cout, .kernel = p.k,
+                   .stride = p.stride, .pad = p.pad};
+  nt::Rng rng(99);
+  auto x = rng.randn(nt::Shape{1, p.cin, p.h, p.w});
+  auto w = rng.randn(nt::Shape{p.cout, p.cin, p.k, p.k});
+  EXPECT_TRUE(nt::allclose(nt::conv2d(x, w, {}, g), naive_conv2d(x, w, {}, g), 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvGeometries,
+                         ::testing::Values(ConvCase{1, 1, 1, 1, 0, 5, 5},
+                                           ConvCase{2, 4, 3, 1, 1, 6, 6},
+                                           ConvCase{3, 2, 3, 2, 1, 9, 9},
+                                           ConvCase{4, 4, 5, 1, 2, 8, 8},
+                                           ConvCase{2, 3, 3, 2, 0, 8, 10},
+                                           ConvCase{1, 8, 7, 2, 3, 12, 12}));

@@ -1,0 +1,77 @@
+#include "nodetr/tensor/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace nt = nodetr::tensor;
+
+TEST(ThreadPool, SerialPoolRunsAllChunks) {
+  nt::ThreadPool pool(1);
+  std::vector<int> hits(10, 0);
+  pool.run_chunks(10, [&](std::size_t c) { hits[c]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, MultiThreadedPoolCoversAllChunksExactlyOnce) {
+  nt::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run_chunks(100, [&](std::size_t c) { hits[c]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  nt::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.run_chunks(7, [&](std::size_t) { total++; });
+  }
+  EXPECT_EQ(total.load(), 35);
+}
+
+TEST(ThreadPool, ZeroChunksIsNoop) {
+  nt::ThreadPool pool(2);
+  bool ran = false;
+  pool.run_chunks(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, CoversFullRange) {
+  std::vector<std::atomic<int>> hits(1000);
+  nt::parallel_for(0, 1000, [&](nt::index_t lo, nt::index_t hi) {
+    for (nt::index_t i = lo; i < hi; ++i) hits[static_cast<std::size_t>(i)]++;
+  }, /*grain=*/10);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool ran = false;
+  nt::parallel_for(5, 5, [&](nt::index_t, nt::index_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  nt::parallel_for(5, 3, [&](nt::index_t, nt::index_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, RespectsOffsetBegin) {
+  std::atomic<long> sum{0};
+  nt::parallel_for(10, 20, [&](nt::index_t lo, nt::index_t hi) {
+    long local = 0;
+    for (nt::index_t i = lo; i < hi; ++i) local += i;
+    sum += local;
+  }, /*grain=*/2);
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ParallelFor, ParallelSumMatchesSerial) {
+  std::vector<double> v(4096);
+  std::iota(v.begin(), v.end(), 0.0);
+  std::atomic<long long> psum{0};
+  nt::parallel_for(0, static_cast<nt::index_t>(v.size()), [&](nt::index_t lo, nt::index_t hi) {
+    long long local = 0;
+    for (nt::index_t i = lo; i < hi; ++i) local += static_cast<long long>(v[static_cast<std::size_t>(i)]);
+    psum += local;
+  }, /*grain=*/64);
+  EXPECT_EQ(psum.load(), 4096LL * 4095 / 2);
+}

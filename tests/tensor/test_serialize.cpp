@@ -1,0 +1,62 @@
+#include "nodetr/tensor/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace nt = nodetr::tensor;
+
+TEST(Serialize, RoundTripPreservesShapeAndData) {
+  nt::Rng rng(11);
+  auto t = rng.randn(nt::Shape{3, 4, 5});
+  std::stringstream ss;
+  nt::write_tensor(ss, t);
+  auto u = nt::read_tensor(ss);
+  EXPECT_EQ(u.shape(), t.shape());
+  EXPECT_TRUE(nt::allclose(u, t, 0.0f, 0.0f));
+}
+
+TEST(Serialize, MultipleTensorsInOneStream) {
+  nt::Rng rng(12);
+  auto a = rng.randn(nt::Shape{2, 2});
+  auto b = rng.randn(nt::Shape{7});
+  std::stringstream ss;
+  nt::write_tensor(ss, a);
+  nt::write_tensor(ss, b);
+  auto a2 = nt::read_tensor(ss);
+  auto b2 = nt::read_tensor(ss);
+  EXPECT_TRUE(nt::allclose(a2, a, 0.0f, 0.0f));
+  EXPECT_TRUE(nt::allclose(b2, b, 0.0f, 0.0f));
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "not a tensor";
+  EXPECT_THROW(nt::read_tensor(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedPayloadThrows) {
+  nt::Rng rng(13);
+  auto t = rng.randn(nt::Shape{10});
+  std::stringstream ss;
+  nt::write_tensor(ss, t);
+  std::string s = ss.str();
+  std::stringstream truncated(s.substr(0, s.size() - 8));
+  EXPECT_THROW(nt::read_tensor(truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  nt::Rng rng(14);
+  auto t = rng.randn(nt::Shape{4, 4});
+  const std::string path = ::testing::TempDir() + "/nodetr_tensor_test.bin";
+  nt::save_tensor(path, t);
+  auto u = nt::load_tensor(path);
+  EXPECT_TRUE(nt::allclose(u, t, 0.0f, 0.0f));
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(nt::load_tensor("/nonexistent/path/tensor.bin"), std::runtime_error);
+}

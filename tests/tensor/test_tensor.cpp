@@ -1,0 +1,147 @@
+#include "nodetr/tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nodetr/tensor/rng.hpp"
+
+namespace nt = nodetr::tensor;
+
+TEST(Tensor, ZeroInitialized) {
+  nt::Tensor t(nt::Shape{2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  for (nt::index_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  nt::Tensor t(nt::Shape{4}, 2.5f);
+  for (nt::index_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, AdoptDataSizeMismatchThrows) {
+  EXPECT_THROW(nt::Tensor(nt::Shape{2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, Arange) {
+  auto t = nt::Tensor::arange(5);
+  for (nt::index_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], static_cast<float>(i));
+}
+
+TEST(Tensor, MultiIndexAccessRowMajor) {
+  auto t = nt::Tensor::arange(24).reshape(nt::Shape{2, 3, 4});
+  EXPECT_EQ(t.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 1, 2), 6.0f);
+  EXPECT_EQ(t.at(1, 2, 3), 23.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  auto t = nt::Tensor::arange(6).reshape(nt::Shape{2, 3});
+  EXPECT_EQ(t.at(1, 1), 4.0f);
+  EXPECT_THROW(t.reshape(nt::Shape{4}), std::invalid_argument);
+}
+
+TEST(Tensor, Transposed) {
+  auto t = nt::Tensor::arange(6).reshape(nt::Shape{2, 3});
+  auto tt = t.transposed();
+  EXPECT_EQ(tt.shape(), (nt::Shape{3, 2}));
+  EXPECT_EQ(tt.at(0, 1), 3.0f);
+  EXPECT_EQ(tt.at(2, 0), 2.0f);
+}
+
+TEST(Tensor, PermuteNCHWtoNHWC) {
+  auto t = nt::Tensor::arange(2 * 3 * 4 * 5).reshape(nt::Shape{2, 3, 4, 5});
+  auto p = t.permute({0, 2, 3, 1});
+  EXPECT_EQ(p.shape(), (nt::Shape{2, 4, 5, 3}));
+  for (nt::index_t n = 0; n < 2; ++n)
+    for (nt::index_t c = 0; c < 3; ++c)
+      for (nt::index_t h = 0; h < 4; ++h)
+        for (nt::index_t w = 0; w < 5; ++w) EXPECT_EQ(p.at(n, h, w, c), t.at(n, c, h, w));
+}
+
+TEST(Tensor, PermuteInvalidAxesThrows) {
+  auto t = nt::Tensor::arange(4).reshape(nt::Shape{2, 2});
+  EXPECT_THROW(t.permute({0, 0}), std::invalid_argument);
+  EXPECT_THROW(t.permute({0}), std::invalid_argument);
+}
+
+TEST(Tensor, Slice0) {
+  auto t = nt::Tensor::arange(12).reshape(nt::Shape{4, 3});
+  auto s = t.slice0(1, 3);
+  EXPECT_EQ(s.shape(), (nt::Shape{2, 3}));
+  EXPECT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_EQ(s.at(1, 2), 8.0f);
+  EXPECT_THROW(t.slice0(3, 5), std::out_of_range);
+}
+
+TEST(Tensor, InPlaceArithmetic) {
+  auto a = nt::Tensor::full(nt::Shape{3}, 2.0f);
+  auto b = nt::Tensor::full(nt::Shape{3}, 3.0f);
+  a += b;
+  EXPECT_EQ(a[0], 5.0f);
+  a *= b;
+  EXPECT_EQ(a[1], 15.0f);
+  a -= b;
+  EXPECT_EQ(a[2], 12.0f);
+  a *= 0.5f;
+  EXPECT_EQ(a[0], 6.0f);
+  a += 1.0f;
+  EXPECT_EQ(a[0], 7.0f);
+}
+
+TEST(Tensor, ShapeMismatchArithmeticThrows) {
+  nt::Tensor a(nt::Shape{2}), b(nt::Shape{3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Tensor, AddScaled) {
+  auto a = nt::Tensor::ones(nt::Shape{2});
+  auto b = nt::Tensor::full(nt::Shape{2}, 4.0f);
+  a.add_scaled(b, 0.25f);
+  EXPECT_EQ(a[0], 2.0f);
+}
+
+TEST(Tensor, OutOfPlaceOperators) {
+  auto a = nt::Tensor::full(nt::Shape{2}, 3.0f);
+  auto b = nt::Tensor::full(nt::Shape{2}, 2.0f);
+  EXPECT_EQ((a + b)[0], 5.0f);
+  EXPECT_EQ((a - b)[0], 1.0f);
+  EXPECT_EQ((a * b)[0], 6.0f);
+  EXPECT_EQ((a * 2.0f)[0], 6.0f);
+  EXPECT_EQ((0.5f * a)[1], 1.5f);
+}
+
+TEST(Rng, Deterministic) {
+  nt::Rng r1(42), r2(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r1.normal(), r2.normal());
+}
+
+TEST(Rng, RandnShapeAndMoments) {
+  nt::Rng rng(7);
+  auto t = rng.randn(nt::Shape{10000}, 1.0f, 2.0f);
+  double mean = 0.0;
+  for (nt::index_t i = 0; i < t.numel(); ++i) mean += t[i];
+  mean /= static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 1.0, 0.1);
+}
+
+TEST(Rng, UniformRange) {
+  nt::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const float v = rng.uniform(-1.0f, 1.0f);
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, RandintInclusive) {
+  nt::Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.randint(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
