@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_attention.dir/bench_ablation_attention.cpp.o"
+  "CMakeFiles/bench_ablation_attention.dir/bench_ablation_attention.cpp.o.d"
+  "bench_ablation_attention"
+  "bench_ablation_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

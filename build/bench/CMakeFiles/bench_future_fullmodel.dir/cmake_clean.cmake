@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_future_fullmodel.dir/bench_future_fullmodel.cpp.o"
+  "CMakeFiles/bench_future_fullmodel.dir/bench_future_fullmodel.cpp.o.d"
+  "bench_future_fullmodel"
+  "bench_future_fullmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_future_fullmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

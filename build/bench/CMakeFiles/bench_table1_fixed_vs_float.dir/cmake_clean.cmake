@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_fixed_vs_float.dir/bench_table1_fixed_vs_float.cpp.o"
+  "CMakeFiles/bench_table1_fixed_vs_float.dir/bench_table1_fixed_vs_float.cpp.o.d"
+  "bench_table1_fixed_vs_float"
+  "bench_table1_fixed_vs_float.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_fixed_vs_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_buffer_mgmt.cpp" "bench/CMakeFiles/bench_table2_buffer_mgmt.dir/bench_table2_buffer_mgmt.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_buffer_mgmt.dir/bench_table2_buffer_mgmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nodetr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/nodetr_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nodetr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/nodetr_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/nodetr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/nodetr_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/nodetr_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/nodetr_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

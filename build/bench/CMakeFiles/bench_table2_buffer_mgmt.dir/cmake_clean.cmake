@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_buffer_mgmt.dir/bench_table2_buffer_mgmt.cpp.o"
+  "CMakeFiles/bench_table2_buffer_mgmt.dir/bench_table2_buffer_mgmt.cpp.o.d"
+  "bench_table2_buffer_mgmt"
+  "bench_table2_buffer_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_buffer_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

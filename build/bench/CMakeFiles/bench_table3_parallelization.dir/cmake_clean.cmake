@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_parallelization.dir/bench_table3_parallelization.cpp.o"
+  "CMakeFiles/bench_table3_parallelization.dir/bench_table3_parallelization.cpp.o.d"
+  "bench_table3_parallelization"
+  "bench_table3_parallelization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_parallelization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

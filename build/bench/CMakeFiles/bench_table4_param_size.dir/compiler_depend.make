@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table4_param_size.
+# This may be replaced when dependencies are built.

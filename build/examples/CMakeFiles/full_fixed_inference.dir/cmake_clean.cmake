@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_fixed_inference.dir/full_fixed_inference.cpp.o"
+  "CMakeFiles/full_fixed_inference.dir/full_fixed_inference.cpp.o.d"
+  "full_fixed_inference"
+  "full_fixed_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_fixed_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_solver_playground.dir/ode_solver_playground.cpp.o"
+  "CMakeFiles/ode_solver_playground.dir/ode_solver_playground.cpp.o.d"
+  "ode_solver_playground"
+  "ode_solver_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_solver_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

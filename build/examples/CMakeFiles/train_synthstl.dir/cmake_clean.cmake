@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_synthstl.dir/train_synthstl.cpp.o"
+  "CMakeFiles/train_synthstl.dir/train_synthstl.cpp.o.d"
+  "train_synthstl"
+  "train_synthstl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_synthstl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_core.dir/src/lightweight_transformer.cpp.o"
+  "CMakeFiles/nodetr_core.dir/src/lightweight_transformer.cpp.o.d"
+  "libnodetr_core.a"
+  "libnodetr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/src/augment.cpp" "src/data/CMakeFiles/nodetr_data.dir/src/augment.cpp.o" "gcc" "src/data/CMakeFiles/nodetr_data.dir/src/augment.cpp.o.d"
+  "/root/repo/src/data/src/file_dataset.cpp" "src/data/CMakeFiles/nodetr_data.dir/src/file_dataset.cpp.o" "gcc" "src/data/CMakeFiles/nodetr_data.dir/src/file_dataset.cpp.o.d"
+  "/root/repo/src/data/src/loader.cpp" "src/data/CMakeFiles/nodetr_data.dir/src/loader.cpp.o" "gcc" "src/data/CMakeFiles/nodetr_data.dir/src/loader.cpp.o.d"
+  "/root/repo/src/data/src/synth_stl.cpp" "src/data/CMakeFiles/nodetr_data.dir/src/synth_stl.cpp.o" "gcc" "src/data/CMakeFiles/nodetr_data.dir/src/synth_stl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_data.dir/src/augment.cpp.o"
+  "CMakeFiles/nodetr_data.dir/src/augment.cpp.o.d"
+  "CMakeFiles/nodetr_data.dir/src/file_dataset.cpp.o"
+  "CMakeFiles/nodetr_data.dir/src/file_dataset.cpp.o.d"
+  "CMakeFiles/nodetr_data.dir/src/loader.cpp.o"
+  "CMakeFiles/nodetr_data.dir/src/loader.cpp.o.d"
+  "CMakeFiles/nodetr_data.dir/src/synth_stl.cpp.o"
+  "CMakeFiles/nodetr_data.dir/src/synth_stl.cpp.o.d"
+  "libnodetr_data.a"
+  "libnodetr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nodetr_data.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fixed/src/fixed_tensor.cpp" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/fixed_tensor.cpp.o" "gcc" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/fixed_tensor.cpp.o.d"
+  "/root/repo/src/fixed/src/format.cpp" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/format.cpp.o" "gcc" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/format.cpp.o.d"
+  "/root/repo/src/fixed/src/qconv.cpp" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/qconv.cpp.o" "gcc" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/qconv.cpp.o.d"
+  "/root/repo/src/fixed/src/qops.cpp" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/qops.cpp.o" "gcc" "src/fixed/CMakeFiles/nodetr_fixed.dir/src/qops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

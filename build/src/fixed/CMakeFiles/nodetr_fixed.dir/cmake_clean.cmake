@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_fixed.dir/src/fixed_tensor.cpp.o"
+  "CMakeFiles/nodetr_fixed.dir/src/fixed_tensor.cpp.o.d"
+  "CMakeFiles/nodetr_fixed.dir/src/format.cpp.o"
+  "CMakeFiles/nodetr_fixed.dir/src/format.cpp.o.d"
+  "CMakeFiles/nodetr_fixed.dir/src/qconv.cpp.o"
+  "CMakeFiles/nodetr_fixed.dir/src/qconv.cpp.o.d"
+  "CMakeFiles/nodetr_fixed.dir/src/qops.cpp.o"
+  "CMakeFiles/nodetr_fixed.dir/src/qops.cpp.o.d"
+  "libnodetr_fixed.a"
+  "libnodetr_fixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

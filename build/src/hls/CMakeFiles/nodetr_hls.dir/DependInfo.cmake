@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/src/cycle_model.cpp" "src/hls/CMakeFiles/nodetr_hls.dir/src/cycle_model.cpp.o" "gcc" "src/hls/CMakeFiles/nodetr_hls.dir/src/cycle_model.cpp.o.d"
+  "/root/repo/src/hls/src/mhsa_ip.cpp" "src/hls/CMakeFiles/nodetr_hls.dir/src/mhsa_ip.cpp.o" "gcc" "src/hls/CMakeFiles/nodetr_hls.dir/src/mhsa_ip.cpp.o.d"
+  "/root/repo/src/hls/src/model_plan.cpp" "src/hls/CMakeFiles/nodetr_hls.dir/src/model_plan.cpp.o" "gcc" "src/hls/CMakeFiles/nodetr_hls.dir/src/model_plan.cpp.o.d"
+  "/root/repo/src/hls/src/power.cpp" "src/hls/CMakeFiles/nodetr_hls.dir/src/power.cpp.o" "gcc" "src/hls/CMakeFiles/nodetr_hls.dir/src/power.cpp.o.d"
+  "/root/repo/src/hls/src/qexec.cpp" "src/hls/CMakeFiles/nodetr_hls.dir/src/qexec.cpp.o" "gcc" "src/hls/CMakeFiles/nodetr_hls.dir/src/qexec.cpp.o.d"
+  "/root/repo/src/hls/src/quantize.cpp" "src/hls/CMakeFiles/nodetr_hls.dir/src/quantize.cpp.o" "gcc" "src/hls/CMakeFiles/nodetr_hls.dir/src/quantize.cpp.o.d"
+  "/root/repo/src/hls/src/resources.cpp" "src/hls/CMakeFiles/nodetr_hls.dir/src/resources.cpp.o" "gcc" "src/hls/CMakeFiles/nodetr_hls.dir/src/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/nodetr_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/nodetr_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_hls.dir/src/cycle_model.cpp.o"
+  "CMakeFiles/nodetr_hls.dir/src/cycle_model.cpp.o.d"
+  "CMakeFiles/nodetr_hls.dir/src/mhsa_ip.cpp.o"
+  "CMakeFiles/nodetr_hls.dir/src/mhsa_ip.cpp.o.d"
+  "CMakeFiles/nodetr_hls.dir/src/model_plan.cpp.o"
+  "CMakeFiles/nodetr_hls.dir/src/model_plan.cpp.o.d"
+  "CMakeFiles/nodetr_hls.dir/src/power.cpp.o"
+  "CMakeFiles/nodetr_hls.dir/src/power.cpp.o.d"
+  "CMakeFiles/nodetr_hls.dir/src/qexec.cpp.o"
+  "CMakeFiles/nodetr_hls.dir/src/qexec.cpp.o.d"
+  "CMakeFiles/nodetr_hls.dir/src/quantize.cpp.o"
+  "CMakeFiles/nodetr_hls.dir/src/quantize.cpp.o.d"
+  "CMakeFiles/nodetr_hls.dir/src/resources.cpp.o"
+  "CMakeFiles/nodetr_hls.dir/src/resources.cpp.o.d"
+  "libnodetr_hls.a"
+  "libnodetr_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/src/botnet.cpp" "src/models/CMakeFiles/nodetr_models.dir/src/botnet.cpp.o" "gcc" "src/models/CMakeFiles/nodetr_models.dir/src/botnet.cpp.o.d"
+  "/root/repo/src/models/src/odenet.cpp" "src/models/CMakeFiles/nodetr_models.dir/src/odenet.cpp.o" "gcc" "src/models/CMakeFiles/nodetr_models.dir/src/odenet.cpp.o.d"
+  "/root/repo/src/models/src/resnet.cpp" "src/models/CMakeFiles/nodetr_models.dir/src/resnet.cpp.o" "gcc" "src/models/CMakeFiles/nodetr_models.dir/src/resnet.cpp.o.d"
+  "/root/repo/src/models/src/vit.cpp" "src/models/CMakeFiles/nodetr_models.dir/src/vit.cpp.o" "gcc" "src/models/CMakeFiles/nodetr_models.dir/src/vit.cpp.o.d"
+  "/root/repo/src/models/src/zoo.cpp" "src/models/CMakeFiles/nodetr_models.dir/src/zoo.cpp.o" "gcc" "src/models/CMakeFiles/nodetr_models.dir/src/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/nodetr_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_models.dir/src/botnet.cpp.o"
+  "CMakeFiles/nodetr_models.dir/src/botnet.cpp.o.d"
+  "CMakeFiles/nodetr_models.dir/src/odenet.cpp.o"
+  "CMakeFiles/nodetr_models.dir/src/odenet.cpp.o.d"
+  "CMakeFiles/nodetr_models.dir/src/resnet.cpp.o"
+  "CMakeFiles/nodetr_models.dir/src/resnet.cpp.o.d"
+  "CMakeFiles/nodetr_models.dir/src/vit.cpp.o"
+  "CMakeFiles/nodetr_models.dir/src/vit.cpp.o.d"
+  "CMakeFiles/nodetr_models.dir/src/zoo.cpp.o"
+  "CMakeFiles/nodetr_models.dir/src/zoo.cpp.o.d"
+  "libnodetr_models.a"
+  "libnodetr_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/src/activations.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/activations.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/activations.cpp.o.d"
+  "/root/repo/src/nn/src/attention.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/attention.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/attention.cpp.o.d"
+  "/root/repo/src/nn/src/conv_layers.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/conv_layers.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/conv_layers.cpp.o.d"
+  "/root/repo/src/nn/src/dropout.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/dropout.cpp.o.d"
+  "/root/repo/src/nn/src/linear.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/linear.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/linear.cpp.o.d"
+  "/root/repo/src/nn/src/mhsa_block.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/mhsa_block.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/mhsa_block.cpp.o.d"
+  "/root/repo/src/nn/src/module.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/module.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/module.cpp.o.d"
+  "/root/repo/src/nn/src/norm.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/norm.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/norm.cpp.o.d"
+  "/root/repo/src/nn/src/pool.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/pool.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/pool.cpp.o.d"
+  "/root/repo/src/nn/src/posenc.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/posenc.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/posenc.cpp.o.d"
+  "/root/repo/src/nn/src/residual.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/residual.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/residual.cpp.o.d"
+  "/root/repo/src/nn/src/seq_attention.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/seq_attention.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/seq_attention.cpp.o.d"
+  "/root/repo/src/nn/src/sequential.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/sequential.cpp.o.d"
+  "/root/repo/src/nn/src/summary.cpp" "src/nn/CMakeFiles/nodetr_nn.dir/src/summary.cpp.o" "gcc" "src/nn/CMakeFiles/nodetr_nn.dir/src/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

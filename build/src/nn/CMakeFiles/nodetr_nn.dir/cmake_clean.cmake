@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_nn.dir/src/activations.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/activations.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/attention.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/attention.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/conv_layers.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/conv_layers.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/dropout.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/dropout.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/linear.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/linear.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/mhsa_block.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/mhsa_block.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/module.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/module.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/norm.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/norm.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/pool.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/pool.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/posenc.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/posenc.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/residual.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/residual.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/seq_attention.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/seq_attention.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/sequential.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/sequential.cpp.o.d"
+  "CMakeFiles/nodetr_nn.dir/src/summary.cpp.o"
+  "CMakeFiles/nodetr_nn.dir/src/summary.cpp.o.d"
+  "libnodetr_nn.a"
+  "libnodetr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

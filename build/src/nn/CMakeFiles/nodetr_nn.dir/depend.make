@@ -1,0 +1,2 @@
+# Empty dependencies file for nodetr_nn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/src/adjoint.cpp" "src/ode/CMakeFiles/nodetr_ode.dir/src/adjoint.cpp.o" "gcc" "src/ode/CMakeFiles/nodetr_ode.dir/src/adjoint.cpp.o.d"
+  "/root/repo/src/ode/src/ode_block.cpp" "src/ode/CMakeFiles/nodetr_ode.dir/src/ode_block.cpp.o" "gcc" "src/ode/CMakeFiles/nodetr_ode.dir/src/ode_block.cpp.o.d"
+  "/root/repo/src/ode/src/solver.cpp" "src/ode/CMakeFiles/nodetr_ode.dir/src/solver.cpp.o" "gcc" "src/ode/CMakeFiles/nodetr_ode.dir/src/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

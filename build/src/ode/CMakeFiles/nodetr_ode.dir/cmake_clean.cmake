@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_ode.dir/src/adjoint.cpp.o"
+  "CMakeFiles/nodetr_ode.dir/src/adjoint.cpp.o.d"
+  "CMakeFiles/nodetr_ode.dir/src/ode_block.cpp.o"
+  "CMakeFiles/nodetr_ode.dir/src/ode_block.cpp.o.d"
+  "CMakeFiles/nodetr_ode.dir/src/solver.cpp.o"
+  "CMakeFiles/nodetr_ode.dir/src/solver.cpp.o.d"
+  "libnodetr_ode.a"
+  "libnodetr_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_rt.dir/src/accelerator.cpp.o"
+  "CMakeFiles/nodetr_rt.dir/src/accelerator.cpp.o.d"
+  "CMakeFiles/nodetr_rt.dir/src/axi.cpp.o"
+  "CMakeFiles/nodetr_rt.dir/src/axi.cpp.o.d"
+  "CMakeFiles/nodetr_rt.dir/src/board.cpp.o"
+  "CMakeFiles/nodetr_rt.dir/src/board.cpp.o.d"
+  "libnodetr_rt.a"
+  "libnodetr_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

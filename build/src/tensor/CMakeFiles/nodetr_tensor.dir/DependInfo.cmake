@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/src/conv.cpp" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/conv.cpp.o" "gcc" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/conv.cpp.o.d"
+  "/root/repo/src/tensor/src/gemm.cpp" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/gemm.cpp.o" "gcc" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/gemm.cpp.o.d"
+  "/root/repo/src/tensor/src/ops.cpp" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/ops.cpp.o" "gcc" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/ops.cpp.o.d"
+  "/root/repo/src/tensor/src/parallel.cpp" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/parallel.cpp.o" "gcc" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/parallel.cpp.o.d"
+  "/root/repo/src/tensor/src/rng.cpp" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/rng.cpp.o" "gcc" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/rng.cpp.o.d"
+  "/root/repo/src/tensor/src/serialize.cpp" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/serialize.cpp.o" "gcc" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/serialize.cpp.o.d"
+  "/root/repo/src/tensor/src/tensor.cpp" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/nodetr_tensor.dir/src/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

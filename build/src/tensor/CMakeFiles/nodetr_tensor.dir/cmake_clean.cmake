@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_tensor.dir/src/conv.cpp.o"
+  "CMakeFiles/nodetr_tensor.dir/src/conv.cpp.o.d"
+  "CMakeFiles/nodetr_tensor.dir/src/gemm.cpp.o"
+  "CMakeFiles/nodetr_tensor.dir/src/gemm.cpp.o.d"
+  "CMakeFiles/nodetr_tensor.dir/src/ops.cpp.o"
+  "CMakeFiles/nodetr_tensor.dir/src/ops.cpp.o.d"
+  "CMakeFiles/nodetr_tensor.dir/src/parallel.cpp.o"
+  "CMakeFiles/nodetr_tensor.dir/src/parallel.cpp.o.d"
+  "CMakeFiles/nodetr_tensor.dir/src/rng.cpp.o"
+  "CMakeFiles/nodetr_tensor.dir/src/rng.cpp.o.d"
+  "CMakeFiles/nodetr_tensor.dir/src/serialize.cpp.o"
+  "CMakeFiles/nodetr_tensor.dir/src/serialize.cpp.o.d"
+  "CMakeFiles/nodetr_tensor.dir/src/tensor.cpp.o"
+  "CMakeFiles/nodetr_tensor.dir/src/tensor.cpp.o.d"
+  "libnodetr_tensor.a"
+  "libnodetr_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnodetr_tensor.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/src/checkpoint.cpp" "src/train/CMakeFiles/nodetr_train.dir/src/checkpoint.cpp.o" "gcc" "src/train/CMakeFiles/nodetr_train.dir/src/checkpoint.cpp.o.d"
+  "/root/repo/src/train/src/loss.cpp" "src/train/CMakeFiles/nodetr_train.dir/src/loss.cpp.o" "gcc" "src/train/CMakeFiles/nodetr_train.dir/src/loss.cpp.o.d"
+  "/root/repo/src/train/src/optimizer.cpp" "src/train/CMakeFiles/nodetr_train.dir/src/optimizer.cpp.o" "gcc" "src/train/CMakeFiles/nodetr_train.dir/src/optimizer.cpp.o.d"
+  "/root/repo/src/train/src/scheduler.cpp" "src/train/CMakeFiles/nodetr_train.dir/src/scheduler.cpp.o" "gcc" "src/train/CMakeFiles/nodetr_train.dir/src/scheduler.cpp.o.d"
+  "/root/repo/src/train/src/trainer.cpp" "src/train/CMakeFiles/nodetr_train.dir/src/trainer.cpp.o" "gcc" "src/train/CMakeFiles/nodetr_train.dir/src/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nodetr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodetr_train.dir/src/checkpoint.cpp.o"
+  "CMakeFiles/nodetr_train.dir/src/checkpoint.cpp.o.d"
+  "CMakeFiles/nodetr_train.dir/src/loss.cpp.o"
+  "CMakeFiles/nodetr_train.dir/src/loss.cpp.o.d"
+  "CMakeFiles/nodetr_train.dir/src/optimizer.cpp.o"
+  "CMakeFiles/nodetr_train.dir/src/optimizer.cpp.o.d"
+  "CMakeFiles/nodetr_train.dir/src/scheduler.cpp.o"
+  "CMakeFiles/nodetr_train.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/nodetr_train.dir/src/trainer.cpp.o"
+  "CMakeFiles/nodetr_train.dir/src/trainer.cpp.o.d"
+  "libnodetr_train.a"
+  "libnodetr_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodetr_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

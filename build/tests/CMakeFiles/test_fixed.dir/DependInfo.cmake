@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fixed/test_format.cpp" "tests/CMakeFiles/test_fixed.dir/fixed/test_format.cpp.o" "gcc" "tests/CMakeFiles/test_fixed.dir/fixed/test_format.cpp.o.d"
+  "/root/repo/tests/fixed/test_qconv.cpp" "tests/CMakeFiles/test_fixed.dir/fixed/test_qconv.cpp.o" "gcc" "tests/CMakeFiles/test_fixed.dir/fixed/test_qconv.cpp.o.d"
+  "/root/repo/tests/fixed/test_qops.cpp" "tests/CMakeFiles/test_fixed.dir/fixed/test_qops.cpp.o" "gcc" "tests/CMakeFiles/test_fixed.dir/fixed/test_qops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fixed/CMakeFiles/nodetr_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed.dir/fixed/test_format.cpp.o"
+  "CMakeFiles/test_fixed.dir/fixed/test_format.cpp.o.d"
+  "CMakeFiles/test_fixed.dir/fixed/test_qconv.cpp.o"
+  "CMakeFiles/test_fixed.dir/fixed/test_qconv.cpp.o.d"
+  "CMakeFiles/test_fixed.dir/fixed/test_qops.cpp.o"
+  "CMakeFiles/test_fixed.dir/fixed/test_qops.cpp.o.d"
+  "test_fixed"
+  "test_fixed.pdb"
+  "test_fixed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

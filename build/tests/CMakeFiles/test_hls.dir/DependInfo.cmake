@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hls/test_cycle_model.cpp" "tests/CMakeFiles/test_hls.dir/hls/test_cycle_model.cpp.o" "gcc" "tests/CMakeFiles/test_hls.dir/hls/test_cycle_model.cpp.o.d"
+  "/root/repo/tests/hls/test_mhsa_ip.cpp" "tests/CMakeFiles/test_hls.dir/hls/test_mhsa_ip.cpp.o" "gcc" "tests/CMakeFiles/test_hls.dir/hls/test_mhsa_ip.cpp.o.d"
+  "/root/repo/tests/hls/test_model_plan.cpp" "tests/CMakeFiles/test_hls.dir/hls/test_model_plan.cpp.o" "gcc" "tests/CMakeFiles/test_hls.dir/hls/test_model_plan.cpp.o.d"
+  "/root/repo/tests/hls/test_qexec.cpp" "tests/CMakeFiles/test_hls.dir/hls/test_qexec.cpp.o" "gcc" "tests/CMakeFiles/test_hls.dir/hls/test_qexec.cpp.o.d"
+  "/root/repo/tests/hls/test_quantize.cpp" "tests/CMakeFiles/test_hls.dir/hls/test_quantize.cpp.o" "gcc" "tests/CMakeFiles/test_hls.dir/hls/test_quantize.cpp.o.d"
+  "/root/repo/tests/hls/test_resources_power.cpp" "tests/CMakeFiles/test_hls.dir/hls/test_resources_power.cpp.o" "gcc" "tests/CMakeFiles/test_hls.dir/hls/test_resources_power.cpp.o.d"
+  "/root/repo/tests/hls/test_scheme_sweep.cpp" "tests/CMakeFiles/test_hls.dir/hls/test_scheme_sweep.cpp.o" "gcc" "tests/CMakeFiles/test_hls.dir/hls/test_scheme_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hls/CMakeFiles/nodetr_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/nodetr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/fixed/CMakeFiles/nodetr_fixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/nodetr_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

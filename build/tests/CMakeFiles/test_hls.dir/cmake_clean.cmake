@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls.dir/hls/test_cycle_model.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/test_cycle_model.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/test_mhsa_ip.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/test_mhsa_ip.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/test_model_plan.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/test_model_plan.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/test_qexec.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/test_qexec.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/test_quantize.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/test_quantize.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/test_resources_power.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/test_resources_power.cpp.o.d"
+  "CMakeFiles/test_hls.dir/hls/test_scheme_sweep.cpp.o"
+  "CMakeFiles/test_hls.dir/hls/test_scheme_sweep.cpp.o.d"
+  "test_hls"
+  "test_hls.pdb"
+  "test_hls[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/models/test_models.cpp" "tests/CMakeFiles/test_models.dir/models/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_models.dir/models/test_models.cpp.o.d"
+  "/root/repo/tests/models/test_vit.cpp" "tests/CMakeFiles/test_models.dir/models/test_vit.cpp.o" "gcc" "tests/CMakeFiles/test_models.dir/models/test_vit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/nodetr_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ode/CMakeFiles/nodetr_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

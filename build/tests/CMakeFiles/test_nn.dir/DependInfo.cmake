@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/test_activations.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_activations.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_activations.cpp.o.d"
+  "/root/repo/tests/nn/test_attention.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_attention.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_attention.cpp.o.d"
+  "/root/repo/tests/nn/test_conv_layers.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_conv_layers.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_conv_layers.cpp.o.d"
+  "/root/repo/tests/nn/test_linear.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_linear.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_linear.cpp.o.d"
+  "/root/repo/tests/nn/test_misc_modules.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_misc_modules.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_misc_modules.cpp.o.d"
+  "/root/repo/tests/nn/test_norm.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_norm.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_norm.cpp.o.d"
+  "/root/repo/tests/nn/test_pool.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_pool.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_pool.cpp.o.d"
+  "/root/repo/tests/nn/test_residual_seq.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_residual_seq.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_residual_seq.cpp.o.d"
+  "/root/repo/tests/nn/test_summary.cpp" "tests/CMakeFiles/test_nn.dir/nn/test_summary.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/test_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nodetr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_activations.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_activations.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_attention.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_attention.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_conv_layers.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_conv_layers.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_linear.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_linear.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_misc_modules.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_misc_modules.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_norm.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_norm.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_pool.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_pool.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_residual_seq.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_residual_seq.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_summary.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_summary.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode.dir/ode/test_adjoint.cpp.o"
+  "CMakeFiles/test_ode.dir/ode/test_adjoint.cpp.o.d"
+  "CMakeFiles/test_ode.dir/ode/test_ode_block.cpp.o"
+  "CMakeFiles/test_ode.dir/ode/test_ode_block.cpp.o.d"
+  "CMakeFiles/test_ode.dir/ode/test_solver.cpp.o"
+  "CMakeFiles/test_ode.dir/ode/test_solver.cpp.o.d"
+  "test_ode"
+  "test_ode.pdb"
+  "test_ode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tensor/test_conv.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_conv.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_conv.cpp.o.d"
+  "/root/repo/tests/tensor/test_gemm.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_gemm.cpp.o.d"
+  "/root/repo/tests/tensor/test_ops.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_ops.cpp.o.d"
+  "/root/repo/tests/tensor/test_parallel.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_parallel.cpp.o.d"
+  "/root/repo/tests/tensor/test_serialize.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_serialize.cpp.o.d"
+  "/root/repo/tests/tensor/test_shape.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_shape.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_shape.cpp.o.d"
+  "/root/repo/tests/tensor/test_tensor.cpp" "tests/CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/test_tensor.dir/tensor/test_tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nodetr_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
