@@ -34,5 +34,19 @@ int main() {
               static_cast<double>(o.total()) / p.total());
   std::printf("paper reference: each projection 40,158,722 -> 316,009 cycles;\n"
               "totals 121,866,093 -> 2,337,954 cycles at 5 ns/cycle.\n");
+
+  nodetr::bench::JsonReport report("table3");
+  report.set("projection_cycles_orig", o.projection_each);
+  report.set("projection_cycles_parallel", p.projection_each);
+  report.set("qr_cycles", p.qr);
+  report.set("qk_cycles", p.qk);
+  report.set("relu_cycles", p.relu);
+  report.set("av_cycles", p.av);
+  report.set("streaming_cycles", p.streaming);
+  report.set("total_cycles_orig", o.total());
+  report.set("total_cycles_parallel", p.total());
+  report.set("projection_speedup", static_cast<double>(o.projection_each) / p.projection_each);
+  report.set("overall_speedup", static_cast<double>(o.total()) / p.total());
+  report.write();
   return 0;
 }

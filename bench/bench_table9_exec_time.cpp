@@ -69,5 +69,17 @@ int main() {
               kPaperCpuMs / sim_ms[0], kPaperCpuMs / sim_ms[1]);
   std::printf("  structural check: fixed < float < CPU -> %s\n",
               (sim_ms[1] < sim_ms[0] && sim_ms[0] < kPaperCpuMs) ? "HOLDS" : "DOES NOT HOLD");
+
+  nodetr::bench::JsonReport report("table9");
+  report.set("host_cpu_mean_ms", host_stats.mean_ms);
+  report.set("host_cpu_max_ms", host_stats.max_ms);
+  report.set("host_cpu_stddev_ms", host_stats.stddev_ms);
+  report.set("fpga_float_sim_ms", sim_ms[0]);
+  report.set("fpga_fixed_sim_ms", sim_ms[1]);
+  report.set("float_speedup_vs_a53", kPaperCpuMs / sim_ms[0]);
+  report.set("fixed_speedup_vs_a53", kPaperCpuMs / sim_ms[1]);
+  report.set("structural_check_holds",
+             (sim_ms[1] < sim_ms[0] && sim_ms[0] < kPaperCpuMs) ? 1.0 : 0.0);
+  report.write();
   return 0;
 }

@@ -1,9 +1,14 @@
 // Shared helpers for the table/figure reproduction benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "nodetr/tensor/shape.hpp"
 
@@ -30,5 +35,48 @@ inline void resource_row(const char* label, long long got, double pct) {
 }
 
 inline void note(const char* text) { std::printf("%s\n", text); }
+
+/// Machine-readable companion to the stdout tables: a flat metric-name ->
+/// value map written as BENCH_<name>.json so the perf trajectory is diffable
+/// across PRs. Output lands in $NODETR_BENCH_JSON_DIR (default: cwd).
+///
+///   JsonReport report("table3");
+///   report.set("total_cycles_parallel", p.total());
+///   report.write();   // -> BENCH_table3.json
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void set(const std::string& key, double value) { entries_.emplace_back(key, value); }
+  void set(const std::string& key, std::int64_t value) {
+    entries_.emplace_back(key, static_cast<double>(value));
+  }
+
+  [[nodiscard]] std::string path() const {
+    const char* dir = std::getenv("NODETR_BENCH_JSON_DIR");
+    return std::string(dir != nullptr && *dir != '\0' ? dir : ".") + "/BENCH_" + name_ + ".json";
+  }
+
+  void write() const {
+    const std::string out_path = path();
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", out_path.c_str());
+      return;
+    }
+    out << std::setprecision(15);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << (i == 0 ? "" : ",") << "\n    \"" << entries_[i].first
+          << "\": " << entries_[i].second;
+    }
+    out << "\n  }\n}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 }  // namespace nodetr::bench

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nodetr/obs/obs.hpp"
 #include "nodetr/tensor/ops.hpp"
 #include "nodetr/train/checkpoint.hpp"
 
@@ -35,6 +36,8 @@ float LightweightTransformer::evaluate(const std::vector<data::Sample>& test_set
 }
 
 Tensor LightweightTransformer::predict_logits(const Tensor& batch) {
+  obs::ScopedSpan span("core.predict_logits");
+  span.attr("batch", batch.dim(0));
   const bool was_training = model_->training();
   model_->train(false);
   Tensor logits = model_->forward(batch);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nodetr/obs/obs.hpp"
 #include "nodetr/tensor/gemm.hpp"
 #include "nodetr/tensor/ops.hpp"
 
@@ -207,6 +208,8 @@ fx::FixedTensor MhsaIpCore::run_fixed_tokens(const fx::FixedTensor& x) const {
 }
 
 Tensor MhsaIpCore::run(const Tensor& x) {
+  obs::ScopedSpan span("hls.mhsa_ip.run");
+  span.attr("dtype", point_.dtype == DataType::kFloat32 ? "float32" : "fixed");
   Tensor input = x;
   bool squeeze = false;
   if (input.rank() == 3) {
@@ -232,6 +235,22 @@ Tensor MhsaIpCore::run(const Tensor& x) {
   last_cycles_ = CycleBreakdown{one.projection_each * b, one.qr * b,         one.qk * b,
                                 one.relu * b,            one.av * b,
                                 one.layer_norm * b,      one.streaming * b};
+  // Simulated FPGA time rides on the wall-clock span so both land in one
+  // trace; breakdown mirrors Table III's stages.
+  span.attr("batch", b);
+  span.attr("sim_cycles_total", last_cycles_.total());
+  span.attr("sim_cycles_projections", 3 * last_cycles_.projection_each);
+  span.attr("sim_cycles_qr", last_cycles_.qr);
+  span.attr("sim_cycles_qk", last_cycles_.qk);
+  span.attr("sim_cycles_relu", last_cycles_.relu);
+  span.attr("sim_cycles_av", last_cycles_.av);
+  span.attr("sim_cycles_layer_norm", last_cycles_.layer_norm);
+  span.attr("sim_cycles_streaming", last_cycles_.streaming);
+  span.attr("sim_ms", CycleModel::latency_ms(last_cycles_));
+  static auto& invocations = obs::Registry::instance().counter("hls.mhsa_ip.invocations");
+  static auto& sim_cycles = obs::Registry::instance().counter("hls.mhsa_ip.sim_cycles");
+  invocations.add();
+  sim_cycles.add(last_cycles_.total());
   Tensor out = from_tokens(out_tokens, b, d, h, w);
   if (squeeze) out = out.reshape(nt::Shape{d, h, w});
   return out;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nodetr/nn/posenc.hpp"
+#include "nodetr/obs/obs.hpp"
 #include "nodetr/tensor/gemm.hpp"
 #include "nodetr/tensor/ops.hpp"
 
@@ -83,7 +84,17 @@ Tensor MultiHeadSelfAttention::relative_matrix(index_t head) const {
 }
 
 Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
-  if (override_) return override_(x, *this);
+  obs::ScopedSpan span("mhsa.forward");
+  span.attr("dim", config_.dim);
+  span.attr("heads", config_.heads);
+  static auto& forwards = obs::Registry::instance().counter("nn.mhsa.forwards");
+  forwards.add();
+  if (override_) {
+    // Offloaded execution (e.g. the simulated accelerator) nests under this
+    // span so software and offloaded runs line up in one trace.
+    span.attr("offloaded", std::int64_t{1});
+    return override_(x, *this);
+  }
   if (x.rank() != 4 || x.dim(1) != config_.dim || x.dim(2) != config_.height ||
       x.dim(3) != config_.width) {
     throw std::invalid_argument("MHSA: expected (B, " + std::to_string(config_.dim) + ", " +
@@ -108,13 +119,17 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
     }
   }
 
-  q_ = nt::matmul(tokens_, wq_.value);
-  k_ = nt::matmul(tokens_, wk_.value);
-  v_ = nt::matmul(tokens_, wv_.value);
+  {
+    NODETR_TRACE_SCOPE("mhsa.qkv_projection");
+    q_ = nt::matmul(tokens_, wq_.value);
+    k_ = nt::matmul(tokens_, wk_.value);
+    v_ = nt::matmul(tokens_, wv_.value);
+  }
 
   Tensor out(Shape{b * n, d});
   attn_.assign(static_cast<std::size_t>(b * heads), Tensor());
   double zero_count = 0.0;
+  obs::ScopedSpan attn_span("mhsa.attention");
   for (index_t s = 0; s < b; ++s) {
     for (index_t h = 0; h < heads; ++h) {
       Tensor qh = gather_head(q_, s, n, h, dh);
@@ -135,8 +150,13 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
     }
   }
   last_sparsity_ = static_cast<float>(zero_count / static_cast<double>(b * heads * n * n));
+  attn_span.attr("sparsity", static_cast<double>(last_sparsity_));
+  attn_span.end();
 
-  if (ln_) out = ln_->forward(out);
+  if (ln_) {
+    NODETR_TRACE_SCOPE("mhsa.layer_norm");
+    out = ln_->forward(out);
+  }
   return out.reshape(Shape{b, config_.height, config_.width, d}).permute({0, 3, 1, 2});
 }
 

@@ -1,5 +1,7 @@
 #include "nodetr/nn/mhsa_block.hpp"
 
+#include "nodetr/obs/obs.hpp"
+
 namespace nodetr::nn {
 
 MhsaBlock::MhsaBlock(MhsaBlockConfig config, Rng& rng) : config_(config) {
@@ -22,12 +24,16 @@ MhsaBlock::MhsaBlock(MhsaBlockConfig config, Rng& rng) : config_(config) {
 }
 
 Tensor MhsaBlock::forward(const Tensor& x) {
+  NODETR_TRACE_SCOPE("mhsa.block");
+  obs::ScopedSpan pre("mhsa.block.bottleneck_in");
   Tensor h = bn_in_->forward(x);
   h = relu_in_->forward(h);
   h = reduce_->forward(h);
   h = bn_mid_->forward(h);
   h = relu_mid_->forward(h);
+  pre.end();
   h = mhsa_->forward(h);
+  NODETR_TRACE_SCOPE("mhsa.block.expand");
   return expand_->forward(h);
 }
 

@@ -1,0 +1,14 @@
+// Umbrella header for nodetr::obs — scoped tracing spans, the metrics
+// registry, and their exporters. See trace.hpp and metrics.hpp for the
+// individual pieces, and the README "Observability" section for usage.
+#pragma once
+
+#include "nodetr/obs/metrics.hpp"
+#include "nodetr/obs/trace.hpp"
+
+namespace nodetr::obs {
+
+/// True when span collection is on (runtime flag or NODETR_TRACE env var).
+[[nodiscard]] inline bool tracing_enabled() { return Tracer::instance().enabled(); }
+
+}  // namespace nodetr::obs

@@ -1,0 +1,172 @@
+#include "nodetr/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nodetr::obs {
+
+namespace {
+
+void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::vector<double> Histogram::default_bounds() {
+  // Geometric grid: 1e-3 * 10^(k/3) for k = 0..30 — spans sub-microsecond
+  // timings up to 1e7 (cycle counts, milliseconds) with ~2.15x resolution.
+  std::vector<double> b;
+  b.reserve(31);
+  for (int k = 0; k <= 30; ++k) b.push_back(1e-3 * std::pow(10.0, k / 3.0));
+  return b;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = default_bounds();
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::percentile(double p) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(n);
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const std::int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      // Interpolate inside (lo, hi]. The overflow bucket has no upper bound;
+      // report its lower edge.
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      if (i == bounds_.size()) return lo;
+      const double hi = bounds_[i];
+      const double frac =
+          std::clamp((rank - static_cast<double>(cum)) / static_cast<double>(in_bucket), 0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0);
+  sum_.store(0.0);
+}
+
+Registry::Registry() {
+  if (const char* env = std::getenv("NODETR_METRICS"); env != nullptr && *env != '\0') {
+    export_path_ = env;
+  }
+}
+
+Registry::~Registry() {
+  if (!export_path_.empty()) {
+    try {
+      write_json(export_path_);
+      std::fprintf(stderr, "nodetr::obs: wrote metrics to %s\n", export_path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nodetr::obs: metrics export failed: %s\n", e.what());
+    }
+  }
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": " << h->count()
+       << ", \"sum\": " << h->sum() << ", \"mean\": " << h->mean()
+       << ", \"p50\": " << h->percentile(50.0) << ", \"p95\": " << h->percentile(95.0)
+       << ", \"p99\": " << h->percentile(99.0) << "}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+void Registry::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Registry: cannot open " + path);
+  out << to_json();
+}
+
+void Registry::reset() {
+  std::lock_guard lk(mu_);
+  for (auto& kv : counters_) kv.second->reset();
+  for (auto& kv : gauges_) kv.second->reset();
+  for (auto& kv : histograms_) kv.second->reset();
+}
+
+}  // namespace nodetr::obs

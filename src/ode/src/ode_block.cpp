@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nodetr/obs/obs.hpp"
+
 namespace nodetr::ode {
 
 OdeBlock::OdeBlock(ModulePtr dynamics, index_t steps, SolverKind solver, float t0, float t1)
@@ -27,6 +29,9 @@ Tensor OdeBlock::eval_dynamics(const Tensor& z, float t) {
 }
 
 Tensor OdeBlock::forward(const Tensor& x) {
+  obs::ScopedSpan span("ode.block.forward");
+  span.attr("solver", to_string(kind_));
+  span.attr("steps", steps_);
   if (kind_ == SolverKind::kEuler) {
     // Inline Euler so the trajectory can be cached for backward.
     const float h = (t1_ - t0_) / static_cast<float>(steps_);
@@ -34,6 +39,8 @@ Tensor OdeBlock::forward(const Tensor& x) {
     states_.reserve(static_cast<std::size_t>(steps_));
     Tensor z = x;
     for (index_t j = 0; j < steps_; ++j) {
+      obs::ScopedSpan step_span("ode.euler_step");
+      step_span.attr("step", j);
       states_.push_back(z);
       const float t = t0_ + h * static_cast<float>(j);
       z.add_scaled(eval_dynamics(z, t), h);
@@ -48,6 +55,8 @@ Tensor OdeBlock::forward(const Tensor& x) {
 }
 
 Tensor OdeBlock::backward(const Tensor& grad_out) {
+  obs::ScopedSpan span("ode.block.backward");
+  span.attr("steps", steps_);
   if (!forward_was_euler_) {
     throw std::logic_error(
         "OdeBlock::backward: training requires the Euler solver (discretize-then-optimize); "

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nodetr/obs/obs.hpp"
 #include "nodetr/tensor/ops.hpp"
 
 namespace nodetr::ode {
@@ -16,9 +17,14 @@ float step_size(float t0, float t1, index_t steps) {
 
 Tensor EulerSolver::integrate(const Tensor& z0, float t0, float t1, index_t steps,
                               const OdeRhs& f) const {
+  obs::ScopedSpan span("ode.solve");
+  span.attr("solver", "Euler");
+  span.attr("steps", steps);
   const float h = step_size(t0, t1, steps);
   Tensor z = z0;
   for (index_t j = 0; j < steps; ++j) {
+    obs::ScopedSpan step_span("ode.euler_step");
+    step_span.attr("step", j);
     const float t = t0 + h * static_cast<float>(j);
     z.add_scaled(f(z, t), h);
   }
@@ -27,6 +33,9 @@ Tensor EulerSolver::integrate(const Tensor& z0, float t0, float t1, index_t step
 
 Tensor MidpointSolver::integrate(const Tensor& z0, float t0, float t1, index_t steps,
                                  const OdeRhs& f) const {
+  obs::ScopedSpan span("ode.solve");
+  span.attr("solver", "Midpoint");
+  span.attr("steps", steps);
   const float h = step_size(t0, t1, steps);
   Tensor z = z0;
   for (index_t j = 0; j < steps; ++j) {
@@ -40,6 +49,9 @@ Tensor MidpointSolver::integrate(const Tensor& z0, float t0, float t1, index_t s
 
 Tensor Rk4Solver::integrate(const Tensor& z0, float t0, float t1, index_t steps,
                             const OdeRhs& f) const {
+  obs::ScopedSpan span("ode.solve");
+  span.attr("solver", "RK4");
+  span.attr("steps", steps);
   const float h = step_size(t0, t1, steps);
   Tensor z = z0;
   for (index_t j = 0; j < steps; ++j) {
@@ -64,6 +76,8 @@ Tensor Rk4Solver::integrate(const Tensor& z0, float t0, float t1, index_t steps,
 
 Tensor DormandPrince45::integrate(const Tensor& z0, float t0, float t1, index_t /*steps*/,
                                   const OdeRhs& f) const {
+  obs::ScopedSpan span("ode.solve");
+  span.attr("solver", "DormandPrince45");
   // Dormand-Prince RK5(4)7M coefficients.
   static constexpr double c[7] = {0.0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
   static constexpr double a[7][6] = {
@@ -120,6 +134,9 @@ Tensor DormandPrince45::integrate(const Tensor& z0, float t0, float t1, index_t 
     h *= static_cast<float>(std::clamp(factor, 0.2, 5.0));
     h = std::max(h, h_min);
   }
+  span.attr("accepted", stats_.accepted);
+  span.attr("rejected", stats_.rejected);
+  span.attr("rhs_evals", stats_.rhs_evals);
   return z;
 }
 

@@ -1,5 +1,7 @@
 #include "nodetr/rt/accelerator.hpp"
 
+#include "nodetr/obs/obs.hpp"
+
 namespace nodetr::rt {
 
 namespace {
@@ -20,6 +22,7 @@ MhsaAccelerator::MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory&
 }
 
 void MhsaAccelerator::start() {
+  obs::ScopedSpan span("rt.mhsa_accel.start");
   regs_.write(MhsaRegs::kStatus, 0);
   const std::uint64_t in_addr = addr64(regs_, MhsaRegs::kInputAddrLo, MhsaRegs::kInputAddrHi);
   const std::uint64_t out_addr = addr64(regs_, MhsaRegs::kOutputAddrLo, MhsaRegs::kOutputAddrHi);
@@ -36,11 +39,22 @@ void MhsaAccelerator::start() {
 
   last_cycles_ = dma_.total_cycles() + ip_->last_cycles().total();
   total_cycles_ += last_cycles_;
+  span.attr("batch", batch);
+  span.attr("dma_cycles", dma_.total_cycles());
+  span.attr("compute_cycles", ip_->last_cycles().total());
+  span.attr("sim_ms", last_ms());
+  static auto& starts = obs::Registry::instance().counter("rt.mhsa_accel.starts");
+  static auto& dma_cycles = obs::Registry::instance().counter("rt.mhsa_accel.dma_cycles");
+  static auto& compute_cycles = obs::Registry::instance().counter("rt.mhsa_accel.compute_cycles");
+  starts.add();
+  dma_cycles.add(dma_.total_cycles());
+  compute_cycles.add(ip_->last_cycles().total());
   // Self-clearing start bit; done flag raised.
   regs_.write(MhsaRegs::kStatus, 1);
 }
 
 Tensor MhsaAccelerator::execute(const Tensor& x) {
+  obs::ScopedSpan span("rt.mhsa_accel.execute");
   if (x.rank() != 4) throw std::invalid_argument("MhsaAccelerator::execute: rank must be 4");
   ddr_.write_tensor(kDefaultInput, x);
   regs_.write(MhsaRegs::kInputAddrLo, static_cast<std::uint32_t>(kDefaultInput));

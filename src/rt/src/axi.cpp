@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "nodetr/obs/metrics.hpp"
+
 namespace nodetr::rt {
 
 void DdrMemory::check(std::uint64_t addr, std::size_t bytes) const {
@@ -31,12 +33,16 @@ Tensor DdrMemory::read_tensor(std::uint64_t addr, Shape shape) const {
 }
 
 void AxiLiteRegisterFile::write(std::uint32_t offset, std::uint32_t value) {
+  static auto& transactions = obs::Registry::instance().counter("rt.axi_lite.writes");
+  transactions.add();
   regs_[offset] = value;
   auto it = hooks_.find(offset);
   if (it != hooks_.end()) it->second(value);
 }
 
 std::uint32_t AxiLiteRegisterFile::read(std::uint32_t offset) const {
+  static auto& transactions = obs::Registry::instance().counter("rt.axi_lite.reads");
+  transactions.add();
   auto it = regs_.find(offset);
   return it == regs_.end() ? 0 : it->second;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nodetr/obs/obs.hpp"
+
 namespace nodetr::rt {
 
 namespace {
@@ -64,12 +66,15 @@ OffloadedModel::~OffloadedModel() {
 }
 
 Tensor OffloadedModel::forward(const Tensor& batch) {
+  obs::ScopedSpan span("rt.offload.forward");
   timing_ = InferenceTiming{};
   override_wall_ms_ = 0.0;
   const double t0 = now_ms();
   Tensor out = model_.forward(batch);
   const double wall = now_ms() - t0;
   timing_.ps_ms = std::max(wall - override_wall_ms_, 0.0);
+  span.attr("ps_ms", timing_.ps_ms);
+  span.attr("pl_ms", timing_.pl_ms);
   return out;
 }
 

@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -45,6 +46,7 @@ class ThreadPool {
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::uint64_t posted_ns_ = 0;  ///< when the current batch was posted (0 = not sampling)
   std::size_t next_chunk_ = 0;
   std::size_t total_chunks_ = 0;
   std::size_t active_ = 0;

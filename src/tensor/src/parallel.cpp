@@ -2,7 +2,11 @@
 
 #include <algorithm>
 
+#include "nodetr/obs/obs.hpp"
+
 namespace nodetr::tensor {
+
+namespace obs = nodetr::obs;
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -12,6 +16,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   for (std::size_t i = 1; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  obs::Registry::instance().gauge("tensor.pool.threads").set(static_cast<double>(size()));
 }
 
 ThreadPool::~ThreadPool() {
@@ -30,6 +35,12 @@ void ThreadPool::worker_loop() {
     cv_work_.wait(lk, [&] { return stop_ || (fn_ != nullptr && epoch_ != seen_epoch); });
     if (stop_) return;
     seen_epoch = epoch_;
+    if (posted_ns_ != 0) {
+      // Queue wait: time from work being posted to this worker picking it up.
+      // Only sampled while tracing is enabled (posted_ns_ stays 0 otherwise).
+      static auto& wait_us = obs::Registry::instance().histogram("tensor.pool.queue_wait_us");
+      wait_us.observe(static_cast<double>(obs::Tracer::instance().now_ns() - posted_ns_) / 1e3);
+    }
     const auto* fn = fn_;
     ++active_;
     while (next_chunk_ < total_chunks_) {
@@ -44,12 +55,19 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run_chunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn) {
   if (num_chunks == 0) return;
+  static auto& runs = obs::Registry::instance().counter("tensor.pool.runs");
+  static auto& chunks = obs::Registry::instance().counter("tensor.pool.chunks");
+  static auto& serial_runs = obs::Registry::instance().counter("tensor.pool.serial_runs");
+  chunks.add(static_cast<std::int64_t>(num_chunks));
   if (workers_.empty() || num_chunks == 1) {
+    serial_runs.add();
     for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
+  runs.add();
   std::unique_lock lk(mu_);
   fn_ = &fn;
+  posted_ns_ = obs::tracing_enabled() ? obs::Tracer::instance().now_ns() : 0;
   next_chunk_ = 0;
   total_chunks_ = num_chunks;
   ++epoch_;

@@ -1,0 +1,449 @@
+// nodetr::obs — spans, metrics, exporters.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "nodetr/obs/obs.hpp"
+#include "nodetr/tensor/parallel.hpp"
+
+namespace obs = nodetr::obs;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser, used to check that the exported
+// trace and metrics dumps are well-formed by actually parsing them back.
+// ---------------------------------------------------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsonObject>,
+               std::shared_ptr<JsonArray>>
+      v = nullptr;
+
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
+  [[nodiscard]] const JsonObject& obj() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
+  [[nodiscard]] const JsonArray& arr() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
+  [[nodiscard]] double num() const { return std::get<double>(v); }
+  [[nodiscard]] const std::string& str() const { return std::get<std::string>(v); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing garbage at " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " + std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  void literal(const char* lit) {
+    skip_ws();
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) throw std::runtime_error("bad literal");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u escape");
+            pos_ += 4;  // decoded value not needed for validation
+            out += '?';
+            break;
+          default: throw std::runtime_error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '-' ||
+            s_[pos_] == '+' || s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number at " + std::to_string(pos_));
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  JsonValue object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue{obj};
+    }
+    while (true) {
+      std::string key = string();
+      expect(':');
+      (*obj)[std::move(key)] = value();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return JsonValue{obj};
+      if (c != ',') throw std::runtime_error("expected ',' or '}'");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue{arr};
+    }
+    while (true) {
+      arr->push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return JsonValue{arr};
+      if (c != ',') throw std::runtime_error("expected ',' or ']'");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Enables tracing for one test and restores the previous state after.
+class TracingOn {
+ public:
+  TracingOn() : was_(obs::Tracer::instance().enabled()) {
+    obs::Tracer::instance().set_enabled(true);
+    obs::Tracer::instance().clear();
+  }
+  ~TracingOn() {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().set_enabled(was_);
+  }
+
+ private:
+  bool was_;
+};
+
+const obs::SpanRecord* find_span(const std::vector<obs::SpanRecord>& spans,
+                                 const std::string& name) {
+  for (const auto& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+TEST(Trace, DisabledSpansAreInert) {
+  obs::Tracer::instance().set_enabled(false);
+  obs::Tracer::instance().clear();
+  {
+    NODETR_TRACE_SCOPE("should.not.appear");
+    obs::ScopedSpan span("also.not");
+    span.attr("k", 1);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(obs::Tracer::instance().span_count(), 0u);
+}
+
+TEST(Trace, NestingProducesPathsAndDepths) {
+  TracingOn on;
+  {
+    obs::ScopedSpan outer("outer");
+    {
+      obs::ScopedSpan mid("mid");
+      { NODETR_TRACE_SCOPE("inner"); }
+    }
+    { NODETR_TRACE_SCOPE("sibling"); }
+  }
+  const auto spans = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const auto* inner = find_span(spans, "inner");
+  const auto* mid = find_span(spans, "mid");
+  const auto* outer = find_span(spans, "outer");
+  const auto* sibling = find_span(spans, "sibling");
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(inner->path, "outer/mid/inner");
+  EXPECT_EQ(mid->path, "outer/mid");
+  EXPECT_EQ(sibling->path, "outer/sibling");
+  EXPECT_EQ(outer->path, "outer");
+  EXPECT_EQ(inner->depth, 2u);
+  EXPECT_EQ(mid->depth, 1u);
+  EXPECT_EQ(outer->depth, 0u);
+
+  // Children complete before parents; parent intervals contain child intervals.
+  EXPECT_LE(outer->start_ns, mid->start_ns);
+  EXPECT_LE(mid->start_ns, inner->start_ns);
+  EXPECT_LE(inner->end_ns, mid->end_ns);
+  EXPECT_LE(mid->end_ns, outer->end_ns);
+  // Completion order in the buffer is innermost-first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[3].name, "outer");
+}
+
+TEST(Trace, EarlyEndStopsTheClock) {
+  TracingOn on;
+  {
+    obs::ScopedSpan span("early");
+    span.end();
+    EXPECT_FALSE(span.active());
+    span.end();  // idempotent
+  }
+  EXPECT_EQ(obs::Tracer::instance().span_count(), 1u);
+}
+
+TEST(Trace, AttributesRoundTrip) {
+  TracingOn on;
+  {
+    obs::ScopedSpan span("attrs");
+    span.attr("cycles", std::int64_t{2337954});
+    span.attr("loss", 0.25);
+    span.attr("solver", "Euler");
+  }
+  const auto spans = obs::Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attrs.size(), 3u);
+  EXPECT_EQ(std::get<std::int64_t>(spans[0].attrs[0].second), 2337954);
+  EXPECT_DOUBLE_EQ(std::get<double>(spans[0].attrs[1].second), 0.25);
+  EXPECT_EQ(std::get<std::string>(spans[0].attrs[2].second), "Euler");
+}
+
+TEST(Trace, ChromeTraceJsonParsesBack) {
+  TracingOn on;
+  {
+    obs::ScopedSpan a("alpha \"quoted\"");
+    a.attr("cycles", std::int64_t{42});
+    a.attr("note", "line\nbreak");
+    { NODETR_TRACE_SCOPE("beta"); }
+  }
+  const std::string json = obs::Tracer::instance().chrome_trace_json();
+  JsonValue root = JsonParser(json).parse();
+  ASSERT_TRUE(root.is_object());
+  const auto& events = root.obj().at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.arr().size(), 2u);
+  for (const auto& ev : events.arr()) {
+    ASSERT_TRUE(ev.is_object());
+    const auto& o = ev.obj();
+    EXPECT_EQ(o.at("ph").str(), "X");
+    EXPECT_EQ(o.at("cat").str(), "nodetr");
+    EXPECT_GE(o.at("dur").num(), 0.0);
+    EXPECT_TRUE(o.at("args").is_object());
+  }
+  // The nested event's path attribute reflects the hierarchy.
+  const auto& beta = events.arr()[0].obj();
+  EXPECT_EQ(beta.at("name").str(), "beta");
+  EXPECT_EQ(beta.at("args").obj().at("path").str(), "alpha \"quoted\"/beta");
+}
+
+TEST(Trace, SummaryAggregatesByPath) {
+  TracingOn on;
+  for (int i = 0; i < 3; ++i) {
+    obs::ScopedSpan outer("fit");
+    { NODETR_TRACE_SCOPE("step"); }
+    { NODETR_TRACE_SCOPE("step"); }
+  }
+  const std::string summary = obs::Tracer::instance().summary();
+  EXPECT_NE(summary.find("fit"), std::string::npos);
+  EXPECT_NE(summary.find("step"), std::string::npos);
+  EXPECT_NE(summary.find("6"), std::string::npos);  // 6 step calls
+}
+
+TEST(Trace, SpansFromWorkerThreadsAreCaptured) {
+  TracingOn on;
+  nodetr::tensor::ThreadPool pool(4);
+  pool.run_chunks(16, [](std::size_t) {
+    NODETR_TRACE_SCOPE("chunk");
+  });
+  const auto spans = obs::Tracer::instance().snapshot();
+  std::size_t chunk_spans = 0;
+  for (const auto& s : spans) chunk_spans += (s.name == "chunk") ? 1 : 0;
+  EXPECT_EQ(chunk_spans, 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterConcurrentIncrementsFromRunChunks) {
+  auto& counter = obs::Registry::instance().counter("test.concurrent");
+  counter.reset();
+  nodetr::tensor::ThreadPool pool(8);
+  constexpr std::size_t kChunks = 64;
+  constexpr int kPerChunk = 1000;
+  pool.run_chunks(kChunks, [&](std::size_t) {
+    for (int i = 0; i < kPerChunk; ++i) counter.add();
+  });
+  EXPECT_EQ(counter.value(), static_cast<std::int64_t>(kChunks) * kPerChunk);
+}
+
+TEST(Metrics, GaugeHoldsLastValue) {
+  auto& gauge = obs::Registry::instance().gauge("test.gauge");
+  gauge.set(0.75);
+  gauge.set(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.5);
+}
+
+TEST(Metrics, RegistryReturnsStableInstances) {
+  auto& a = obs::Registry::instance().counter("test.stable");
+  auto& b = obs::Registry::instance().counter("test.stable");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Metrics, HistogramPercentilesOnKnownDistribution) {
+  // Uniform 1..100 with unit buckets: percentiles are exact up to
+  // within-bucket interpolation.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  obs::Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(95.0), 95.0, 1.0);
+  EXPECT_NEAR(h.percentile(99.0), 99.0, 1.0);
+  EXPECT_NEAR(h.percentile(100.0), 100.0, 1.0);
+  EXPECT_LE(h.percentile(0.0), 1.0);
+}
+
+TEST(Metrics, HistogramSkewedDistribution) {
+  // 90 fast observations at ~1, 10 slow at ~1000: p50 stays low, p95+ jumps.
+  std::vector<double> bounds{1.0, 10.0, 100.0, 1000.0, 10000.0};
+  obs::Histogram h(bounds);
+  for (int i = 0; i < 90; ++i) h.observe(0.5);
+  for (int i = 0; i < 10; ++i) h.observe(500.0);
+  EXPECT_LE(h.percentile(50.0), 1.0);
+  EXPECT_GE(h.percentile(95.0), 100.0);
+  EXPECT_LE(h.percentile(95.0), 1000.0);
+}
+
+TEST(Metrics, HistogramOverflowBucket) {
+  obs::Histogram h(std::vector<double>{1.0, 2.0});
+  h.observe(100.0);
+  h.observe(200.0);
+  // Overflow bucket reports its lower edge (the last finite bound).
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);
+  EXPECT_EQ(h.count(), 2);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(obs::Histogram(std::vector<double>{2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, ConcurrentHistogramObservations) {
+  auto& h = obs::Registry::instance().histogram("test.hist.concurrent");
+  h.reset();
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 10000; ++i) h.observe(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), 40000);
+  EXPECT_DOUBLE_EQ(h.sum(), 40000.0);
+}
+
+TEST(Metrics, JsonDumpParsesBack) {
+  auto& registry = obs::Registry::instance();
+  registry.counter("test.json.counter").reset();
+  registry.counter("test.json.counter").add(7);
+  registry.gauge("test.json.gauge").set(0.125);
+  auto& h = registry.histogram("test.json.hist");
+  h.reset();
+  h.observe(5.0);
+
+  JsonValue root = JsonParser(registry.to_json()).parse();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_DOUBLE_EQ(root.obj().at("counters").obj().at("test.json.counter").num(), 7.0);
+  EXPECT_DOUBLE_EQ(root.obj().at("gauges").obj().at("test.json.gauge").num(), 0.125);
+  const auto& hist = root.obj().at("histograms").obj().at("test.json.hist").obj();
+  EXPECT_DOUBLE_EQ(hist.at("count").num(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").num(), 5.0);
+  EXPECT_GT(hist.at("p99").num(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented library paths
+// ---------------------------------------------------------------------------
+
+TEST(Instrumentation, ParallelForCountsChunks) {
+  auto& registry = obs::Registry::instance();
+  const std::int64_t before = registry.counter("tensor.pool.chunks").value();
+  std::vector<float> data(1 << 16, 0.0f);
+  nodetr::tensor::parallel_for(0, static_cast<nodetr::tensor::index_t>(data.size()),
+                               [&](nodetr::tensor::index_t lo, nodetr::tensor::index_t hi) {
+                                 for (auto i = lo; i < hi; ++i) data[static_cast<std::size_t>(i)] += 1.0f;
+                               });
+  EXPECT_GT(registry.counter("tensor.pool.chunks").value(), before);
+  for (float v : data) ASSERT_EQ(v, 1.0f);
+}
+
+}  // namespace
