@@ -53,6 +53,11 @@ class CycleModel {
   [[nodiscard]] CycleBreakdown estimate(const MhsaDesignPoint& point,
                                         bool include_layer_norm = false) const;
 
+  /// The weight share (3 D^2 words) of the streaming stage — the part a
+  /// batch-resident invocation pays once instead of per image. The remainder
+  /// of `CycleBreakdown::streaming` (2 N D words) is per-image feature I/O.
+  [[nodiscard]] std::int64_t weight_stream_cycles(const MhsaDesignPoint& point) const;
+
   /// Latency in nanoseconds for a breakdown.
   [[nodiscard]] static double latency_ns(const CycleBreakdown& b) { return b.total() * kClockNs; }
   [[nodiscard]] static double latency_ms(const CycleBreakdown& b) {

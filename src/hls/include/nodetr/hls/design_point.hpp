@@ -22,6 +22,13 @@ enum class BufferPlan {
   kShared5,  ///< one shared weight buffer reloaded for Wq/Wk/Wv
 };
 
+/// How long DMA'd weights stay resident in the IP's on-chip buffers.
+enum class WeightResidency {
+  kStreamPerImage,   ///< weights re-streamed for every image (Table III calibration)
+  kBatchResident,    ///< weights streamed once per START and reused across the
+                     ///< whole programmed batch (the serving path)
+};
+
 struct ParallelPlan {
   index_t partition = 64;  ///< sub-buffers for X and W (array partitioning)
   index_t unroll = 128;    ///< innermost-loop unroll factor
@@ -41,6 +48,7 @@ struct MhsaDesignPoint {
   fx::QuantizationScheme scheme = fx::scheme_32_24();
   BufferPlan buffers = BufferPlan::kShared5;
   ParallelPlan parallel = ParallelPlan::paper();
+  WeightResidency residency = WeightResidency::kStreamPerImage;
 
   [[nodiscard]] index_t tokens() const { return height * width; }
   [[nodiscard]] index_t head_dim() const { return dim / heads; }

@@ -48,6 +48,13 @@ class MhsaIpCore {
   /// (+ relative tables, LayerNorm params) + output, at 32-bit beats.
   [[nodiscard]] std::int64_t dma_bytes_per_image() const;
 
+  /// The parameter share of the DMA traffic (Wq/Wk/Wv, relative tables,
+  /// LayerNorm params) — paid once per START when the design point is
+  /// WeightResidency::kBatchResident.
+  [[nodiscard]] std::int64_t weight_dma_bytes() const;
+  /// The per-image share of the DMA traffic (input + output feature maps).
+  [[nodiscard]] std::int64_t io_dma_bytes_per_image() const;
+
   /// Fixed-in / fixed-out datapath on one image's tokens (N, D) in the
   /// scheme's feature format — the exact arithmetic a full-model fixed
   /// pipeline composes with (used by QuantizedExecutor).

@@ -61,6 +61,11 @@ constexpr double kLnCyclesPerRow = 40.0;  // mean/var finalize + rsqrt
 
 }  // namespace
 
+std::int64_t CycleModel::weight_stream_cycles(const MhsaDesignPoint& point) const {
+  const double d = static_cast<double>(point.dim);
+  return static_cast<std::int64_t>(3.0 * d * d * kStreamCyclesPerWord);
+}
+
 CycleBreakdown CycleModel::estimate(const MhsaDesignPoint& point, bool include_layer_norm) const {
   const double n = static_cast<double>(point.tokens());
   const double d = static_cast<double>(point.dim);

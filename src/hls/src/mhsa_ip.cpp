@@ -58,15 +58,22 @@ MhsaIpCore::MhsaIpCore(MhsaDesignPoint point, MhsaWeights weights)
 }
 
 std::int64_t MhsaIpCore::dma_bytes_per_image() const {
-  const std::int64_t d = point_.dim, n = point_.tokens();
-  std::int64_t words = n * d;          // input stream
-  words += 3 * d * d;                  // Wq, Wk, Wv (reloaded into the shared buffer)
+  return weight_dma_bytes() + io_dma_bytes_per_image();
+}
+
+std::int64_t MhsaIpCore::weight_dma_bytes() const {
+  const std::int64_t d = point_.dim;
+  std::int64_t words = 3 * d * d;      // Wq, Wk, Wv (reloaded into the shared buffer)
   if (!weights_.rel_h.empty()) {
     words += point_.heads * (point_.height + point_.width) * point_.head_dim();
   }
   if (!weights_.ln_gamma.empty()) words += 2 * d;
-  words += n * d;                      // output stream
   return words * 4;                    // 32-bit HP0 beats
+}
+
+std::int64_t MhsaIpCore::io_dma_bytes_per_image() const {
+  const std::int64_t d = point_.dim, n = point_.tokens();
+  return 2 * n * d * 4;                // input + output stream
 }
 
 namespace {
@@ -230,11 +237,17 @@ Tensor MhsaIpCore::run(const Tensor& x) {
     Tensor o = (point_.dtype == DataType::kFloat32) ? run_tokens_float(t) : run_tokens_fixed(t);
     std::copy(o.data(), o.data() + o.numel(), out_tokens.data() + s * n * d);
   }
-  // Latency: one IP invocation per image.
+  // Latency: one IP invocation per image. With batch-resident weights the
+  // weight share of the streaming stage is paid once per run(), not per image.
   CycleBreakdown one = cycle_model_.estimate(point_, !weights_.ln_gamma.empty());
+  std::int64_t streaming = one.streaming * b;
+  if (point_.residency == WeightResidency::kBatchResident) {
+    const std::int64_t w = cycle_model_.weight_stream_cycles(point_);
+    streaming = w + (one.streaming - w) * b;
+  }
   last_cycles_ = CycleBreakdown{one.projection_each * b, one.qr * b,         one.qk * b,
                                 one.relu * b,            one.av * b,
-                                one.layer_norm * b,      one.streaming * b};
+                                one.layer_norm * b,      streaming};
   // Simulated FPGA time rides on the wall-clock span so both land in one
   // trace; breakdown mirrors Table III's stages.
   span.attr("batch", b);

@@ -42,7 +42,11 @@ class MhsaAccelerator {
   [[nodiscard]] double last_ms() const { return last_cycles_ * hls::CycleModel::kClockNs * 1e-6; }
 
   /// Convenience driver: stages `x` (B, D, H, W), runs the register
-  /// sequence, and returns the output read back from DDR.
+  /// sequence, and returns the output read back from DDR. Throws
+  /// std::invalid_argument when `x` does not match the IP's design point.
+  /// START validates the programmed BATCH register against the staged shape,
+  /// so a driver that reprograms BATCH inconsistently faults instead of
+  /// silently reading a mis-sized feature map out of DDR.
   [[nodiscard]] Tensor execute(const Tensor& x);
 
  private:

@@ -27,12 +27,26 @@ void MhsaAccelerator::start() {
   const std::uint64_t in_addr = addr64(regs_, MhsaRegs::kInputAddrLo, MhsaRegs::kInputAddrHi);
   const std::uint64_t out_addr = addr64(regs_, MhsaRegs::kOutputAddrLo, MhsaRegs::kOutputAddrHi);
   const index_t batch = static_cast<index_t>(regs_.read(MhsaRegs::kBatch));
+  if (batch < 1) {
+    throw std::invalid_argument("MhsaAccelerator: BATCH register must be >= 1");
+  }
+  if (staged_shape_.rank() == 4 && staged_shape_.dim(0) != batch) {
+    throw std::invalid_argument(
+        "MhsaAccelerator: BATCH register (" + std::to_string(batch) +
+        ") does not match the staged input batch (" + std::to_string(staged_shape_.dim(0)) + ")");
+  }
   const auto& p = ip_->point();
   const Shape shape{batch, p.dim, p.height, p.width};
 
   dma_.reset();
-  // Weights + input stream in, output stream back (per image).
-  dma_.transfer(ip_->dma_bytes_per_image() * batch);
+  if (p.residency == hls::WeightResidency::kBatchResident) {
+    // Weights in one descriptor for the whole batch, features per image.
+    dma_.transfer(ip_->weight_dma_bytes());
+    dma_.transfer(ip_->io_dma_bytes_per_image() * batch);
+  } else {
+    // Weights + input stream in, output stream back (per image).
+    dma_.transfer(ip_->dma_bytes_per_image() * batch);
+  }
   Tensor x = ddr_.read_tensor(in_addr, shape);
   Tensor y = ip_->run(x);
   ddr_.write_tensor(out_addr, y);
@@ -56,6 +70,12 @@ void MhsaAccelerator::start() {
 Tensor MhsaAccelerator::execute(const Tensor& x) {
   obs::ScopedSpan span("rt.mhsa_accel.execute");
   if (x.rank() != 4) throw std::invalid_argument("MhsaAccelerator::execute: rank must be 4");
+  const auto& p = ip_->point();
+  if (x.dim(1) != p.dim || x.dim(2) != p.height || x.dim(3) != p.width) {
+    throw std::invalid_argument("MhsaAccelerator::execute: input does not match design point " +
+                                p.to_string());
+  }
+  staged_shape_ = x.shape();
   ddr_.write_tensor(kDefaultInput, x);
   regs_.write(MhsaRegs::kInputAddrLo, static_cast<std::uint32_t>(kDefaultInput));
   regs_.write(MhsaRegs::kInputAddrHi, static_cast<std::uint32_t>(kDefaultInput >> 32));

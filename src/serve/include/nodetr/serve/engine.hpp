@@ -1,0 +1,127 @@
+// nodetr::serve — concurrent batched inference engine over the MHSA
+// accelerator (the request path the ROADMAP's production north star needs).
+//
+//   producers ── submit() ──► RequestQueue (bounded, kBlock | kReject)
+//                                  │  FIFO rows, ≤ max_batch, ≤ max_wait_us
+//                             MicroBatcher (one per worker; order-preserving
+//                                  │        splits/merges, worker-local carry)
+//                                  ▼
+//      worker 0..N-1 ── warm MhsaIpCore replica per session
+//          ├─ kCpuFloat:  float32 datapath run in-process
+//          └─ kFpga*:     own DdrMemory + MhsaAccelerator; batched START with
+//                         batch-resident weights (one weight DMA per batch)
+//                                  ▼
+//             scatter rows back per request ──► fulfil std::future<Tensor>
+//
+// Guarantees:
+//   - outputs are bitwise identical to running each request alone through
+//     the same backend (the IP processes images independently, so batch
+//     composition never changes numerics);
+//   - every accepted request's future is fulfilled exactly once — with a
+//     value, or with the backend's exception — including during shutdown,
+//     which drains all queued work before the workers exit;
+//   - a request's rows stay on one worker in row order even when the request
+//     is split across micro-batches.
+//
+// Observability: spans serve.submit / serve.batch; metrics serve.requests_*,
+// serve.batches, serve.rows, serve.queue_depth, and the histograms
+// serve.batch_occupancy_pct and serve.request_latency_us (p50/p95/p99).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "nodetr/hls/mhsa_ip.hpp"
+#include "nodetr/rt/accelerator.hpp"
+#include "nodetr/serve/micro_batcher.hpp"
+#include "nodetr/tensor/parallel.hpp"
+
+namespace nodetr::serve {
+
+enum class Backend {
+  kCpuFloat,   ///< float32 IP datapath in-process (no DMA / driver model)
+  kFpgaFloat,  ///< float32 IP behind the simulated accelerator driver
+  kFpgaFixed,  ///< fixed-point IP behind the simulated accelerator driver
+};
+
+[[nodiscard]] const char* to_string(Backend backend);
+
+struct EngineConfig {
+  /// MHSA geometry (and the quantization scheme for kFpgaFixed). The dtype
+  /// and weight residency fields are overridden per backend: FPGA sessions
+  /// always run batch-resident weights.
+  hls::MhsaDesignPoint point;
+  Backend backend = Backend::kFpgaFloat;
+  /// Optional per-worker backends (size must equal `workers`); empty means
+  /// every worker runs `backend`. Mixing float backends preserves bitwise
+  /// results; mixing fixed with float makes numerics depend on placement.
+  std::vector<Backend> worker_backends;
+  std::size_t workers = 2;
+  std::size_t queue_capacity = 64;
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  BatcherConfig batcher;
+};
+
+struct EngineStats {
+  std::uint64_t submitted = 0;   ///< accepted into the queue
+  std::uint64_t rejected = 0;    ///< refused under kReject backpressure
+  std::uint64_t completed = 0;   ///< futures fulfilled with a value
+  std::uint64_t failed = 0;      ///< futures fulfilled with an exception
+  std::uint64_t batches = 0;     ///< micro-batches executed
+  std::uint64_t rows = 0;        ///< total rows executed
+  std::int64_t sim_cycles = 0;   ///< accumulated accelerator cycles (FPGA backends)
+  /// rows / (batches * max_batch); 1.0 means every batch was full.
+  [[nodiscard]] double occupancy(index_t max_batch) const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(rows) /
+                              (static_cast<double>(batches) * static_cast<double>(max_batch));
+  }
+};
+
+class InferenceEngine {
+ public:
+  /// Spins up the worker sessions (each quantizes/copies `weights` into its
+  /// own warm MhsaIpCore replica) and starts serving immediately.
+  InferenceEngine(EngineConfig config, const hls::MhsaWeights& weights);
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Submit one request: (D, H, W) single image or (B, D, H, W) multi-row.
+  /// The future resolves with the same-shaped output. Throws
+  /// std::invalid_argument on a geometry mismatch, QueueFullError under
+  /// kReject backpressure, and std::runtime_error after shutdown.
+  [[nodiscard]] std::future<Tensor> submit(Tensor input);
+
+  /// Stop admitting requests, drain everything already accepted, and join
+  /// the workers. Idempotent and safe to call concurrently.
+  void shutdown();
+
+  [[nodiscard]] EngineStats stats() const;
+  [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+ private:
+  struct WorkerSession;
+
+  void worker_loop(std::size_t worker);
+  void process_batch(WorkerSession& session, MicroBatch& batch);
+  void fail_batch(MicroBatch& batch, std::exception_ptr error);
+  void finish_rows(const MicroBatch& batch, const Tensor& output);
+
+  EngineConfig config_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<WorkerSession>> sessions_;
+  std::unique_ptr<tensor::ThreadPool> pool_;
+  std::thread dispatcher_;
+  std::mutex shutdown_mu_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> submitted_{0}, rejected_{0}, completed_{0}, failed_{0};
+  std::atomic<std::uint64_t> batches_{0}, rows_{0};
+  std::atomic<std::int64_t> sim_cycles_{0};
+};
+
+}  // namespace nodetr::serve

@@ -1,0 +1,67 @@
+// MicroBatcher: coalesces queued requests into dense micro-batches.
+//
+// Each worker session owns one MicroBatcher over the shared RequestQueue.
+// A batch is formed by taking rows in strict FIFO order until either
+// `max_batch` rows are collected or `max_wait_us` has elapsed since the
+// first row was available. Requests larger than the remaining capacity are
+// split; the leftover rows are carried worker-locally and lead the worker's
+// next batch, so every split request is consumed (and its output assembled)
+// by exactly one worker, in row order.
+#pragma once
+
+#include <vector>
+
+#include "nodetr/serve/request_queue.hpp"
+
+namespace nodetr::serve {
+
+struct BatcherConfig {
+  index_t max_batch = 8;        ///< rows per micro-batch (the BATCH register)
+  std::int64_t max_wait_us = 200;  ///< linger for more rows after the first
+};
+
+/// A contiguous span of one request's rows placed inside a micro-batch.
+struct BatchSlice {
+  RequestPtr request;
+  index_t row_begin = 0;  ///< first row of request->input in this slice
+  index_t row_end = 0;    ///< one past the last row
+  index_t batch_row = 0;  ///< destination row inside the batch tensor
+};
+
+struct MicroBatch {
+  Tensor input;  ///< (rows, D, H, W), rows <= max_batch
+  std::vector<BatchSlice> slices;
+  [[nodiscard]] index_t rows() const { return input.rank() == 4 ? input.dim(0) : 0; }
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(RequestQueue& queue, BatcherConfig config);
+
+  /// Coalesce the next micro-batch, blocking until at least one row is
+  /// available. Returns false once the queue is closed and drained and no
+  /// carried-over rows remain — the worker's signal to exit.
+  [[nodiscard]] bool next(MicroBatch& out);
+
+  /// Pure planning core (also exercised by the property tests): pack the
+  /// given request row counts, all pending at once, into batches of at most
+  /// `max_batch` rows. Requests are consumed in order, rows in order, and
+  /// oversized requests are split across consecutive batches.
+  struct PlanSlice {
+    std::size_t request = 0;
+    index_t row_begin = 0;
+    index_t row_end = 0;
+  };
+  [[nodiscard]] static std::vector<std::vector<PlanSlice>> plan(
+      const std::vector<index_t>& request_rows, index_t max_batch);
+
+  [[nodiscard]] const BatcherConfig& config() const { return config_; }
+
+ private:
+  RequestQueue& queue_;
+  BatcherConfig config_;
+  RequestPtr carry_;       ///< partially consumed request (worker-local)
+  index_t carry_row_ = 0;  ///< next unconsumed row of carry_
+};
+
+}  // namespace nodetr::serve

@@ -1,0 +1,101 @@
+// Bounded MPMC request queue — the admission point of the serving engine
+// (see engine.hpp for the overall architecture).
+//
+// Producers submit requests from arbitrary threads; worker sessions drain
+// them through the MicroBatcher. The queue is bounded so a traffic burst
+// turns into explicit backpressure instead of unbounded memory growth:
+//   - kBlock:  push waits for space (producer-paced, no request loss);
+//   - kReject: push fails immediately when full (caller sheds load).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "nodetr/tensor/tensor.hpp"
+
+namespace nodetr::serve {
+
+using nodetr::tensor::index_t;
+using nodetr::tensor::Shape;
+using nodetr::tensor::Tensor;
+
+enum class BackpressurePolicy {
+  kBlock,   ///< submit blocks until queue space frees up
+  kReject,  ///< submit throws QueueFullError when the queue is at capacity
+};
+
+/// Thrown by InferenceEngine::submit under BackpressurePolicy::kReject when
+/// the queue is at capacity.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One in-flight inference request. `input`/`output` are rank-4
+/// (rows, D, H, W); a rank-3 submission is wrapped as one row and squeezed
+/// back on completion. Row bookkeeping (`output`, `rows_done`, `failed`) is
+/// only touched by the single worker that popped the request — the
+/// MicroBatcher keeps split requests on one worker — so it needs no lock.
+struct Request {
+  std::uint64_t id = 0;
+  Tensor input;
+  bool squeeze = false;
+  Tensor output;
+  index_t rows_done = 0;
+  bool failed = false;
+  std::promise<Tensor> promise;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+enum class PushResult { kOk, kFull, kClosed };
+
+/// Bounded multi-producer/multi-consumer FIFO of requests.
+class RequestQueue {
+ public:
+  RequestQueue(std::size_t capacity, BackpressurePolicy policy);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Enqueue. Under kBlock this waits for space (kClosed if the queue closes
+  /// while waiting); under kReject a full queue returns kFull immediately.
+  PushResult push(RequestPtr r);
+
+  /// Dequeue, blocking until an item arrives. Returns nullptr only once the
+  /// queue is closed AND drained, so close() never drops accepted requests.
+  [[nodiscard]] RequestPtr pop();
+
+  /// Non-blocking dequeue; nullptr when empty.
+  [[nodiscard]] RequestPtr try_pop();
+
+  /// Dequeue, waiting at most until `deadline`. Returns nullptr on timeout
+  /// or once closed and drained.
+  [[nodiscard]] RequestPtr pop_until(std::chrono::steady_clock::time_point deadline);
+
+  /// Stop admitting new requests; queued ones remain poppable (drain).
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] BackpressurePolicy policy() const { return policy_; }
+
+ private:
+  const std::size_t capacity_;
+  const BackpressurePolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_space_;  ///< signalled on pop/close
+  std::condition_variable cv_items_;  ///< signalled on push/close
+  std::deque<RequestPtr> items_;
+  bool closed_ = false;
+};
+
+}  // namespace nodetr::serve

@@ -1,0 +1,6 @@
+// Umbrella header for nodetr::serve — the batched inference engine.
+#pragma once
+
+#include "nodetr/serve/engine.hpp"
+#include "nodetr/serve/micro_batcher.hpp"
+#include "nodetr/serve/request_queue.hpp"

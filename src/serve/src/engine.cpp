@@ -1,0 +1,228 @@
+#include "nodetr/serve/engine.hpp"
+
+#include <cstring>
+
+#include "nodetr/obs/obs.hpp"
+
+namespace nodetr::serve {
+
+namespace obs = nodetr::obs;
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kCpuFloat: return "cpu_float";
+    case Backend::kFpgaFloat: return "fpga_float";
+    case Backend::kFpgaFixed: return "fpga_fixed";
+  }
+  return "?";
+}
+
+/// One worker's private execution state: a warm IP replica, and for FPGA
+/// backends its own DDR + accelerator, so sessions never contend on a device.
+struct InferenceEngine::WorkerSession {
+  Backend backend = Backend::kCpuFloat;
+  MicroBatcher batcher;
+  std::unique_ptr<hls::MhsaIpCore> cpu_ip;    ///< kCpuFloat
+  std::unique_ptr<rt::DdrMemory> ddr;         ///< kFpga*
+  std::unique_ptr<rt::MhsaAccelerator> accel; ///< kFpga*
+
+  WorkerSession(RequestQueue& queue, const BatcherConfig& cfg) : batcher(queue, cfg) {}
+};
+
+InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& weights)
+    : config_(std::move(config)), queue_(config_.queue_capacity, config_.policy) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("InferenceEngine: workers must be >= 1");
+  }
+  if (!config_.worker_backends.empty() && config_.worker_backends.size() != config_.workers) {
+    throw std::invalid_argument(
+        "InferenceEngine: worker_backends must be empty or one entry per worker");
+  }
+  sessions_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    auto session = std::make_unique<WorkerSession>(queue_, config_.batcher);
+    session->backend =
+        config_.worker_backends.empty() ? config_.backend : config_.worker_backends[w];
+    hls::MhsaDesignPoint point = config_.point;
+    point.dtype = session->backend == Backend::kFpgaFixed ? hls::DataType::kFixed
+                                                          : hls::DataType::kFloat32;
+    if (session->backend == Backend::kCpuFloat) {
+      session->cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights);
+    } else {
+      // The batched START keeps weights resident across the programmed batch —
+      // the amortization the micro-batcher exists to exploit.
+      point.residency = hls::WeightResidency::kBatchResident;
+      session->ddr = std::make_unique<rt::DdrMemory>();
+      session->accel = std::make_unique<rt::MhsaAccelerator>(
+          std::make_unique<hls::MhsaIpCore>(point, weights), *session->ddr);
+    }
+    sessions_.push_back(std::move(session));
+  }
+  // Worker loops ride on a private ThreadPool: the dispatcher thread posts
+  // one long-lived chunk per session and participates itself, leaving the
+  // global pool free for the kernels' parallel_for calls.
+  pool_ = std::make_unique<tensor::ThreadPool>(config_.workers);
+  dispatcher_ = std::thread([this] {
+    pool_->run_chunks(config_.workers, [this](std::size_t w) { worker_loop(w); });
+  });
+}
+
+InferenceEngine::~InferenceEngine() { shutdown(); }
+
+std::future<Tensor> InferenceEngine::submit(Tensor input) {
+  obs::ScopedSpan span("serve.submit");
+  if (stopped_.load(std::memory_order_relaxed)) {
+    throw std::runtime_error("InferenceEngine::submit: engine is shut down");
+  }
+  bool squeeze = false;
+  if (input.rank() == 3) {
+    const Shape s = input.shape();
+    input.reshape_inplace(Shape{1, s.dim(0), s.dim(1), s.dim(2)});
+    squeeze = true;
+  }
+  if (input.rank() != 4 || input.dim(1) != config_.point.dim ||
+      input.dim(2) != config_.point.height || input.dim(3) != config_.point.width) {
+    throw std::invalid_argument("InferenceEngine::submit: input does not match design point " +
+                                config_.point.to_string());
+  }
+  auto request = std::make_shared<Request>();
+  request->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request->input = std::move(input);
+  request->squeeze = squeeze;
+  request->enqueued_at = std::chrono::steady_clock::now();
+  auto future = request->promise.get_future();
+  span.attr("rows", request->input.dim(0));
+  if (request->input.dim(0) == 0) {
+    // Nothing to compute; resolve immediately without occupying the queue.
+    request->promise.set_value(Tensor(request->input.shape()));
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    return future;
+  }
+  static auto& submitted = obs::Registry::instance().counter("serve.requests_submitted");
+  static auto& rejected = obs::Registry::instance().counter("serve.requests_rejected");
+  static auto& depth = obs::Registry::instance().gauge("serve.queue_depth");
+  switch (queue_.push(std::move(request))) {
+    case PushResult::kOk:
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      submitted.add();
+      depth.set(static_cast<double>(queue_.size()));
+      return future;
+    case PushResult::kFull:
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected.add();
+      throw QueueFullError("InferenceEngine::submit: queue at capacity (" +
+                           std::to_string(queue_.capacity()) + ")");
+    case PushResult::kClosed:
+    default:
+      throw std::runtime_error("InferenceEngine::submit: engine is shut down");
+  }
+}
+
+void InferenceEngine::worker_loop(std::size_t worker) try {
+  auto& session = *sessions_[worker];
+  MicroBatch batch;
+  while (session.batcher.next(batch)) {
+    obs::ScopedSpan span("serve.batch");
+    span.attr("worker", static_cast<std::int64_t>(worker));
+    span.attr("backend", to_string(session.backend));
+    span.attr("rows", batch.rows());
+    span.attr("requests", static_cast<std::int64_t>(batch.slices.size()));
+    process_batch(session, batch);
+    static auto& depth = obs::Registry::instance().gauge("serve.queue_depth");
+    depth.set(static_cast<double>(queue_.size()));
+  }
+} catch (...) {
+  // Batch assembly failed outside the per-batch guard (e.g. allocation).
+  // Record it and let the remaining workers keep draining the queue.
+  obs::Registry::instance().counter("serve.worker_aborted").add();
+}
+
+void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
+  static auto& batches = obs::Registry::instance().counter("serve.batches");
+  static auto& rows = obs::Registry::instance().counter("serve.rows");
+  static auto& occupancy = obs::Registry::instance().histogram("serve.batch_occupancy_pct");
+  batches.add();
+  rows.add(batch.rows());
+  occupancy.observe(100.0 * static_cast<double>(batch.rows()) /
+                    static_cast<double>(config_.batcher.max_batch));
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(static_cast<std::uint64_t>(batch.rows()), std::memory_order_relaxed);
+  try {
+    Tensor output;
+    if (session.backend == Backend::kCpuFloat) {
+      output = session.cpu_ip->run(batch.input);
+    } else {
+      output = session.accel->execute(batch.input);
+      sim_cycles_.fetch_add(session.accel->last_cycles(), std::memory_order_relaxed);
+    }
+    finish_rows(batch, output);
+  } catch (...) {
+    fail_batch(batch, std::current_exception());
+  }
+}
+
+void InferenceEngine::finish_rows(const MicroBatch& batch, const Tensor& output) {
+  static auto& completed = obs::Registry::instance().counter("serve.requests_completed");
+  static auto& latency_us = obs::Registry::instance().histogram("serve.request_latency_us");
+  const index_t row_floats =
+      config_.point.dim * config_.point.height * config_.point.width;
+  for (const BatchSlice& slice : batch.slices) {
+    Request& r = *slice.request;
+    if (r.failed) continue;  // an earlier slice already delivered the error
+    if (r.output.numel() == 0) r.output = Tensor(r.input.shape());
+    const index_t n = slice.row_end - slice.row_begin;
+    std::memcpy(r.output.data() + slice.row_begin * row_floats,
+                output.data() + slice.batch_row * row_floats,
+                static_cast<std::size_t>(n * row_floats) * sizeof(float));
+    r.rows_done += n;
+    if (r.rows_done == r.input.dim(0)) {
+      if (r.squeeze) {
+        // Hand back the rank-3 shape the caller submitted.
+        r.output.reshape_inplace(
+            Shape{r.output.dim(1), r.output.dim(2), r.output.dim(3)});
+      }
+      r.promise.set_value(std::move(r.output));
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      completed.add();
+      latency_us.observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - r.enqueued_at)
+                             .count()) /
+                         1e3);
+    }
+  }
+}
+
+void InferenceEngine::fail_batch(MicroBatch& batch, std::exception_ptr error) {
+  static auto& failures = obs::Registry::instance().counter("serve.requests_failed");
+  for (const BatchSlice& slice : batch.slices) {
+    Request& r = *slice.request;
+    if (r.failed) continue;
+    r.failed = true;  // later carried slices of this request are skipped
+    r.promise.set_exception(error);
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    failures.add();
+  }
+}
+
+void InferenceEngine::shutdown() {
+  std::lock_guard lk(shutdown_mu_);
+  stopped_.store(true, std::memory_order_relaxed);
+  queue_.close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.reset();
+}
+
+EngineStats InferenceEngine::stats() const {
+  EngineStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.rows = rows_.load(std::memory_order_relaxed);
+  s.sim_cycles = sim_cycles_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace nodetr::serve

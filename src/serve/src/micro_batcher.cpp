@@ -1,0 +1,87 @@
+#include "nodetr/serve/micro_batcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nodetr::serve {
+
+MicroBatcher::MicroBatcher(RequestQueue& queue, BatcherConfig config)
+    : queue_(queue), config_(config) {
+  if (config_.max_batch < 1) throw std::invalid_argument("MicroBatcher: max_batch must be >= 1");
+  if (config_.max_wait_us < 0) throw std::invalid_argument("MicroBatcher: max_wait_us must be >= 0");
+}
+
+bool MicroBatcher::next(MicroBatch& out) {
+  RequestPtr current = std::move(carry_);
+  index_t current_row = carry_row_;
+  carry_.reset();
+  carry_row_ = 0;
+  if (!current) {
+    current = queue_.pop();
+    if (!current) return false;  // closed and drained
+    current_row = 0;
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(config_.max_wait_us);
+
+  std::vector<BatchSlice> slices;
+  index_t rows = 0;
+  for (;;) {
+    const index_t take =
+        std::min(config_.max_batch - rows, current->input.dim(0) - current_row);
+    slices.push_back({current, current_row, current_row + take, rows});
+    rows += take;
+    current_row += take;
+    if (current_row < current->input.dim(0)) {
+      // Batch is full mid-request; the remainder leads this worker's next one.
+      carry_ = std::move(current);
+      carry_row_ = current_row;
+      break;
+    }
+    if (rows >= config_.max_batch) break;
+    RequestPtr nxt = queue_.try_pop();
+    if (!nxt && config_.max_wait_us > 0) nxt = queue_.pop_until(deadline);
+    if (!nxt) break;  // nothing more within the linger window
+    current = std::move(nxt);
+    current_row = 0;
+  }
+
+  const Shape& s = slices.front().request->input.shape();
+  const index_t row_floats = s.dim(1) * s.dim(2) * s.dim(3);
+  out.input = Tensor(Shape{rows, s.dim(1), s.dim(2), s.dim(3)});
+  for (const BatchSlice& sl : slices) {
+    const float* src = sl.request->input.data() + sl.row_begin * row_floats;
+    float* dst = out.input.data() + sl.batch_row * row_floats;
+    std::memcpy(dst, src,
+                static_cast<std::size_t>((sl.row_end - sl.row_begin) * row_floats) *
+                    sizeof(float));
+  }
+  out.slices = std::move(slices);
+  return true;
+}
+
+std::vector<std::vector<MicroBatcher::PlanSlice>> MicroBatcher::plan(
+    const std::vector<index_t>& request_rows, index_t max_batch) {
+  if (max_batch < 1) throw std::invalid_argument("MicroBatcher::plan: max_batch must be >= 1");
+  std::vector<std::vector<PlanSlice>> batches;
+  std::vector<PlanSlice> cur;
+  index_t rows = 0;
+  for (std::size_t r = 0; r < request_rows.size(); ++r) {
+    index_t row = 0;
+    while (row < request_rows[r]) {
+      const index_t take = std::min(max_batch - rows, request_rows[r] - row);
+      cur.push_back({r, row, row + take});
+      rows += take;
+      row += take;
+      if (rows == max_batch) {
+        batches.push_back(std::move(cur));
+        cur.clear();
+        rows = 0;
+      }
+    }
+  }
+  if (!cur.empty()) batches.push_back(std::move(cur));
+  return batches;
+}
+
+}  // namespace nodetr::serve

@@ -1,0 +1,76 @@
+#include "nodetr/serve/request_queue.hpp"
+
+namespace nodetr::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity, BackpressurePolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity_ == 0) throw std::invalid_argument("RequestQueue: capacity must be >= 1");
+}
+
+PushResult RequestQueue::push(RequestPtr r) {
+  std::unique_lock lk(mu_);
+  if (policy_ == BackpressurePolicy::kBlock) {
+    cv_space_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
+  }
+  if (closed_) return PushResult::kClosed;
+  if (items_.size() >= capacity_) return PushResult::kFull;
+  items_.push_back(std::move(r));
+  lk.unlock();
+  cv_items_.notify_one();
+  return PushResult::kOk;
+}
+
+RequestPtr RequestQueue::pop() {
+  std::unique_lock lk(mu_);
+  cv_items_.wait(lk, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return nullptr;  // closed and drained
+  RequestPtr r = std::move(items_.front());
+  items_.pop_front();
+  lk.unlock();
+  cv_space_.notify_one();
+  return r;
+}
+
+RequestPtr RequestQueue::try_pop() {
+  std::unique_lock lk(mu_);
+  if (items_.empty()) return nullptr;
+  RequestPtr r = std::move(items_.front());
+  items_.pop_front();
+  lk.unlock();
+  cv_space_.notify_one();
+  return r;
+}
+
+RequestPtr RequestQueue::pop_until(std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock lk(mu_);
+  if (!cv_items_.wait_until(lk, deadline, [&] { return closed_ || !items_.empty(); })) {
+    return nullptr;  // timeout
+  }
+  if (items_.empty()) return nullptr;  // closed and drained
+  RequestPtr r = std::move(items_.front());
+  items_.pop_front();
+  lk.unlock();
+  cv_space_.notify_one();
+  return r;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  cv_items_.notify_all();
+  cv_space_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lk(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard lk(mu_);
+  return items_.size();
+}
+
+}  // namespace nodetr::serve

@@ -33,6 +33,11 @@ class ThreadPool {
   /// Run fn(chunk_index) for chunk_index in [0, num_chunks) across the pool,
   /// blocking until all chunks finish. Exceptions propagate from chunk 0 only;
   /// other chunks' exceptions terminate (kernels must not throw).
+  ///
+  /// Safe to call from multiple threads at once: concurrent batches are
+  /// serialized on a submission mutex. A call made from inside a chunk that is
+  /// already running on this pool executes serially on the calling thread
+  /// (nested fork-join would deadlock against the submission lock).
   void run_chunks(std::size_t num_chunks, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide default pool (lazily constructed).
@@ -42,6 +47,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  ///< serializes whole batches from concurrent callers
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;

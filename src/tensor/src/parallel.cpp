@@ -8,6 +8,13 @@ namespace nodetr::tensor {
 
 namespace obs = nodetr::obs;
 
+namespace {
+/// Innermost pool whose chunk the current thread is executing (or nullptr).
+/// Lets a nested run_chunks on the same pool fall back to serial execution
+/// instead of deadlocking on the submission lock.
+thread_local const ThreadPool* t_active_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
@@ -29,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_active_pool = this;  // worker threads belong to this pool for life
   std::size_t seen_epoch = 0;
   for (;;) {
     std::unique_lock lk(mu_);
@@ -59,12 +67,14 @@ void ThreadPool::run_chunks(std::size_t num_chunks, const std::function<void(std
   static auto& chunks = obs::Registry::instance().counter("tensor.pool.chunks");
   static auto& serial_runs = obs::Registry::instance().counter("tensor.pool.serial_runs");
   chunks.add(static_cast<std::int64_t>(num_chunks));
-  if (workers_.empty() || num_chunks == 1) {
+  if (workers_.empty() || num_chunks == 1 || t_active_pool == this) {
     serial_runs.add();
     for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
   runs.add();
+  // One batch in flight at a time; concurrent submitters queue up here.
+  std::lock_guard submit_lk(submit_mu_);
   std::unique_lock lk(mu_);
   fn_ = &fn;
   posted_ns_ = obs::tracing_enabled() ? obs::Tracer::instance().now_ns() : 0;
@@ -73,12 +83,15 @@ void ThreadPool::run_chunks(std::size_t num_chunks, const std::function<void(std
   ++epoch_;
   cv_work_.notify_all();
   // Caller participates too.
+  const ThreadPool* enclosing = t_active_pool;
+  t_active_pool = this;
   while (next_chunk_ < total_chunks_) {
     const std::size_t c = next_chunk_++;
     lk.unlock();
     fn(c);
     lk.lock();
   }
+  t_active_pool = enclosing;
   cv_done_.wait(lk, [&] { return active_ == 0; });
   fn_ = nullptr;
 }

@@ -84,6 +84,85 @@ TEST(Accelerator, DriverSequenceMatchesDirectIp) {
   EXPECT_EQ(accel.regs().read(rt::MhsaRegs::kStatus), 1u);
 }
 
+TEST(Accelerator, RejectsInputMismatchingDesignPoint) {
+  nt::Rng rng(8);
+  auto model = tiny_proposed(rng);
+  auto& mhsa = model->mhsa_block()->mhsa();
+  const auto& mc = mhsa.config();
+  hls::MhsaDesignPoint point;
+  point.dim = mc.dim;
+  point.height = mc.height;
+  point.width = mc.width;
+  point.heads = mc.heads;
+  point.dtype = hls::DataType::kFloat32;
+  rt::DdrMemory ddr;
+  rt::MhsaAccelerator accel(
+      std::make_unique<hls::MhsaIpCore>(point, hls::MhsaWeights::from_module(mhsa)), ddr);
+  EXPECT_THROW((void)accel.execute(rng.randn(nt::Shape{1, mc.dim + 1, mc.height, mc.width})),
+               std::invalid_argument);
+  EXPECT_THROW((void)accel.execute(rng.randn(nt::Shape{mc.dim, mc.height, mc.width})),
+               std::invalid_argument);
+}
+
+TEST(Accelerator, BatchRegisterMismatchingStagedShapeThrows) {
+  // Regression: START used to trust the BATCH register blindly, so a driver
+  // that staged B images but programmed a different batch silently read a
+  // mis-sized tensor out of DDR.
+  nt::Rng rng(9);
+  auto model = tiny_proposed(rng);
+  auto& mhsa = model->mhsa_block()->mhsa();
+  const auto& mc = mhsa.config();
+  hls::MhsaDesignPoint point;
+  point.dim = mc.dim;
+  point.height = mc.height;
+  point.width = mc.width;
+  point.heads = mc.heads;
+  point.dtype = hls::DataType::kFloat32;
+  rt::DdrMemory ddr;
+  rt::MhsaAccelerator accel(
+      std::make_unique<hls::MhsaIpCore>(point, hls::MhsaWeights::from_module(mhsa)), ddr);
+  auto x = rng.randn(nt::Shape{2, mc.dim, mc.height, mc.width});
+  (void)accel.execute(x);  // stages a 2-image batch
+  accel.regs().write(rt::MhsaRegs::kBatch, 5);
+  EXPECT_THROW(accel.regs().write(rt::MhsaRegs::kCtrl, 1), std::invalid_argument);
+  accel.regs().write(rt::MhsaRegs::kBatch, 0);
+  EXPECT_THROW(accel.regs().write(rt::MhsaRegs::kCtrl, 1), std::invalid_argument);
+  // Restoring the staged batch makes START valid again.
+  accel.regs().write(rt::MhsaRegs::kBatch, 2);
+  accel.regs().write(rt::MhsaRegs::kCtrl, 1);
+  EXPECT_EQ(accel.regs().read(rt::MhsaRegs::kStatus), 1u);
+}
+
+TEST(Accelerator, BatchResidentWeightsAmortizeDmaAndStreaming) {
+  nt::Rng rng(10);
+  auto model = tiny_proposed(rng);
+  auto& mhsa = model->mhsa_block()->mhsa();
+  const auto& mc = mhsa.config();
+  hls::MhsaDesignPoint point;
+  point.dim = mc.dim;
+  point.height = mc.height;
+  point.width = mc.width;
+  point.heads = mc.heads;
+  point.dtype = hls::DataType::kFloat32;
+  auto weights = hls::MhsaWeights::from_module(mhsa);
+  auto x = rng.randn(nt::Shape{4, mc.dim, mc.height, mc.width});
+
+  rt::DdrMemory ddr_seq;
+  rt::MhsaAccelerator per_image(std::make_unique<hls::MhsaIpCore>(point, weights), ddr_seq);
+  auto y_seq = per_image.execute(x);
+  const auto cycles_per_image = per_image.last_cycles();
+
+  point.residency = hls::WeightResidency::kBatchResident;
+  rt::DdrMemory ddr_res;
+  rt::MhsaAccelerator resident(std::make_unique<hls::MhsaIpCore>(point, weights), ddr_res);
+  auto y_res = resident.execute(x);
+  const auto cycles_resident = resident.last_cycles();
+
+  // Identical numerics, strictly fewer simulated cycles at batch > 1.
+  EXPECT_TRUE(nt::allclose(y_res, y_seq, 0.0f, 0.0f));
+  EXPECT_LT(cycles_resident, cycles_per_image);
+}
+
 TEST(Offload, FloatOffloadPreservesLogits) {
   nt::Rng rng(3);
   auto model = tiny_proposed(rng);

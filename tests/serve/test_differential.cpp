@@ -1,0 +1,165 @@
+// Differential correctness harness: the batched engine must be numerically
+// indistinguishable from running each request alone through the same backend.
+//   - float backends (CPU datapath and simulated-FPGA offload): bitwise equal
+//     to sequential single-request MhsaAccelerator::execute / MhsaIpCore::run;
+//   - fixed-point offload: bitwise equal to sequential fixed-point execute,
+//     and within the quantization tolerance of the float reference (the same
+//     0.05 bound tests/hls/test_qexec.cpp uses at scheme_32_24).
+#include <gtest/gtest.h>
+
+#include "nodetr/nn/attention.hpp"
+#include "nodetr/serve/serve.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace serve = nodetr::serve;
+namespace hls = nodetr::hls;
+namespace rt = nodetr::rt;
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+using nt::index_t;
+
+namespace {
+
+struct ServeFixture {
+  nt::Rng rng{42};
+  nn::MhsaConfig cfg;
+  std::unique_ptr<nn::MultiHeadSelfAttention> mhsa;
+  hls::MhsaDesignPoint point;
+
+  ServeFixture() {
+    cfg.dim = 16;
+    cfg.heads = 2;
+    cfg.height = 4;
+    cfg.width = 4;
+    mhsa = std::make_unique<nn::MultiHeadSelfAttention>(cfg, rng);
+    mhsa->train(false);
+    point.dim = cfg.dim;
+    point.height = cfg.height;
+    point.width = cfg.width;
+    point.heads = cfg.heads;
+    point.scheme = fx::scheme_32_24();
+  }
+
+  [[nodiscard]] hls::MhsaWeights weights() { return hls::MhsaWeights::from_module(*mhsa); }
+
+  /// Mixed-size request set; rand (0..1) inputs stay inside the fixed-point
+  /// range so the quantization-tolerance comparison is meaningful.
+  [[nodiscard]] std::vector<nt::Tensor> make_requests(const std::vector<index_t>& rows) {
+    std::vector<nt::Tensor> xs;
+    xs.reserve(rows.size());
+    for (index_t r : rows) {
+      xs.push_back(rng.rand(nt::Shape{r, cfg.dim, cfg.height, cfg.width}));
+    }
+    return xs;
+  }
+
+  /// Sequential single-request offload through a private accelerator.
+  [[nodiscard]] std::vector<nt::Tensor> sequential_execute(hls::DataType dtype,
+                                                           const std::vector<nt::Tensor>& xs) {
+    hls::MhsaDesignPoint p = point;
+    p.dtype = dtype;
+    rt::DdrMemory ddr;
+    rt::MhsaAccelerator accel(std::make_unique<hls::MhsaIpCore>(p, weights()), ddr);
+    std::vector<nt::Tensor> ys;
+    ys.reserve(xs.size());
+    for (const auto& x : xs) ys.push_back(accel.execute(x));
+    return ys;
+  }
+
+  [[nodiscard]] std::vector<nt::Tensor> batched(serve::Backend backend, std::size_t workers,
+                                                const std::vector<nt::Tensor>& xs) {
+    serve::EngineConfig config;
+    config.point = point;
+    config.backend = backend;
+    config.workers = workers;
+    config.batcher.max_batch = 4;
+    config.batcher.max_wait_us = 20000;  // linger so requests actually coalesce
+    serve::InferenceEngine engine(config, weights());
+    std::vector<std::future<nt::Tensor>> futures;
+    futures.reserve(xs.size());
+    for (const auto& x : xs) futures.push_back(engine.submit(x));
+    std::vector<nt::Tensor> ys;
+    ys.reserve(xs.size());
+    for (auto& f : futures) ys.push_back(f.get());
+    EXPECT_GE(engine.stats().batches, 1u);
+    return ys;
+  }
+};
+
+}  // namespace
+
+TEST(Differential, FpgaFloatBatchedBitwiseEqualsSequentialExecute) {
+  ServeFixture fx_;
+  const auto xs = fx_.make_requests({1, 2, 3, 1, 4, 2, 3});
+  const auto ref = fx_.sequential_execute(hls::DataType::kFloat32, xs);
+  const auto got = fx_.batched(serve::Backend::kFpgaFloat, 1, xs);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(got[i].shape(), ref[i].shape()) << "request " << i;
+    EXPECT_TRUE(nt::allclose(got[i], ref[i], 0.0f, 0.0f)) << "request " << i;
+  }
+}
+
+TEST(Differential, CpuFloatBackendBitwiseEqualsDirectIpRun) {
+  ServeFixture fx_;
+  const auto xs = fx_.make_requests({2, 1, 3, 2, 1, 1, 2});
+  hls::MhsaDesignPoint p = fx_.point;
+  p.dtype = hls::DataType::kFloat32;
+  hls::MhsaIpCore direct(p, fx_.weights());
+  const auto got = fx_.batched(serve::Backend::kCpuFloat, 1, xs);
+  ASSERT_EQ(got.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_TRUE(nt::allclose(got[i], direct.run(xs[i]), 0.0f, 0.0f)) << "request " << i;
+  }
+}
+
+TEST(Differential, FpgaFixedBatchedBitwiseEqualsSequentialFixedExecute) {
+  ServeFixture fx_;
+  const auto xs = fx_.make_requests({1, 3, 2, 4, 1, 2});
+  const auto ref = fx_.sequential_execute(hls::DataType::kFixed, xs);
+  const auto got = fx_.batched(serve::Backend::kFpgaFixed, 1, xs);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_TRUE(nt::allclose(got[i], ref[i], 0.0f, 0.0f)) << "request " << i;
+  }
+}
+
+TEST(Differential, FpgaFixedWithinQuantizationToleranceOfFloat) {
+  ServeFixture fx_;
+  const auto xs = fx_.make_requests({2, 1, 4, 2});
+  const auto ref = fx_.sequential_execute(hls::DataType::kFloat32, xs);
+  const auto got = fx_.batched(serve::Backend::kFpgaFixed, 1, xs);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    // scheme_32_24: the paper's "no degradation" point (cf. QExec tests).
+    EXPECT_LE(nt::max_abs_diff(got[i], ref[i]), 0.05f) << "request " << i;
+  }
+}
+
+TEST(Differential, MultiWorkerFloatRemainsBitwiseExact) {
+  ServeFixture fx_;
+  const auto xs = fx_.make_requests({1, 2, 1, 3, 2, 1, 4, 1, 2, 3, 1, 2});
+  const auto ref = fx_.sequential_execute(hls::DataType::kFloat32, xs);
+  const auto got = fx_.batched(serve::Backend::kFpgaFloat, 3, xs);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_TRUE(nt::allclose(got[i], ref[i], 0.0f, 0.0f)) << "request " << i;
+  }
+}
+
+TEST(Differential, Rank3SubmissionRoundTripsAsOneRow) {
+  ServeFixture fx_;
+  serve::EngineConfig config;
+  config.point = fx_.point;
+  config.backend = serve::Backend::kFpgaFloat;
+  config.workers = 1;
+  serve::InferenceEngine engine(config, fx_.weights());
+  auto x3 = fx_.rng.rand(nt::Shape{fx_.cfg.dim, fx_.cfg.height, fx_.cfg.width});
+  auto y = engine.submit(x3).get();
+  ASSERT_EQ(y.rank(), 3);
+  EXPECT_EQ(y.shape(), x3.shape());
+  auto x4 = x3.reshape(nt::Shape{1, fx_.cfg.dim, fx_.cfg.height, fx_.cfg.width});
+  const auto ref = fx_.sequential_execute(hls::DataType::kFloat32, {x4});
+  EXPECT_TRUE(nt::allclose(y.reshape(ref[0].shape()), ref[0], 0.0f, 0.0f));
+}

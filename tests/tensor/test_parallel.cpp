@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace nt = nodetr::tensor;
@@ -36,6 +37,59 @@ TEST(ThreadPool, ZeroChunksIsNoop) {
   bool ran = false;
   pool.run_chunks(0, [&](std::size_t) { ran = true; });
   EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ConcurrentSubmittersEachCoverTheirChunksOnce) {
+  // Serving workers submit fork-join batches to the shared pool from several
+  // threads at once; batches must serialize, not interleave or race.
+  nt::ThreadPool pool(4);
+  constexpr int kSubmitters = 6, kRounds = 25, kChunks = 16;
+  std::vector<std::atomic<int>> hits(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int r = 0; r < kRounds; ++r) {
+        pool.run_chunks(kChunks, [&](std::size_t) { hits[static_cast<std::size_t>(s)]++; });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), kRounds * kChunks);
+}
+
+TEST(ThreadPool, NestedSubmissionFallsBackToSerial) {
+  // A chunk that re-enters the same pool must not deadlock on the
+  // submission lock; the nested batch runs serially on the calling thread.
+  nt::ThreadPool pool(3);
+  std::atomic<int> inner{0};
+  pool.run_chunks(3, [&](std::size_t) {
+    pool.run_chunks(4, [&](std::size_t) { inner++; });
+  });
+  EXPECT_EQ(inner.load(), 12);
+}
+
+TEST(ParallelFor, ConcurrentCallersComputeCorrectSums) {
+  // parallel_for rides on the global pool; hammer it from several threads.
+  constexpr int kCallers = 5;
+  std::vector<long long> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<long long> sum{0};
+        nt::parallel_for(0, 4096, [&](nt::index_t lo, nt::index_t hi) {
+          long long local = 0;
+          for (nt::index_t i = lo; i < hi; ++i) local += i;
+          sum += local;
+        }, /*grain=*/64);
+        sums[static_cast<std::size_t>(t)] = sum.load();
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (long long s : sums) EXPECT_EQ(s, 4096LL * 4095 / 2);
 }
 
 TEST(ParallelFor, CoversFullRange) {
