@@ -2,8 +2,18 @@
 // models are built from — GEMM, convolution, depthwise-separable conv,
 // software MHSA, the bit-accurate fixed-point MHSA datapath, and ODE solver
 // steps.
+//
+// Besides the console table, a machine-readable BENCH_kernels.json is written
+// to $NODETR_BENCH_JSON_DIR (default: cwd) with per-benchmark CPU time and
+// GFLOP/s, plus frozen "seed_" baselines measured on the pre-blocked kernels
+// so the speedup trajectory stays diffable across PRs.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
 #include "nodetr/fx/qops.hpp"
 #include "nodetr/hls/mhsa_ip.hpp"
 #include "nodetr/nn/attention.hpp"
@@ -19,6 +29,24 @@ namespace nn = nodetr::nn;
 namespace hls = nodetr::hls;
 namespace ode = nodetr::ode;
 
+namespace {
+
+/// flops-per-iteration by full benchmark name ("BM_Gemm/256"), filled in by
+/// the benchmark bodies and consumed when the JSON report is assembled.
+std::map<std::string, double>& flops_registry() {
+  static std::map<std::string, double> m;
+  return m;
+}
+
+void set_flops(benchmark::State& state, const std::string& name, double flops_per_iter) {
+  flops_registry()[name] = flops_per_iter;
+  state.counters["GFLOPS"] =
+      benchmark::Counter(flops_per_iter, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+}
+
+}  // namespace
+
 static void BM_Gemm(benchmark::State& state) {
   const nt::index_t n = state.range(0);
   nt::Rng rng(1);
@@ -26,6 +54,7 @@ static void BM_Gemm(benchmark::State& state) {
   auto b = rng.randn(nt::Shape{n, n});
   for (auto _ : state) benchmark::DoNotOptimize(nt::matmul(a, b));
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  set_flops(state, "BM_Gemm/" + std::to_string(n), 2.0 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
@@ -36,6 +65,9 @@ static void BM_Conv2d(benchmark::State& state) {
   auto x = rng.randn(nt::Shape{1, c, 12, 12});
   auto w = rng.randn(nt::Shape{c, c, 3, 3});
   for (auto _ : state) benchmark::DoNotOptimize(nt::conv2d(x, w, {}, g));
+  // 12x12 output spatial positions, 3x3*c MACs per output channel element.
+  set_flops(state, "BM_Conv2d/" + std::to_string(c),
+            2.0 * 12 * 12 * static_cast<double>(c) * c * 3 * 3);
 }
 BENCHMARK(BM_Conv2d)->Arg(16)->Arg(64);
 
@@ -85,6 +117,7 @@ static void BM_QMatmul(benchmark::State& state) {
   auto a = fx::FixedTensor::from_float(rng.randn(nt::Shape{n, n}), {32, 16});
   auto b = fx::FixedTensor::from_float(rng.randn(nt::Shape{n, n}), {24, 8});
   for (auto _ : state) benchmark::DoNotOptimize(fx::qmatmul(a, b, {32, 16}));
+  set_flops(state, "BM_QMatmul/" + std::to_string(n), 2.0 * n * n * n);
 }
 BENCHMARK(BM_QMatmul)->Arg(64)->Arg(128);
 
@@ -101,4 +134,65 @@ BENCHMARK(BM_OdeSolve)
     ->Arg(static_cast<int>(ode::SolverKind::kMidpoint))
     ->Arg(static_cast<int>(ode::SolverKind::kRk4));
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that additionally captures every completed run so main()
+/// can assemble the JSON report after the benchmarks finish.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (!run.error_occurred) captured_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
+/// Baselines measured at the seed commit (naive triple-loop kernels, same
+/// host class, Release build). Frozen so BENCH_kernels.json always carries
+/// the before/after pair.
+struct SeedBaseline {
+  const char* name;
+  double cpu_ms;
+};
+constexpr SeedBaseline kSeedBaselines[] = {
+    {"BM_Gemm/64", 0.133},   {"BM_Gemm/128", 0.906},     {"BM_Gemm/256", 8.10},
+    {"BM_Conv2d/16", 0.170}, {"BM_Conv2d/64", 2.386},    {"BM_MhsaFixedIp/64", 0.985},
+    {"BM_QMatmul/64", 0.242}, {"BM_QMatmul/128", 2.387},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  nodetr::bench::JsonReport report("kernels");
+  for (const auto& seed : kSeedBaselines) {
+    report.set(std::string("seed_") + seed.name + "_cpu_ms", seed.cpu_ms);
+    const auto it = flops_registry().find(seed.name);
+    if (it != flops_registry().end()) {
+      report.set(std::string("seed_") + seed.name + "_gflops",
+                 it->second / (seed.cpu_ms * 1e-3) / 1e9);
+    }
+  }
+  for (const auto& run : reporter.captured()) {
+    const std::string name = run.benchmark_name();
+    if (run.iterations <= 0) continue;
+    const double sec_per_iter = run.cpu_accumulated_time / static_cast<double>(run.iterations);
+    report.set(name + "_cpu_ms", sec_per_iter * 1e3);
+    const auto it = flops_registry().find(name);
+    if (it != flops_registry().end() && sec_per_iter > 0.0) {
+      report.set(name + "_gflops", it->second / sec_per_iter / 1e9);
+    }
+  }
+  report.write();
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "nodetr/fx/qops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "nodetr/tensor/arena.hpp"
 #include "nodetr/tensor/ops.hpp"
 #include "nodetr/tensor/parallel.hpp"
 
@@ -11,6 +13,7 @@ namespace nodetr::fx {
 namespace {
 
 using wide_t = __int128;
+using nodetr::tensor::ScratchArena;
 
 /// Round a wide accumulator at `from_frac` fractional bits into `to`.
 std::int64_t narrow(wide_t acc, int from_frac, const FixedFormat& to) {
@@ -31,6 +34,41 @@ void check_rank2(const FixedTensor& t, const char* who) {
   if (t.shape().rank() != 2) throw std::invalid_argument(std::string(who) + ": rank must be 2");
 }
 
+/// C(m x n) = A(m x k) * Bt(n x k)^T where both operands are row-major, so
+/// every inner product runs over two unit-stride spans. Fixed-point
+/// accumulation is exact integer arithmetic — the result is bitwise identical
+/// to any other accumulation order, so packing/blocking never perturbs the
+/// bit-accurate datapath.
+void qgemm_nt(const std::int64_t* a, const std::int64_t* bt, std::int64_t* out, index_t m,
+              index_t k, index_t n, int prod_frac, const FixedFormat& out_format) {
+  nodetr::tensor::parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const std::int64_t* arow = a + i * k;
+      std::int64_t* crow = out + i * n;
+      index_t j = 0;
+      // Two columns per pass share the A-row loads.
+      for (; j + 2 <= n; j += 2) {
+        const std::int64_t* b0 = bt + j * k;
+        const std::int64_t* b1 = b0 + k;
+        wide_t acc0 = 0, acc1 = 0;
+        for (index_t p = 0; p < k; ++p) {
+          const wide_t av = arow[p];
+          acc0 += av * b0[p];
+          acc1 += av * b1[p];
+        }
+        crow[j] = narrow(acc0, prod_frac, out_format);
+        crow[j + 1] = narrow(acc1, prod_frac, out_format);
+      }
+      for (; j < n; ++j) {
+        const std::int64_t* brow = bt + j * k;
+        wide_t acc = 0;
+        for (index_t p = 0; p < k; ++p) acc += static_cast<wide_t>(arow[p]) * brow[p];
+        crow[j] = narrow(acc, prod_frac, out_format);
+      }
+    }
+  }, /*grain=*/8);
+}
+
 }  // namespace
 
 FixedTensor qmatmul(const FixedTensor& a, const FixedTensor& b, FixedFormat out_format) {
@@ -40,19 +78,22 @@ FixedTensor qmatmul(const FixedTensor& a, const FixedTensor& b, FixedFormat out_
   if (b.shape().dim(0) != k) throw std::invalid_argument("qmatmul: inner dimension mismatch");
   const int prod_frac = a.format().frac_bits() + b.format().frac_bits();
   FixedTensor c(Shape{m, n}, out_format);
-  nodetr::tensor::parallel_for(0, m, [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) {
-      const std::int64_t* arow = a.raw() + i * k;
-      std::int64_t* crow = c.raw() + i * n;
-      for (index_t j = 0; j < n; ++j) {
-        wide_t acc = 0;
-        for (index_t p = 0; p < k; ++p) {
-          acc += static_cast<wide_t>(arow[p]) * b.raw()[p * n + j];
-        }
-        crow[j] = narrow(acc, prod_frac, out_format);
+  // Pack B^T once (tiled transpose) so the inner product is unit-stride
+  // instead of striding by n through B, then reuse the _nt kernel.
+  auto& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  std::int64_t* bt = arena.alloc<std::int64_t>(static_cast<std::size_t>(k * n));
+  constexpr index_t kTile = 32;
+  for (index_t p0 = 0; p0 < k; p0 += kTile) {
+    const index_t p1 = std::min(p0 + kTile, k);
+    for (index_t j0 = 0; j0 < n; j0 += kTile) {
+      const index_t j1 = std::min(j0 + kTile, n);
+      for (index_t j = j0; j < j1; ++j) {
+        for (index_t p = p0; p < p1; ++p) bt[j * k + p] = b.raw()[p * n + j];
       }
     }
-  }, /*grain=*/8);
+  }
+  qgemm_nt(a.raw(), bt, c.raw(), m, k, n, prod_frac, out_format);
   return c;
 }
 
@@ -63,18 +104,7 @@ FixedTensor qmatmul_nt(const FixedTensor& a, const FixedTensor& b, FixedFormat o
   if (b.shape().dim(1) != k) throw std::invalid_argument("qmatmul_nt: inner dimension mismatch");
   const int prod_frac = a.format().frac_bits() + b.format().frac_bits();
   FixedTensor c(Shape{m, n}, out_format);
-  nodetr::tensor::parallel_for(0, m, [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) {
-      const std::int64_t* arow = a.raw() + i * k;
-      std::int64_t* crow = c.raw() + i * n;
-      for (index_t j = 0; j < n; ++j) {
-        const std::int64_t* brow = b.raw() + j * k;
-        wide_t acc = 0;
-        for (index_t p = 0; p < k; ++p) acc += static_cast<wide_t>(arow[p]) * brow[p];
-        crow[j] = narrow(acc, prod_frac, out_format);
-      }
-    }
-  }, /*grain=*/8);
+  qgemm_nt(a.raw(), b.raw(), c.raw(), m, k, n, prod_frac, out_format);
   return c;
 }
 

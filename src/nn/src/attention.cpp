@@ -14,25 +14,11 @@ namespace nt = nodetr::tensor;
 
 namespace {
 
-/// Copy the (N, Dh) block for sample `b`, head `h` out of a (B*N, D) matrix.
-Tensor gather_head(const Tensor& m, index_t b, index_t n, index_t h, index_t dh) {
-  Tensor out(Shape{n, dh});
-  const index_t d = m.dim(1);
-  for (index_t r = 0; r < n; ++r) {
-    const float* src = m.data() + (b * n + r) * d + h * dh;
-    std::copy(src, src + dh, out.data() + r * dh);
-  }
-  return out;
-}
-
-/// Accumulate an (N, Dh) block into a (B*N, D) matrix.
-void scatter_head(const Tensor& block, Tensor& m, index_t b, index_t n, index_t h, index_t dh) {
-  const index_t d = m.dim(1);
-  for (index_t r = 0; r < n; ++r) {
-    float* dst = m.data() + (b * n + r) * d + h * dh;
-    const float* src = block.data() + r * dh;
-    for (index_t c = 0; c < dh; ++c) dst[c] += src[c];
-  }
+/// Offset of the (N, Dh) head block for sample `b`, head `h` inside a
+/// (B*N, D) matrix. The block is addressed in place as a strided GemmView
+/// with leading dimension D — no gather/scatter copies.
+index_t head_offset(index_t b, index_t n, index_t d, index_t h, index_t dh) {
+  return b * n * d + h * dh;
 }
 
 }  // namespace
@@ -132,20 +118,24 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
   obs::ScopedSpan attn_span("mhsa.attention");
   for (index_t s = 0; s < b; ++s) {
     for (index_t h = 0; h < heads; ++h) {
-      Tensor qh = gather_head(q_, s, n, h, dh);
-      Tensor kh = gather_head(k_, s, n, h, dh);
-      Tensor vh = gather_head(v_, s, n, h, dh);
+      const index_t off = head_offset(s, n, d, h, dh);
+      const auto qh = nt::GemmView::plain(q_.data() + off, d);
+      const auto kh = nt::GemmView::transposed(k_.data() + off, d);
+      const auto vh = nt::GemmView::plain(v_.data() + off, d);
       // logits = (Q K^T [+ Q R^T]) / sqrt(Dh)  — Eq. (15).
-      Tensor logits = nt::matmul_nt(qh, kh);
+      Tensor logits(Shape{n, n});
+      nt::gemm_blocked(n, dh, n, qh, kh, logits.data(), n);
       if (config_.pos == PosEncodingKind::kRelative2d) {
-        logits += nt::matmul_nt(qh, relative_matrix(h));
+        const Tensor r = relative_matrix(h);
+        nt::gemm_blocked(n, dh, n, qh, nt::GemmView::transposed(r.data(), dh), logits.data(), n,
+                         {.accumulate = true});
       }
       logits *= scale;
       Tensor a = (config_.attention == AttentionKind::kRelu) ? nt::relu(logits)
                                                              : nt::softmax_rows(logits);
       for (index_t i = 0; i < a.numel(); ++i) zero_count += (a[i] == 0.0f) ? 1.0 : 0.0;
-      Tensor oh = nt::matmul(a, vh);
-      scatter_head(oh, out, s, n, h, dh);
+      // O head block = A V, written straight into its strided slot of `out`.
+      nt::gemm_blocked(n, n, dh, nt::GemmView::plain(a.data(), n), vh, out.data() + off, d);
       attn_[static_cast<std::size_t>(s * heads + h)] = std::move(a);
     }
   }
@@ -175,13 +165,14 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
   for (index_t s = 0; s < b; ++s) {
     for (index_t h = 0; h < heads; ++h) {
       const Tensor& a = attn_[static_cast<std::size_t>(s * heads + h)];
-      Tensor qh = gather_head(q_, s, n, h, dh);
-      Tensor kh = gather_head(k_, s, n, h, dh);
-      Tensor vh = gather_head(v_, s, n, h, dh);
-      Tensor goh = gather_head(g, s, n, h, dh);
+      const index_t off = head_offset(s, n, d, h, dh);
+      const auto qh = nt::GemmView::plain(q_.data() + off, d);
+      const auto goh = nt::GemmView::plain(g.data() + off, d);
 
-      Tensor ga = nt::matmul_nt(goh, vh);  // (N,N): gOh V^T
-      Tensor gvh = nt::matmul_tn(a, goh);               // A^T gOh
+      Tensor ga(Shape{n, n});  // gA = gOh V^T
+      nt::gemm_blocked(n, dh, n, goh, nt::GemmView::transposed(v_.data() + off, d), ga.data(), n);
+      // gV head block = A^T gOh, written in place into its slot of gv.
+      nt::gemm_blocked(n, n, dh, nt::GemmView::transposed(a.data(), n), goh, gv.data() + off, d);
 
       Tensor glogits(Shape{n, n});
       if (config_.attention == AttentionKind::kRelu) {
@@ -203,20 +194,25 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
         }
       }
       glogits *= scale;
+      const auto gl = nt::GemmView::plain(glogits.data(), n);
+      const auto gl_t = nt::GemmView::transposed(glogits.data(), n);
 
       // Q gets contributions from both Q K^T and Q R^T.
-      Tensor gqh = nt::matmul(glogits, kh);
+      nt::gemm_blocked(n, n, dh, gl, nt::GemmView::plain(k_.data() + off, d), gq.data() + off, d);
+      // gK head block = glogits^T Q.
+      nt::gemm_blocked(n, n, dh, gl_t, qh, gk.data() + off, d);
       if (config_.pos == PosEncodingKind::kRelative2d) {
-        Tensor r = relative_matrix(h);
-        gqh += nt::matmul(glogits, r);
-        // gR = glogits^T Q, then marginalize onto R_h (rows) and R_w (cols).
-        Tensor gr = nt::matmul_tn(glogits, qh);  // (N, Dh)
+        const Tensor r = relative_matrix(h);
+        nt::gemm_blocked(n, n, dh, gl, nt::GemmView::plain(r.data(), dh), gq.data() + off, d,
+                         {.accumulate = true});
+        // gR = glogits^T Q — already sitting in the gK block — marginalized
+        // onto R_h (rows) and R_w (cols).
         const index_t hh = config_.height, ww = config_.width;
         for (index_t y = 0; y < hh; ++y) {
           float* grh = rel_h_.grad.data() + (h * hh + y) * dh;
           for (index_t x = 0; x < ww; ++x) {
             float* grw = rel_w_.grad.data() + (h * ww + x) * dh;
-            const float* src = gr.data() + (y * ww + x) * dh;
+            const float* src = gk.data() + off + (y * ww + x) * d;
             for (index_t c = 0; c < dh; ++c) {
               grh[c] += src[c];
               grw[c] += src[c];
@@ -224,21 +220,27 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
           }
         }
       }
-      Tensor gkh = nt::matmul_tn(glogits, qh);
-
-      scatter_head(gqh, gq, s, n, h, dh);
-      scatter_head(gkh, gk, s, n, h, dh);
-      scatter_head(gvh, gv, s, n, h, dh);
     }
   }
 
-  wq_.grad += nt::matmul_tn(tokens_, gq);
-  wk_.grad += nt::matmul_tn(tokens_, gk);
-  wv_.grad += nt::matmul_tn(tokens_, gv);
+  // dW* (D,D) += tokens^T g*, accumulated directly into the grad buffers.
+  const auto tok_t = nt::GemmView::transposed(tokens_.data(), d);
+  nt::gemm_blocked(d, b * n, d, tok_t, nt::GemmView::plain(gq.data(), d), wq_.grad.data(), d,
+                   {.accumulate = true});
+  nt::gemm_blocked(d, b * n, d, tok_t, nt::GemmView::plain(gk.data(), d), wk_.grad.data(), d,
+                   {.accumulate = true});
+  nt::gemm_blocked(d, b * n, d, tok_t, nt::GemmView::plain(gv.data(), d), wv_.grad.data(), d,
+                   {.accumulate = true});
 
-  Tensor gtok = nt::matmul_nt(gq, wq_.value);
-  gtok += nt::matmul_nt(gk, wk_.value);
-  gtok += nt::matmul_nt(gv, wv_.value);
+  Tensor gtok(Shape{b * n, d});
+  nt::gemm_blocked(b * n, d, d, nt::GemmView::plain(gq.data(), d),
+                   nt::GemmView::transposed(wq_.value.data(), d), gtok.data(), d);
+  nt::gemm_blocked(b * n, d, d, nt::GemmView::plain(gk.data(), d),
+                   nt::GemmView::transposed(wk_.value.data(), d), gtok.data(), d,
+                   {.accumulate = true});
+  nt::gemm_blocked(b * n, d, d, nt::GemmView::plain(gv.data(), d),
+                   nt::GemmView::transposed(wv_.value.data(), d), gtok.data(), d,
+                   {.accumulate = true});
   // Absolute positional table is a constant; its addition passes the gradient
   // through unchanged.
   return gtok.reshape(Shape{b, config_.height, config_.width, d}).permute({0, 3, 1, 2});

@@ -6,6 +6,8 @@
 
 namespace nodetr::nn {
 
+namespace nt = nodetr::tensor;
+
 Linear::Linear(index_t in_features, index_t out_features, bool bias, Rng& rng)
     : in_(in_features), out_(out_features), has_bias_(bias),
       weight_("weight", rng.kaiming_normal(Shape{out_features, in_features}, in_features)),
@@ -17,29 +19,30 @@ Tensor Linear::forward(const Tensor& x) {
                                 x.shape().to_string());
   }
   x_ = x;
-  Tensor y = nodetr::tensor::matmul_nt(x, weight_.value);
-  if (has_bias_) {
-    const index_t b = y.dim(0);
-    for (index_t r = 0; r < b; ++r) {
-      float* row = y.data() + r * out_;
-      for (index_t c = 0; c < out_; ++c) row[c] += bias_.value[c];
-    }
-  }
+  const index_t b = x.dim(0);
+  Tensor y(Shape{b, out_});
+  // y = x W^T with the bias fused into the GEMM epilogue.
+  nt::gemm_blocked(b, in_, out_, nt::GemmView::plain(x.data(), in_),
+                   nt::GemmView::transposed(weight_.value.data(), in_), y.data(), out_,
+                   {.bias_col = has_bias_ ? bias_.value.data() : nullptr});
   return y;
 }
 
 Tensor Linear::backward(const Tensor& grad_out) {
-  // dW (out,in) += g^T (out,B) * x (B,in)
-  weight_.grad += nodetr::tensor::matmul_tn(grad_out, x_);
+  const index_t b = grad_out.dim(0);
+  // dW (out,in) += g^T (out,B) * x (B,in), accumulated straight into the grad
+  // buffer instead of materializing a temporary and adding it.
+  nt::gemm_blocked(out_, b, in_, nt::GemmView::transposed(grad_out.data(), out_),
+                   nt::GemmView::plain(x_.data(), in_), weight_.grad.data(), in_,
+                   {.accumulate = true});
   if (has_bias_) {
-    const index_t b = grad_out.dim(0);
     for (index_t r = 0; r < b; ++r) {
       const float* row = grad_out.data() + r * out_;
       for (index_t c = 0; c < out_; ++c) bias_.grad[c] += row[c];
     }
   }
   // dx (B,in) = g (B,out) * W (out,in)
-  return nodetr::tensor::matmul(grad_out, weight_.value);
+  return nt::matmul(grad_out, weight_.value);
 }
 
 std::string Linear::name() const {

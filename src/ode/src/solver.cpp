@@ -38,9 +38,10 @@ Tensor MidpointSolver::integrate(const Tensor& z0, float t0, float t1, index_t s
   span.attr("steps", steps);
   const float h = step_size(t0, t1, steps);
   Tensor z = z0;
+  Tensor mid;  // hoisted: copy-assign reuses its storage across steps
   for (index_t j = 0; j < steps; ++j) {
     const float t = t0 + h * static_cast<float>(j);
-    Tensor mid = z;
+    mid = z;
     mid.add_scaled(f(z, t), 0.5f * h);
     z.add_scaled(f(mid, t + 0.5f * h), h);
   }
@@ -54,16 +55,20 @@ Tensor Rk4Solver::integrate(const Tensor& z0, float t0, float t1, index_t steps,
   span.attr("steps", steps);
   const float h = step_size(t0, t1, steps);
   Tensor z = z0;
+  // Stage-input tensors hoisted out of the loop: copy-assign into an
+  // already-sized std::vector reuses its storage, so after the first step the
+  // solver stops hitting the allocator for stage state.
+  Tensor z2, z3, z4;
   for (index_t j = 0; j < steps; ++j) {
     const float t = t0 + h * static_cast<float>(j);
     Tensor k1 = f(z, t);
-    Tensor z2 = z;
+    z2 = z;
     z2.add_scaled(k1, 0.5f * h);
     Tensor k2 = f(z2, t + 0.5f * h);
-    Tensor z3 = z;
+    z3 = z;
     z3.add_scaled(k2, 0.5f * h);
     Tensor k3 = f(z3, t + 0.5f * h);
-    Tensor z4 = z;
+    z4 = z;
     z4.add_scaled(k3, h);
     Tensor k4 = f(z4, t + h);
     z.add_scaled(k1, h / 6.0f);

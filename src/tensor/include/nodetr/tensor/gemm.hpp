@@ -1,11 +1,57 @@
 // Dense matrix multiplication kernels.
+//
+// Everything routes through one cache-blocked, register-tiled kernel
+// (`gemm_blocked`): A and B panels are packed into contiguous buffers sized
+// to L1/L2, and a small MR x NR microkernel the compiler auto-vectorizes does
+// the arithmetic. Operands are described by views (pointer + leading
+// dimension + transpose flag), so the transposed product variants and the
+// per-head strided sub-matrices in attention run through the same kernel
+// without materializing copies.
+//
+// Every output element accumulates its k-products in ascending-k order
+// regardless of blocking, operand views, or how the M dimension is split
+// across threads — results are bitwise-reproducible across batch sizes,
+// which the serving engine's differential tests rely on.
 #pragma once
 
 #include "nodetr/tensor/tensor.hpp"
 
 namespace nodetr::tensor {
 
-/// C = A(MxK) * B(KxN). Blocked ikj kernel, parallelized over M.
+/// Read-only view of a row-major matrix operand.
+struct GemmView {
+  const float* data = nullptr;
+  index_t ld = 0;      ///< stride between stored rows
+  bool trans = false;  ///< stored matrix is the transpose of the operand
+
+  /// Operand stored as-is: element (i, j) at data[i * ld + j].
+  static GemmView plain(const float* data, index_t ld) { return {data, ld, false}; }
+  /// Operand is the transpose of storage: element (i, j) at data[j * ld + i].
+  static GemmView transposed(const float* data, index_t ld) { return {data, ld, true}; }
+};
+
+/// Work fused into the kernel's output pass while the C panel is cache-hot:
+///   c = relu?( alpha * (A B) + bias_col[j] + bias_row[i] + residual[i, j] )
+/// Fields left at their defaults are skipped. `accumulate` instead produces
+/// c += A B and ignores every other field.
+struct GemmEpilogue {
+  float alpha = 1.0f;               ///< scales the product
+  const float* bias_col = nullptr;  ///< length n, added to every row
+  const float* bias_row = nullptr;  ///< length m, added to every column
+  const float* residual = nullptr;  ///< m x n, added elementwise
+  index_t residual_ld = 0;          ///< row stride of `residual` (0 means n)
+  bool relu = false;
+  bool accumulate = false;  ///< c += A B; all epilogue fields above ignored
+};
+
+/// C(m x n) = op(A)(m x k) * op(B)(k x n) with an optional fused epilogue.
+/// C is row-major with row stride `ldc`; views may alias neither C nor the
+/// residual. Zero-extent problems are handled (k == 0 stores zeros, then the
+/// epilogue).
+void gemm_blocked(index_t m, index_t k, index_t n, GemmView a, GemmView b, float* c, index_t ldc,
+                  const GemmEpilogue& epilogue = {});
+
+/// C = A(MxK) * B(KxN).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C = A(MxK) * B(NxK)^T. Avoids materializing the transpose.
@@ -14,7 +60,8 @@ namespace nodetr::tensor {
 /// C = A(KxM)^T * B(KxN). Avoids materializing the transpose.
 [[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
 
-/// Raw kernel: c(MxN) += a(MxK) * b(KxN), all row-major, no allocation.
+/// Raw kernel: c(MxN) += a(MxK) * b(KxN), all row-major, no allocation
+/// beyond thread-local scratch.
 void gemm_accumulate(const float* a, const float* b, float* c, index_t m, index_t k, index_t n);
 
 }  // namespace nodetr::tensor

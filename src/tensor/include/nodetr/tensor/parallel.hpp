@@ -61,8 +61,10 @@ class ThreadPool {
 };
 
 /// Split [begin, end) into roughly equal ranges and run body(lo, hi) on the
-/// global pool. Grain controls the minimum per-task range; small loops run
-/// serially to avoid overhead.
+/// global pool. Grain is the target per-task range: the loop is split into
+/// ceil(n / grain) chunks (capped at a small multiple of the pool size), so a
+/// loop spanning more than one grain always splits. Loops of at most one
+/// grain run serially to avoid overhead.
 void parallel_for(index_t begin, index_t end,
                   const std::function<void(index_t, index_t)>& body,
                   index_t grain = 1024);

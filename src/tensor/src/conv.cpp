@@ -1,7 +1,9 @@
 #include "nodetr/tensor/conv.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "nodetr/tensor/arena.hpp"
 #include "nodetr/tensor/gemm.hpp"
 #include "nodetr/tensor/parallel.hpp"
 
@@ -16,6 +18,51 @@ void check_input(const Tensor& x, const Conv2dGeom& g, const char* who) {
   }
 }
 
+constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// First output index whose receptive field at kernel offset `kk` starts
+/// inside [0, extent), and one past the last.
+struct ValidRange {
+  index_t lo, hi;
+};
+ValidRange valid_out_range(index_t extent, index_t out, index_t stride, index_t pad,
+                           index_t kk) {
+  // in = out * stride + kk - pad must land in [0, extent)
+  const index_t lo = std::min(out, std::max<index_t>(0, ceil_div(pad - kk, stride)));
+  const index_t hi = std::clamp<index_t>(ceil_div(extent - kk + pad, stride), lo, out);
+  return {lo, hi};
+}
+
+/// Interior output rows/cols where the whole K x K window is in bounds: the
+/// intersection of the valid ranges of the first and last kernel offsets.
+ValidRange interior_range(index_t extent, index_t out, index_t stride, index_t pad,
+                          index_t kernel) {
+  const ValidRange first = valid_out_range(extent, out, stride, pad, 0);
+  const ValidRange last = valid_out_range(extent, out, stride, pad, kernel - 1);
+  const index_t lo = std::max(first.lo, last.lo);
+  return {lo, std::max(lo, std::min(first.hi, last.hi))};
+}
+
+/// One fully-in-bounds K x K correlation at (iy, ix) = window origin.
+template <int K>
+float dw_dot(const float* src, index_t w, const float* ker) {
+  float acc = 0.0f;
+  for (int ky = 0; ky < K; ++ky) {
+    const float* row = src + ky * w;
+    for (int kx = 0; kx < K; ++kx) acc += ker[ky * K + kx] * row[kx];
+  }
+  return acc;
+}
+
+float dw_dot_n(const float* src, index_t w, const float* ker, index_t kernel) {
+  float acc = 0.0f;
+  for (index_t ky = 0; ky < kernel; ++ky) {
+    const float* row = src + ky * w;
+    for (index_t kx = 0; kx < kernel; ++kx) acc += ker[ky * kernel + kx] * row[kx];
+  }
+  return acc;
+}
+
 }  // namespace
 
 void im2col(const float* img, index_t channels, index_t h, index_t w, const Conv2dGeom& g,
@@ -26,17 +73,26 @@ void im2col(const float* img, index_t channels, index_t h, index_t w, const Conv
   for (index_t c = 0; c < channels; ++c) {
     const float* src = img + c * h * w;
     for (index_t ky = 0; ky < g.kernel; ++ky) {
+      const ValidRange ry = valid_out_range(h, ho, g.stride, g.pad, ky);
       for (index_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const ValidRange rx = valid_out_range(w, wo, g.stride, g.pad, kx);
         float* dst = col + row * plane;
         for (index_t oy = 0; oy < ho; ++oy) {
+          float* drow = dst + oy * wo;
           const index_t iy = oy * g.stride + ky - g.pad;
-          if (iy < 0 || iy >= h) {
-            for (index_t ox = 0; ox < wo; ++ox) dst[oy * wo + ox] = 0.0f;
+          if (oy < ry.lo || oy >= ry.hi) {
+            std::fill_n(drow, wo, 0.0f);
             continue;
           }
-          for (index_t ox = 0; ox < wo; ++ox) {
-            const index_t ix = ox * g.stride + kx - g.pad;
-            dst[oy * wo + ox] = (ix >= 0 && ix < w) ? src[iy * w + ix] : 0.0f;
+          std::fill(drow, drow + rx.lo, 0.0f);
+          std::fill(drow + rx.hi, drow + wo, 0.0f);
+          const float* srow = src + iy * w + rx.lo * g.stride + kx - g.pad;
+          if (g.stride == 1) {
+            std::copy(srow, srow + (rx.hi - rx.lo), drow + rx.lo);
+          } else {
+            for (index_t ox = rx.lo; ox < rx.hi; ++ox) {
+              drow[ox] = srow[(ox - rx.lo) * g.stride];
+            }
           }
         }
       }
@@ -52,14 +108,20 @@ void col2im(const float* col, index_t channels, index_t h, index_t w, const Conv
   for (index_t c = 0; c < channels; ++c) {
     float* dst = img + c * h * w;
     for (index_t ky = 0; ky < g.kernel; ++ky) {
+      const ValidRange ry = valid_out_range(h, ho, g.stride, g.pad, ky);
       for (index_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const ValidRange rx = valid_out_range(w, wo, g.stride, g.pad, kx);
         const float* src = col + row * plane;
-        for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t oy = ry.lo; oy < ry.hi; ++oy) {
           const index_t iy = oy * g.stride + ky - g.pad;
-          if (iy < 0 || iy >= h) continue;
-          for (index_t ox = 0; ox < wo; ++ox) {
-            const index_t ix = ox * g.stride + kx - g.pad;
-            if (ix >= 0 && ix < w) dst[iy * w + ix] += src[oy * wo + ox];
+          const float* srow = src + oy * wo;
+          float* drow = dst + iy * w + rx.lo * g.stride + kx - g.pad;
+          if (g.stride == 1) {
+            for (index_t ox = rx.lo; ox < rx.hi; ++ox) drow[ox - rx.lo] += srow[ox];
+          } else {
+            for (index_t ox = rx.lo; ox < rx.hi; ++ox) {
+              drow[(ox - rx.lo) * g.stride] += srow[ox];
+            }
           }
         }
       }
@@ -73,19 +135,17 @@ Tensor conv2d(const Tensor& x, const Tensor& weight, const Tensor& bias, const C
   const index_t ho = g.out_extent(h), wo = g.out_extent(w);
   const index_t krows = g.in_channels * g.kernel * g.kernel;
   Tensor out(Shape{n, g.out_channels, ho, wo});
+  GemmEpilogue ep;
+  ep.bias_row = bias.empty() ? nullptr : bias.data();  // one output channel per C row
   parallel_for(0, n, [&](index_t lo, index_t hi) {
-    std::vector<float> col(static_cast<std::size_t>(krows * ho * wo));
+    auto& arena = ScratchArena::local();
+    ScratchArena::Scope scope(arena);
+    float* col = arena.alloc<float>(static_cast<std::size_t>(krows * ho * wo));
     for (index_t s = lo; s < hi; ++s) {
-      im2col(x.data() + s * g.in_channels * h * w, g.in_channels, h, w, g, col.data());
-      float* o = out.data() + s * g.out_channels * ho * wo;
-      gemm_accumulate(weight.data(), col.data(), o, g.out_channels, krows, ho * wo);
-      if (!bias.empty()) {
-        for (index_t c = 0; c < g.out_channels; ++c) {
-          const float b = bias[c];
-          float* plane = o + c * ho * wo;
-          for (index_t i = 0; i < ho * wo; ++i) plane[i] += b;
-        }
-      }
+      im2col(x.data() + s * g.in_channels * h * w, g.in_channels, h, w, g, col);
+      gemm_blocked(g.out_channels, krows, ho * wo, GemmView::plain(weight.data(), krows),
+                   GemmView::plain(col, ho * wo), out.data() + s * g.out_channels * ho * wo,
+                   ho * wo, ep);
     }
   }, /*grain=*/1);
   return out;
@@ -97,22 +157,15 @@ Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& weight, const
   const index_t krows = g.in_channels * g.kernel * g.kernel;
   Tensor gx(Shape{n, g.in_channels, in_h, in_w});
   parallel_for(0, n, [&](index_t lo, index_t hi) {
-    std::vector<float> col(static_cast<std::size_t>(krows * ho * wo));
+    auto& arena = ScratchArena::local();
+    ScratchArena::Scope scope(arena);
+    float* col = arena.alloc<float>(static_cast<std::size_t>(krows * ho * wo));
     for (index_t s = lo; s < hi; ++s) {
-      std::fill(col.begin(), col.end(), 0.0f);
-      // col = W^T (Cout x krows)^T * grad_out (Cout x Ho*Wo)
-      const float* go = grad_out.data() + s * g.out_channels * ho * wo;
-      for (index_t c = 0; c < g.out_channels; ++c) {
-        const float* wrow = weight.data() + c * krows;
-        const float* grow = go + c * ho * wo;
-        for (index_t r = 0; r < krows; ++r) {
-          const float wv = wrow[r];
-          if (wv == 0.0f) continue;
-          float* crow = col.data() + r * ho * wo;
-          for (index_t i = 0; i < ho * wo; ++i) crow[i] += wv * grow[i];
-        }
-      }
-      col2im(col.data(), g.in_channels, in_h, in_w, g, gx.data() + s * g.in_channels * in_h * in_w);
+      // col (krows x P) = W^T (krows x Cout) * grad_out (Cout x P)
+      gemm_blocked(krows, g.out_channels, ho * wo, GemmView::transposed(weight.data(), krows),
+                   GemmView::plain(grad_out.data() + s * g.out_channels * ho * wo, ho * wo),
+                   col, ho * wo);
+      col2im(col, g.in_channels, in_h, in_w, g, gx.data() + s * g.in_channels * in_h * in_w);
     }
   }, /*grain=*/1);
   return gx;
@@ -123,28 +176,24 @@ void conv2d_backward_params(const Tensor& x, const Tensor& grad_out, const Conv2
   const index_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const index_t ho = g.out_extent(h), wo = g.out_extent(w);
   const index_t krows = g.in_channels * g.kernel * g.kernel;
-  std::vector<float> col(static_cast<std::size_t>(krows * ho * wo));
+  auto& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  float* col = arena.alloc<float>(static_cast<std::size_t>(krows * ho * wo));
   for (index_t s = 0; s < n; ++s) {
-    im2col(x.data() + s * g.in_channels * h * w, g.in_channels, h, w, g, col.data());
+    im2col(x.data() + s * g.in_channels * h * w, g.in_channels, h, w, g, col);
     const float* go = grad_out.data() + s * g.out_channels * ho * wo;
-    // grad_weight (Cout x krows) += grad_out (Cout x P) * col^T (P x krows)
-    parallel_for(0, g.out_channels, [&](index_t lo, index_t hi) {
-      for (index_t c = lo; c < hi; ++c) {
+    // grad_weight (Cout x krows) += grad_out (Cout x P) * col (krows x P)^T
+    gemm_blocked(g.out_channels, ho * wo, krows, GemmView::plain(go, ho * wo),
+                 GemmView::transposed(col, ho * wo), grad_weight.data(), krows,
+                 {.accumulate = true});
+    if (!grad_bias.empty()) {
+      for (index_t c = 0; c < g.out_channels; ++c) {
         const float* grow = go + c * ho * wo;
-        float* wrow = grad_weight.data() + c * krows;
-        for (index_t r = 0; r < krows; ++r) {
-          const float* crow = col.data() + r * ho * wo;
-          double acc = 0.0;
-          for (index_t i = 0; i < ho * wo; ++i) acc += static_cast<double>(grow[i]) * crow[i];
-          wrow[r] += static_cast<float>(acc);
-        }
-        if (!grad_bias.empty()) {
-          double acc = 0.0;
-          for (index_t i = 0; i < ho * wo; ++i) acc += grow[i];
-          grad_bias[c] += static_cast<float>(acc);
-        }
+        double acc = 0.0;
+        for (index_t i = 0; i < ho * wo; ++i) acc += grow[i];
+        grad_bias[c] += static_cast<float>(acc);
       }
-    }, /*grain=*/4);
+    }
   }
 }
 
@@ -153,6 +202,8 @@ Tensor depthwise_conv2d(const Tensor& x, const Tensor& weight, const Tensor& bia
   check_input(x, g, "depthwise_conv2d");
   const index_t n = x.dim(0), c_ = x.dim(1), h = x.dim(2), w = x.dim(3);
   const index_t ho = g.out_extent(h), wo = g.out_extent(w);
+  const ValidRange iy_r = interior_range(h, ho, g.stride, g.pad, g.kernel);
+  const ValidRange ix_r = interior_range(w, wo, g.stride, g.pad, g.kernel);
   Tensor out(Shape{n, c_, ho, wo});
   parallel_for(0, n * c_, [&](index_t lo, index_t hi) {
     for (index_t sc = lo; sc < hi; ++sc) {
@@ -161,19 +212,38 @@ Tensor depthwise_conv2d(const Tensor& x, const Tensor& weight, const Tensor& bia
       const float* ker = weight.data() + c * g.kernel * g.kernel;
       const float b = bias.empty() ? 0.0f : bias[c];
       float* dst = out.data() + sc * ho * wo;
-      for (index_t oy = 0; oy < ho; ++oy) {
-        for (index_t ox = 0; ox < wo; ++ox) {
-          float acc = b;
-          for (index_t ky = 0; ky < g.kernel; ++ky) {
-            const index_t iy = oy * g.stride + ky - g.pad;
-            if (iy < 0 || iy >= h) continue;
-            for (index_t kx = 0; kx < g.kernel; ++kx) {
-              const index_t ix = ox * g.stride + kx - g.pad;
-              if (ix >= 0 && ix < w) acc += ker[ky * g.kernel + kx] * src[iy * w + ix];
-            }
+      auto edge_cell = [&](index_t oy, index_t ox) {
+        float acc = b;
+        for (index_t ky = 0; ky < g.kernel; ++ky) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (index_t kx = 0; kx < g.kernel; ++kx) {
+            const index_t ix = ox * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < w) acc += ker[ky * g.kernel + kx] * src[iy * w + ix];
           }
-          dst[oy * wo + ox] = acc;
         }
+        dst[oy * wo + ox] = acc;
+      };
+      for (index_t oy = 0; oy < ho; ++oy) {
+        const bool row_interior = oy >= iy_r.lo && oy < iy_r.hi;
+        if (!row_interior) {
+          for (index_t ox = 0; ox < wo; ++ox) edge_cell(oy, ox);
+          continue;
+        }
+        for (index_t ox = 0; ox < ix_r.lo; ++ox) edge_cell(oy, ox);
+        // Interior fast path: the whole window is in bounds, no checks.
+        const float* origin = src + (oy * g.stride - g.pad) * w - g.pad;
+        float* drow = dst + oy * wo;
+        if (g.kernel == 3) {
+          for (index_t ox = ix_r.lo; ox < ix_r.hi; ++ox) {
+            drow[ox] = b + dw_dot<3>(origin + ox * g.stride, w, ker);
+          }
+        } else {
+          for (index_t ox = ix_r.lo; ox < ix_r.hi; ++ox) {
+            drow[ox] = b + dw_dot_n(origin + ox * g.stride, w, ker, g.kernel);
+          }
+        }
+        for (index_t ox = ix_r.hi; ox < wo; ++ox) edge_cell(oy, ox);
       }
     }
   }, /*grain=*/1);
@@ -184,6 +254,8 @@ Tensor depthwise_conv2d_backward_input(const Tensor& grad_out, const Tensor& wei
                                        const Conv2dGeom& g, index_t in_h, index_t in_w) {
   const index_t n = grad_out.dim(0), c_ = grad_out.dim(1), ho = grad_out.dim(2),
                 wo = grad_out.dim(3);
+  const ValidRange iy_r = interior_range(in_h, ho, g.stride, g.pad, g.kernel);
+  const ValidRange ix_r = interior_range(in_w, wo, g.stride, g.pad, g.kernel);
   Tensor gx(Shape{n, c_, in_h, in_w});
   parallel_for(0, n * c_, [&](index_t lo, index_t hi) {
     for (index_t sc = lo; sc < hi; ++sc) {
@@ -191,19 +263,38 @@ Tensor depthwise_conv2d_backward_input(const Tensor& grad_out, const Tensor& wei
       const float* ker = weight.data() + c * g.kernel * g.kernel;
       const float* go = grad_out.data() + sc * ho * wo;
       float* dst = gx.data() + sc * in_h * in_w;
-      for (index_t oy = 0; oy < ho; ++oy) {
-        for (index_t ox = 0; ox < wo; ++ox) {
-          const float gv = go[oy * wo + ox];
-          if (gv == 0.0f) continue;
-          for (index_t ky = 0; ky < g.kernel; ++ky) {
-            const index_t iy = oy * g.stride + ky - g.pad;
-            if (iy < 0 || iy >= in_h) continue;
-            for (index_t kx = 0; kx < g.kernel; ++kx) {
-              const index_t ix = ox * g.stride + kx - g.pad;
-              if (ix >= 0 && ix < in_w) dst[iy * in_w + ix] += gv * ker[ky * g.kernel + kx];
-            }
+      auto edge_cell = [&](index_t oy, index_t ox) {
+        const float gv = go[oy * wo + ox];
+        if (gv == 0.0f) return;
+        for (index_t ky = 0; ky < g.kernel; ++ky) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= in_h) continue;
+          for (index_t kx = 0; kx < g.kernel; ++kx) {
+            const index_t ix = ox * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < in_w) dst[iy * in_w + ix] += gv * ker[ky * g.kernel + kx];
           }
         }
+      };
+      for (index_t oy = 0; oy < ho; ++oy) {
+        const bool row_interior = oy >= iy_r.lo && oy < iy_r.hi;
+        if (!row_interior) {
+          for (index_t ox = 0; ox < wo; ++ox) edge_cell(oy, ox);
+          continue;
+        }
+        for (index_t ox = 0; ox < ix_r.lo; ++ox) edge_cell(oy, ox);
+        float* origin = dst + (oy * g.stride - g.pad) * in_w - g.pad;
+        const float* grow = go + oy * wo;
+        for (index_t ox = ix_r.lo; ox < ix_r.hi; ++ox) {
+          const float gv = grow[ox];
+          if (gv == 0.0f) continue;
+          float* win = origin + ox * g.stride;
+          for (index_t ky = 0; ky < g.kernel; ++ky) {
+            float* row = win + ky * in_w;
+            const float* krow = ker + ky * g.kernel;
+            for (index_t kx = 0; kx < g.kernel; ++kx) row[kx] += gv * krow[kx];
+          }
+        }
+        for (index_t ox = ix_r.hi; ox < wo; ++ox) edge_cell(oy, ox);
       }
     }
   }, /*grain=*/1);
@@ -215,24 +306,61 @@ void depthwise_conv2d_backward_params(const Tensor& x, const Tensor& grad_out,
                                       Tensor& grad_bias) {
   const index_t n = x.dim(0), c_ = x.dim(1), h = x.dim(2), w = x.dim(3);
   const index_t ho = grad_out.dim(2), wo = grad_out.dim(3);
+  const ValidRange iy_r = interior_range(h, ho, g.stride, g.pad, g.kernel);
+  const ValidRange ix_r = interior_range(w, wo, g.stride, g.pad, g.kernel);
   for (index_t s = 0; s < n; ++s) {
     for (index_t c = 0; c < c_; ++c) {
       const float* src = x.data() + (s * c_ + c) * h * w;
       const float* go = grad_out.data() + (s * c_ + c) * ho * wo;
       float* gw = grad_weight.data() + c * g.kernel * g.kernel;
-      for (index_t oy = 0; oy < ho; ++oy) {
-        for (index_t ox = 0; ox < wo; ++ox) {
-          const float gv = go[oy * wo + ox];
-          if (gv == 0.0f) continue;
-          for (index_t ky = 0; ky < g.kernel; ++ky) {
-            const index_t iy = oy * g.stride + ky - g.pad;
-            if (iy < 0 || iy >= h) continue;
-            for (index_t kx = 0; kx < g.kernel; ++kx) {
-              const index_t ix = ox * g.stride + kx - g.pad;
-              if (ix >= 0 && ix < w) gw[ky * g.kernel + kx] += gv * src[iy * w + ix];
-            }
+      auto edge_cell = [&](index_t oy, index_t ox) {
+        const float gv = go[oy * wo + ox];
+        if (gv == 0.0f) return;
+        for (index_t ky = 0; ky < g.kernel; ++ky) {
+          const index_t iy = oy * g.stride + ky - g.pad;
+          if (iy < 0 || iy >= h) continue;
+          for (index_t kx = 0; kx < g.kernel; ++kx) {
+            const index_t ix = ox * g.stride + kx - g.pad;
+            if (ix >= 0 && ix < w) gw[ky * g.kernel + kx] += gv * src[iy * w + ix];
           }
         }
+      };
+      for (index_t oy = 0; oy < iy_r.lo; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) edge_cell(oy, ox);
+      }
+      // Interior: per kernel tap, a unit-stride dot product over the valid
+      // output rows — bounds checks hoisted out of the inner loops entirely.
+      if (iy_r.hi > iy_r.lo && ix_r.hi > ix_r.lo) {
+        for (index_t ky = 0; ky < g.kernel; ++ky) {
+          for (index_t kx = 0; kx < g.kernel; ++kx) {
+            double acc = 0.0;
+            for (index_t oy = iy_r.lo; oy < iy_r.hi; ++oy) {
+              const float* grow = go + oy * wo;
+              const float* srow = src + (oy * g.stride + ky - g.pad) * w + kx - g.pad;
+              if (g.stride == 1) {
+                for (index_t ox = ix_r.lo; ox < ix_r.hi; ++ox) {
+                  acc += static_cast<double>(grow[ox]) * srow[ox];
+                }
+              } else {
+                for (index_t ox = ix_r.lo; ox < ix_r.hi; ++ox) {
+                  acc += static_cast<double>(grow[ox]) * srow[ox * g.stride];
+                }
+              }
+            }
+            gw[ky * g.kernel + kx] += static_cast<float>(acc);
+          }
+        }
+        for (index_t oy = iy_r.lo; oy < iy_r.hi; ++oy) {
+          for (index_t ox = 0; ox < ix_r.lo; ++ox) edge_cell(oy, ox);
+          for (index_t ox = ix_r.hi; ox < wo; ++ox) edge_cell(oy, ox);
+        }
+      } else {
+        for (index_t oy = iy_r.lo; oy < iy_r.hi; ++oy) {
+          for (index_t ox = 0; ox < wo; ++ox) edge_cell(oy, ox);
+        }
+      }
+      for (index_t oy = iy_r.hi; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) edge_cell(oy, ox);
       }
       if (!grad_bias.empty()) {
         double acc = 0.0;

@@ -1,28 +1,214 @@
 #include "nodetr/tensor/gemm.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "nodetr/obs/obs.hpp"
+#include "nodetr/tensor/arena.hpp"
 #include "nodetr/tensor/parallel.hpp"
 
 namespace nodetr::tensor {
 
+namespace obs = nodetr::obs;
+
 namespace {
+
+// Blocking geometry (float32, tuned for the baseline -O3 build without
+// -march=native; see DESIGN.md "Kernel layer"):
+//  - kMr x kNr microkernel: 32 accumulators fit the baseline SSE2 register
+//    budget, and the 8-wide inner loop auto-vectorizes.
+//  - kKc-deep panels: an A micro-panel (kMr * kKc = 4 KB) plus a B micro-panel
+//    (kNr * kKc = 8 KB) stay resident in a 32 KB L1.
+//  - A pack (kMc * kKc = 256 KB) and B pack (kKc * kNc = 128 KB) target L2.
+constexpr index_t kMr = 4;
+constexpr index_t kNr = 8;
+constexpr index_t kKc = 256;
+constexpr index_t kMc = 256;
+constexpr index_t kNc = 128;
+
+constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+constexpr index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
+
+/// Pack A(ic:ic+mc, pc:pc+kc) into kMr-row micro-panels, k-major within each
+/// panel (element (i, p) at panel[p * kMr + i]), zero-padded to full kMr.
+void pack_a(const GemmView& a, index_t ic, index_t pc, index_t mc, index_t kc, float* out) {
+  for (index_t i0 = 0; i0 < mc; i0 += kMr) {
+    const index_t mr = std::min(kMr, mc - i0);
+    float* dst = out + i0 * kc;
+    if (!a.trans) {
+      for (index_t i = 0; i < mr; ++i) {
+        const float* src = a.data + (ic + i0 + i) * a.ld + pc;
+        for (index_t p = 0; p < kc; ++p) dst[p * kMr + i] = src[p];
+      }
+      for (index_t i = mr; i < kMr; ++i) {
+        for (index_t p = 0; p < kc; ++p) dst[p * kMr + i] = 0.0f;
+      }
+    } else {
+      for (index_t p = 0; p < kc; ++p) {
+        const float* src = a.data + (pc + p) * a.ld + ic + i0;
+        float* d = dst + p * kMr;
+        for (index_t i = 0; i < mr; ++i) d[i] = src[i];
+        for (index_t i = mr; i < kMr; ++i) d[i] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Pack B(pc:pc+kc, jc:jc+nc) into kNr-column micro-panels, k-major within
+/// each panel (element (p, j) at panel[p * kNr + j]), zero-padded to full kNr.
+void pack_b(const GemmView& b, index_t pc, index_t jc, index_t kc, index_t nc, float* out) {
+  for (index_t j0 = 0; j0 < nc; j0 += kNr) {
+    const index_t nr = std::min(kNr, nc - j0);
+    float* dst = out + j0 * kc;
+    if (!b.trans) {
+      for (index_t p = 0; p < kc; ++p) {
+        const float* src = b.data + (pc + p) * b.ld + jc + j0;
+        float* d = dst + p * kNr;
+        for (index_t j = 0; j < nr; ++j) d[j] = src[j];
+        for (index_t j = nr; j < kNr; ++j) d[j] = 0.0f;
+      }
+    } else {
+      for (index_t j = 0; j < nr; ++j) {
+        const float* src = b.data + (jc + j0 + j) * b.ld + pc;
+        for (index_t p = 0; p < kc; ++p) dst[p * kNr + j] = src[p];
+      }
+      for (index_t j = nr; j < kNr; ++j) {
+        for (index_t p = 0; p < kc; ++p) dst[p * kNr + j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// kMr x kNr register tile over one A and one B micro-panel. The k loop is
+/// unrolled by 4 and each product lands in its accumulator in ascending-k
+/// order, so results never depend on the surrounding blocking.
+void micro_kernel(int kc, const float* __restrict__ ap, const float* __restrict__ bp,
+                  float* __restrict__ c, index_t ldc, index_t mr, index_t nr, bool first) {
+  float acc[kMr][kNr] = {};
+  int p = 0;
+  for (; p + 4 <= kc; p += 4) {
+    for (int u = 0; u < 4; ++u) {
+      const float* av = ap + (p + u) * kMr;
+      const float* bv = bp + (p + u) * kNr;
+      for (int i = 0; i < kMr; ++i) {
+        for (int j = 0; j < kNr; ++j) acc[i][j] += av[i] * bv[j];
+      }
+    }
+  }
+  for (; p < kc; ++p) {
+    const float* av = ap + p * kMr;
+    const float* bv = bp + p * kNr;
+    for (int i = 0; i < kMr; ++i) {
+      for (int j = 0; j < kNr; ++j) acc[i][j] += av[i] * bv[j];
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    if (first) {
+      for (int i = 0; i < kMr; ++i) {
+        for (int j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
+      }
+    } else {
+      for (int i = 0; i < kMr; ++i) {
+        for (int j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
+      }
+    }
+    return;
+  }
+  for (index_t i = 0; i < mr; ++i) {
+    for (index_t j = 0; j < nr; ++j) {
+      if (first) {
+        c[i * ldc + j] = acc[i][j];
+      } else {
+        c[i * ldc + j] += acc[i][j];
+      }
+    }
+  }
+}
+
+[[nodiscard]] bool needs_epilogue(const GemmEpilogue& ep) {
+  return !ep.accumulate && (ep.alpha != 1.0f || ep.bias_col != nullptr ||
+                            ep.bias_row != nullptr || ep.residual != nullptr || ep.relu);
+}
+
+/// Column-panel epilogue: runs right after the panel's last k block while the
+/// C rows are still cache-hot.
+void apply_epilogue(float* c, index_t ldc, index_t m, index_t n, index_t jc, index_t nc,
+                    const GemmEpilogue& ep) {
+  const index_t res_ld = ep.residual_ld > 0 ? ep.residual_ld : n;
+  parallel_for(0, m, [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      float* row = c + i * ldc + jc;
+      const float br = ep.bias_row != nullptr ? ep.bias_row[i] : 0.0f;
+      const float* bc = ep.bias_col != nullptr ? ep.bias_col + jc : nullptr;
+      const float* res = ep.residual != nullptr ? ep.residual + i * res_ld + jc : nullptr;
+      for (index_t j = 0; j < nc; ++j) {
+        float v = ep.alpha * row[j] + br;
+        if (bc != nullptr) v += bc[j];
+        if (res != nullptr) v += res[j];
+        if (ep.relu && v < 0.0f) v = 0.0f;
+        row[j] = v;
+      }
+    }
+  }, /*grain=*/64);
+}
+
 void check_rank2(const Tensor& t, const char* name) {
   if (t.rank() != 2) throw std::invalid_argument(std::string(name) + ": rank must be 2");
 }
+
 }  // namespace
 
-void gemm_accumulate(const float* a, const float* b, float* c, index_t m, index_t k, index_t n) {
-  // ikj order: streams through b and c rows; the inner j loop vectorizes.
-  for (index_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (index_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+void gemm_blocked(index_t m, index_t k, index_t n, GemmView a, GemmView b, float* c, index_t ldc,
+                  const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0) return;
+  static auto& calls = obs::Registry::instance().counter("tensor.gemm.calls");
+  static auto& flops = obs::Registry::instance().counter("tensor.gemm.flops");
+  calls.add();
+  flops.add(2 * m * k * n);
+  if (k <= 0) {
+    if (!ep.accumulate) {
+      for (index_t i = 0; i < m; ++i) std::fill_n(c + i * ldc, n, 0.0f);
+      if (needs_epilogue(ep)) apply_epilogue(c, ldc, m, n, 0, n, ep);
     }
+    return;
+  }
+
+  auto& arena = ScratchArena::local();
+  ScratchArena::Scope scope(arena);
+  float* bpack = arena.alloc<float>(
+      static_cast<std::size_t>(std::min(k, kKc) * round_up(std::min(n, kNc), kNr)));
+  const index_t apack_elems = std::min(k, kKc) * round_up(std::min(m, kMc), kMr);
+  // M is split across threads in units of microkernel row-panels; each worker
+  // packs its own A sub-blocks, while the B panel is packed once and shared.
+  // The split never changes any output element's k accumulation order.
+  const index_t mpanels = ceil_div(m, kMr);
+
+  for (index_t jc = 0; jc < n; jc += kNc) {
+    const index_t nc = std::min(kNc, n - jc);
+    for (index_t pc = 0; pc < k; pc += kKc) {
+      const index_t kc = std::min(kKc, k - pc);
+      const bool first = pc == 0 && !ep.accumulate;
+      pack_b(b, pc, jc, kc, nc, bpack);
+      parallel_for(0, mpanels, [&](index_t p_lo, index_t p_hi) {
+        auto& worker_arena = ScratchArena::local();
+        ScratchArena::Scope worker_scope(worker_arena);
+        float* apack = worker_arena.alloc<float>(static_cast<std::size_t>(apack_elems));
+        const index_t row_hi = std::min(m, p_hi * kMr);
+        for (index_t ic = p_lo * kMr; ic < row_hi; ic += kMc) {
+          const index_t mc = std::min(kMc, row_hi - ic);
+          pack_a(a, ic, pc, mc, kc, apack);
+          for (index_t jr = 0; jr < nc; jr += kNr) {
+            const index_t nr = std::min(kNr, nc - jr);
+            for (index_t ir = 0; ir < mc; ir += kMr) {
+              const index_t mr = std::min(kMr, mc - ir);
+              micro_kernel(static_cast<int>(kc), apack + ir * kc, bpack + jr * kc,
+                           c + (ic + ir) * ldc + jc + jr, ldc, mr, nr, first);
+            }
+          }
+        }
+      }, /*grain=*/4);  // 4 row-panels = 16 rows per chunk, matching the old matmul grain
+    }
+    if (needs_epilogue(ep)) apply_epilogue(c, ldc, m, n, jc, nc, ep);
   }
 }
 
@@ -35,9 +221,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 " x " + b.shape().to_string());
   }
   Tensor c(Shape{m, n});
-  parallel_for(0, m, [&](index_t lo, index_t hi) {
-    gemm_accumulate(a.data() + lo * k, b.data(), c.data() + lo * n, hi - lo, k, n);
-  }, /*grain=*/16);
+  gemm_blocked(m, k, n, GemmView::plain(a.data(), k), GemmView::plain(b.data(), n), c.data(), n);
   return c;
 }
 
@@ -50,18 +234,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                                 " x " + b.shape().to_string() + "^T");
   }
   Tensor c(Shape{m, n});
-  parallel_for(0, m, [&](index_t lo, index_t hi) {
-    for (index_t i = lo; i < hi; ++i) {
-      const float* arow = a.data() + i * k;
-      float* crow = c.data() + i * n;
-      for (index_t j = 0; j < n; ++j) {
-        const float* brow = b.data() + j * k;
-        double acc = 0.0;
-        for (index_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-        crow[j] = static_cast<float>(acc);
-      }
-    }
-  }, /*grain=*/16);
+  gemm_blocked(m, k, n, GemmView::plain(a.data(), k), GemmView::transposed(b.data(), k),
+               c.data(), n);
   return c;
 }
 
@@ -74,20 +248,14 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
                                 "^T x " + b.shape().to_string());
   }
   Tensor c(Shape{m, n});
-  // c[i][j] = sum_p a[p][i] * b[p][j]; accumulate row-by-row of a/b.
-  for (index_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * m;
-    const float* brow = b.data() + p * n;
-    parallel_for(0, m, [&](index_t lo, index_t hi) {
-      for (index_t i = lo; i < hi; ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c.data() + i * n;
-        for (index_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }, /*grain=*/64);
-  }
+  gemm_blocked(m, k, n, GemmView::transposed(a.data(), m), GemmView::plain(b.data(), n),
+               c.data(), n);
   return c;
+}
+
+void gemm_accumulate(const float* a, const float* b, float* c, index_t m, index_t k, index_t n) {
+  gemm_blocked(m, k, n, GemmView::plain(a, k), GemmView::plain(b, n), c, n,
+               {.accumulate = true});
 }
 
 }  // namespace nodetr::tensor

@@ -13,6 +13,8 @@ namespace {
 /// Lets a nested run_chunks on the same pool fall back to serial execution
 /// instead of deadlocking on the submission lock.
 thread_local const ThreadPool* t_active_pool = nullptr;
+
+constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -106,8 +108,13 @@ void parallel_for(index_t begin, index_t end, const std::function<void(index_t, 
   const index_t n = end - begin;
   if (n <= 0) return;
   auto& pool = ThreadPool::global();
+  // One chunk per grain-sized unit of work (rounding up), with the pool-derived
+  // cap purely as an upper bound on scheduling overhead. The previous floor
+  // division (n / grain) meant any loop shorter than two grains ran serially,
+  // which silently serialized call sites that picked a large grain.
+  const index_t units = ceil_div(n, std::max<index_t>(grain, 1));
   const index_t max_chunks = static_cast<index_t>(pool.size()) * 4;
-  const index_t chunks = std::clamp<index_t>(n / std::max<index_t>(grain, 1), 1, max_chunks);
+  const index_t chunks = std::min(std::max<index_t>(units, 1), max_chunks);
   if (chunks == 1) {
     body(begin, end);
     return;

@@ -1,5 +1,7 @@
 #include "nodetr/train/optimizer.hpp"
 
+#include "nodetr/tensor/parallel.hpp"
+
 namespace nodetr::train {
 
 void Sgd::step(const std::vector<Param*>& params) {
@@ -7,11 +9,16 @@ void Sgd::step(const std::vector<Param*>& params) {
     auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
     Tensor& v = it->second;
     const float mu = config_.momentum, wd = config_.weight_decay, lr = config_.lr;
-    for (index_t i = 0; i < p->value.numel(); ++i) {
-      const float g = p->grad[i] + wd * p->value[i];
-      v[i] = mu * v[i] + g;
-      p->value[i] -= lr * v[i];
-    }
+    float* val = p->value.data();
+    const float* grad = p->grad.data();
+    float* vel = v.data();
+    nodetr::tensor::parallel_for(0, p->value.numel(), [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        const float g = grad[i] + wd * val[i];
+        vel[i] = mu * vel[i] + g;
+        val[i] -= lr * vel[i];
+      }
+    }, /*grain=*/4096);
   }
 }
 

@@ -1,0 +1,471 @@
+// Differential tests for the blocked kernel layer: the packed/tiled GEMM and
+// the conv kernels are checked against straight naive references over odd
+// shapes and geometries, and the fixed-point matmuls are checked bitwise
+// against a reference that reimplements the rounding/saturation narrowing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "nodetr/fx/qops.hpp"
+#include "nodetr/tensor/arena.hpp"
+#include "nodetr/tensor/conv.hpp"
+#include "nodetr/tensor/gemm.hpp"
+#include "nodetr/tensor/parallel.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+using nt::index_t;
+using nt::Shape;
+using nt::Tensor;
+
+namespace {
+
+// Shapes chosen to straddle every blocking boundary: microkernel edges
+// (1..5), one full tile (64), and a non-multiple of both tile and panel
+// sizes (127).
+const index_t kOddSizes[] = {1, 2, 3, 5, 17, 64, 127};
+
+void expect_allclose(const Tensor& got, const Tensor& want, float rtol = 1e-4f) {
+  ASSERT_EQ(got.numel(), want.numel());
+  for (index_t i = 0; i < got.numel(); ++i) {
+    const float tol = rtol * std::max(1.0f, std::abs(want[i]));
+    ASSERT_NEAR(got[i], want[i], tol) << "at flat index " << i;
+  }
+}
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const index_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c(Shape{m, n});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (index_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor transpose(const Tensor& a) {
+  const index_t r = a.dim(0), c = a.dim(1);
+  Tensor t(Shape{c, r});
+  for (index_t i = 0; i < r; ++i) {
+    for (index_t j = 0; j < c; ++j) t[j * r + i] = a[i * c + j];
+  }
+  return t;
+}
+
+Tensor naive_conv2d(const Tensor& x, const Tensor& w, const Tensor& bias,
+                    const nt::Conv2dGeom& g) {
+  const index_t n = x.dim(0), h = x.dim(2), ww = x.dim(3);
+  const index_t ho = g.out_extent(h), wo = g.out_extent(ww);
+  Tensor out(Shape{n, g.out_channels, ho, wo});
+  for (index_t s = 0; s < n; ++s) {
+    for (index_t co = 0; co < g.out_channels; ++co) {
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          float acc = 0.0f;
+          for (index_t ci = 0; ci < g.in_channels; ++ci) {
+            for (index_t ky = 0; ky < g.kernel; ++ky) {
+              for (index_t kx = 0; kx < g.kernel; ++kx) {
+                const index_t iy = oy * g.stride - g.pad + ky;
+                const index_t ix = ox * g.stride - g.pad + kx;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= ww) continue;
+                acc += x[((s * g.in_channels + ci) * h + iy) * ww + ix] *
+                       w[((co * g.in_channels + ci) * g.kernel + ky) * g.kernel + kx];
+              }
+            }
+          }
+          if (!bias.empty()) acc += bias[co];
+          out[((s * g.out_channels + co) * ho + oy) * wo + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor naive_depthwise(const Tensor& x, const Tensor& w, const Tensor& bias,
+                       const nt::Conv2dGeom& g) {
+  const index_t n = x.dim(0), c = x.dim(1), h = x.dim(2), ww = x.dim(3);
+  const index_t ho = g.out_extent(h), wo = g.out_extent(ww);
+  Tensor out(Shape{n, c, ho, wo});
+  for (index_t s = 0; s < n; ++s) {
+    for (index_t ch = 0; ch < c; ++ch) {
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          float acc = bias.empty() ? 0.0f : bias[ch];
+          for (index_t ky = 0; ky < g.kernel; ++ky) {
+            for (index_t kx = 0; kx < g.kernel; ++kx) {
+              const index_t iy = oy * g.stride - g.pad + ky;
+              const index_t ix = ox * g.stride - g.pad + kx;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= ww) continue;
+              acc += x[((s * c + ch) * h + iy) * ww + ix] *
+                     w[(ch * g.kernel + ky) * g.kernel + kx];
+            }
+          }
+          out[((s * c + ch) * ho + oy) * wo + ox] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Straight-loop fixed-point matmul that independently reimplements the
+/// round-half-away/saturate narrowing, for bitwise comparison.
+std::int64_t ref_narrow(__int128 acc, int from_frac, const fx::FixedFormat& to) {
+  const int shift = from_frac - to.frac_bits();
+  __int128 r = acc;
+  if (shift > 0) {
+    const __int128 half = static_cast<__int128>(1) << (shift - 1);
+    r = (r + (r >= 0 ? half : half - 1)) >> shift;
+  } else if (shift < 0) {
+    r <<= -shift;
+  }
+  if (r > to.raw_max()) return to.raw_max();
+  if (r < to.raw_min()) return to.raw_min();
+  return static_cast<std::int64_t>(r);
+}
+
+fx::FixedTensor ref_qmatmul(const fx::FixedTensor& a, const fx::FixedTensor& b,
+                            fx::FixedFormat out_format) {
+  const index_t m = a.shape().dim(0), k = a.shape().dim(1), n = b.shape().dim(1);
+  const int prod_frac = a.format().frac_bits() + b.format().frac_bits();
+  fx::FixedTensor c(Shape{m, n}, out_format);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      __int128 acc = 0;
+      for (index_t p = 0; p < k; ++p) {
+        acc += static_cast<__int128>(a.raw()[i * k + p]) * b.raw()[p * n + j];
+      }
+      c.raw()[i * n + j] = ref_narrow(acc, prod_frac, out_format);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+TEST(Kernels, MatmulMatchesNaiveOverOddShapes) {
+  nt::Rng rng(11);
+  for (index_t m : kOddSizes) {
+    for (index_t k : kOddSizes) {
+      for (index_t n : kOddSizes) {
+        // Keep the cube of cases cheap: skip only the largest all-big combos.
+        if (m * k * n > 64 * 64 * 127) continue;
+        const Tensor a = rng.randn(Shape{m, k});
+        const Tensor b = rng.randn(Shape{k, n});
+        expect_allclose(nt::matmul(a, b), naive_matmul(a, b));
+      }
+    }
+  }
+}
+
+TEST(Kernels, MatmulLargeNonMultipleShape) {
+  nt::Rng rng(12);
+  const Tensor a = rng.randn(Shape{127, 127});
+  const Tensor b = rng.randn(Shape{127, 127});
+  expect_allclose(nt::matmul(a, b), naive_matmul(a, b));
+}
+
+TEST(Kernels, MatmulNtAndTnMatchNaive) {
+  nt::Rng rng(13);
+  const index_t shapes[][3] = {{1, 1, 1}, {3, 5, 2}, {17, 64, 5}, {64, 17, 127}, {127, 3, 64}};
+  for (const auto& s : shapes) {
+    const index_t m = s[0], k = s[1], n = s[2];
+    const Tensor a = rng.randn(Shape{m, k});
+    const Tensor b = rng.randn(Shape{k, n});
+    expect_allclose(nt::matmul_nt(a, transpose(b)), naive_matmul(a, b));
+    expect_allclose(nt::matmul_tn(transpose(a), b), naive_matmul(a, b));
+  }
+}
+
+TEST(Kernels, GemmZeroKWritesZeros) {
+  Tensor c(Shape{3, 4}, 7.5f);
+  nt::gemm_blocked(3, 0, 4, nt::GemmView::plain(nullptr, 1), nt::GemmView::plain(nullptr, 1),
+                   c.data(), 4);
+  for (index_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 0.0f);
+}
+
+TEST(Kernels, GemmZeroKAccumulateLeavesCUntouched) {
+  Tensor c(Shape{3, 4}, 7.5f);
+  nt::gemm_blocked(3, 0, 4, nt::GemmView::plain(nullptr, 1), nt::GemmView::plain(nullptr, 1),
+                   c.data(), 4, {.accumulate = true});
+  for (index_t i = 0; i < c.numel(); ++i) EXPECT_EQ(c[i], 7.5f);
+}
+
+TEST(Kernels, GemmEpilogueFusesAlphaBiasResidualRelu) {
+  nt::Rng rng(14);
+  const index_t m = 33, k = 29, n = 41;
+  const Tensor a = rng.randn(Shape{m, k});
+  const Tensor b = rng.randn(Shape{k, n});
+  const Tensor bias_col = rng.randn(Shape{n});
+  const Tensor bias_row = rng.randn(Shape{m});
+  const Tensor residual = rng.randn(Shape{m, n});
+  const float alpha = 0.5f;
+
+  Tensor got(Shape{m, n});
+  nt::gemm_blocked(m, k, n, nt::GemmView::plain(a.data(), k), nt::GemmView::plain(b.data(), n),
+                   got.data(), n,
+                   {.alpha = alpha,
+                    .bias_col = bias_col.data(),
+                    .bias_row = bias_row.data(),
+                    .residual = residual.data(),
+                    .relu = true});
+
+  Tensor want = naive_matmul(a, b);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      float v = alpha * want[i * n + j] + bias_row[i] + bias_col[j] + residual[i * n + j];
+      want[i * n + j] = v < 0.0f ? 0.0f : v;
+    }
+  }
+  expect_allclose(got, want);
+}
+
+TEST(Kernels, GemmAccumulateAddsIntoC) {
+  nt::Rng rng(15);
+  const index_t m = 19, k = 257, n = 23;  // k > one kKc block
+  const Tensor a = rng.randn(Shape{m, k});
+  const Tensor b = rng.randn(Shape{k, n});
+  Tensor c(Shape{m, n}, 2.0f);
+  nt::gemm_blocked(m, k, n, nt::GemmView::plain(a.data(), k), nt::GemmView::plain(b.data(), n),
+                   c.data(), n, {.accumulate = true});
+  Tensor want = naive_matmul(a, b);
+  for (index_t i = 0; i < want.numel(); ++i) want[i] += 2.0f;
+  expect_allclose(c, want);
+}
+
+TEST(Kernels, GemmStridedViewsAddressSubMatricesInPlace) {
+  // Operands and output live as sub-blocks of larger row-major parents, the
+  // way per-head attention slices address (B*N, D) matrices.
+  nt::Rng rng(16);
+  const index_t m = 21, k = 18, n = 27;
+  const index_t lda = k + 3, ldb = n + 2, ldc = n + 5;
+  const Tensor pa = rng.randn(Shape{m, lda});
+  const Tensor pb = rng.randn(Shape{k, ldb});
+  Tensor pc(Shape{m, ldc}, 7.5f);
+
+  nt::gemm_blocked(m, k, n, nt::GemmView::plain(pa.data() + 1, lda),
+                   nt::GemmView::plain(pb.data() + 2, ldb), pc.data() + 3, ldc);
+
+  Tensor a(Shape{m, k}), b(Shape{k, n});
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t p = 0; p < k; ++p) a[i * k + p] = pa[i * lda + 1 + p];
+  }
+  for (index_t p = 0; p < k; ++p) {
+    for (index_t j = 0; j < n; ++j) b[p * n + j] = pb[p * ldb + 2 + j];
+  }
+  const Tensor want = naive_matmul(a, b);
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j < ldc; ++j) {
+      if (j >= 3 && j < 3 + n) {
+        const float tol = 1e-4f * std::max(1.0f, std::abs(want[i * n + (j - 3)]));
+        ASSERT_NEAR(pc[i * ldc + j], want[i * n + (j - 3)], tol);
+      } else {
+        ASSERT_EQ(pc[i * ldc + j], 7.5f) << "wrote outside the strided sub-block";
+      }
+    }
+  }
+}
+
+TEST(Kernels, Conv2dMatchesNaiveOverGeometries) {
+  nt::Rng rng(17);
+  struct Case {
+    index_t cin, cout, kernel, stride, pad, h, w;
+  };
+  const Case cases[] = {
+      {3, 5, 3, 1, 1, 7, 9},    // odd channels, non-square
+      {2, 4, 3, 2, 0, 9, 9},    // strided, unpadded
+      {1, 1, 1, 1, 0, 5, 5},    // pointwise
+      {4, 3, 5, 2, 2, 11, 11},  // large kernel, strided + padded
+      {5, 2, 3, 3, 1, 10, 8},   // stride == kernel
+  };
+  for (const auto& t : cases) {
+    const nt::Conv2dGeom g{.in_channels = t.cin, .out_channels = t.cout, .kernel = t.kernel,
+                           .stride = t.stride, .pad = t.pad};
+    const Tensor x = rng.randn(Shape{2, t.cin, t.h, t.w});
+    const Tensor w = rng.randn(Shape{t.cout, t.cin, t.kernel, t.kernel});
+    const Tensor bias = rng.randn(Shape{t.cout});
+    expect_allclose(nt::conv2d(x, w, bias, g), naive_conv2d(x, w, bias, g));
+    expect_allclose(nt::conv2d(x, w, {}, g), naive_conv2d(x, w, {}, g));
+  }
+}
+
+TEST(Kernels, DepthwiseConv2dMatchesNaive) {
+  nt::Rng rng(18);
+  struct Case {
+    index_t c, kernel, stride, pad, h, w;
+  };
+  const Case cases[] = {
+      {4, 3, 1, 1, 9, 11},  // interior fast path + edge ring
+      {3, 3, 2, 1, 8, 8},   // strided
+      {2, 5, 1, 2, 9, 9},   // 5x5 taps
+      {5, 3, 1, 1, 3, 3},   // everything is an edge cell
+      {1, 3, 1, 0, 6, 7},   // unpadded: all interior
+  };
+  for (const auto& t : cases) {
+    const nt::Conv2dGeom g{.in_channels = t.c, .out_channels = t.c, .kernel = t.kernel,
+                           .stride = t.stride, .pad = t.pad};
+    const Tensor x = rng.randn(Shape{2, t.c, t.h, t.w});
+    const Tensor w = rng.randn(Shape{t.c, t.kernel, t.kernel});
+    const Tensor bias = rng.randn(Shape{t.c});
+    expect_allclose(nt::depthwise_conv2d(x, w, bias, g), naive_depthwise(x, w, bias, g));
+  }
+}
+
+TEST(Kernels, DepthwiseBackwardsMatchNaiveScatter) {
+  nt::Rng rng(19);
+  const index_t c = 3, h = 9, w = 10;
+  const nt::Conv2dGeom g{.in_channels = c, .out_channels = c, .kernel = 3, .stride = 1, .pad = 1};
+  const Tensor x = rng.randn(Shape{2, c, h, w});
+  const Tensor wt = rng.randn(Shape{c, 3, 3});
+  const Tensor go = rng.randn(Shape{2, c, g.out_extent(h), g.out_extent(w)});
+
+  // Naive grad-input: scatter each output grad through the kernel taps.
+  const index_t ho = g.out_extent(h), wo = g.out_extent(w);
+  Tensor want_gx(Shape{2, c, h, w});
+  for (index_t s = 0; s < 2; ++s) {
+    for (index_t ch = 0; ch < c; ++ch) {
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          const float gv = go[((s * c + ch) * ho + oy) * wo + ox];
+          for (index_t ky = 0; ky < 3; ++ky) {
+            for (index_t kx = 0; kx < 3; ++kx) {
+              const index_t iy = oy * g.stride - g.pad + ky;
+              const index_t ix = ox * g.stride - g.pad + kx;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+              want_gx[((s * c + ch) * h + iy) * w + ix] += gv * wt[(ch * 3 + ky) * 3 + kx];
+            }
+          }
+        }
+      }
+    }
+  }
+  expect_allclose(nt::depthwise_conv2d_backward_input(go, wt, g, h, w), want_gx);
+
+  Tensor want_gw(Shape{c, 3, 3}), want_gb(Shape{c});
+  for (index_t s = 0; s < 2; ++s) {
+    for (index_t ch = 0; ch < c; ++ch) {
+      for (index_t oy = 0; oy < ho; ++oy) {
+        for (index_t ox = 0; ox < wo; ++ox) {
+          const float gv = go[((s * c + ch) * ho + oy) * wo + ox];
+          want_gb[ch] += gv;
+          for (index_t ky = 0; ky < 3; ++ky) {
+            for (index_t kx = 0; kx < 3; ++kx) {
+              const index_t iy = oy * g.stride - g.pad + ky;
+              const index_t ix = ox * g.stride - g.pad + kx;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+              want_gw[(ch * 3 + ky) * 3 + kx] += gv * x[((s * c + ch) * h + iy) * w + ix];
+            }
+          }
+        }
+      }
+    }
+  }
+  Tensor gw(Shape{c, 3, 3}), gb(Shape{c});
+  nt::depthwise_conv2d_backward_params(x, go, g, gw, gb);
+  expect_allclose(gw, want_gw, 1e-3f);
+  expect_allclose(gb, want_gb, 1e-3f);
+}
+
+TEST(Kernels, QMatmulBitwiseMatchesStraightLoop) {
+  nt::Rng rng(20);
+  const index_t shapes[][3] = {{1, 1, 1}, {3, 5, 2}, {17, 31, 5}, {64, 64, 64}, {2, 127, 9}};
+  const fx::FixedFormat afmt{32, 16}, bfmt{24, 8};
+  for (const auto& s : shapes) {
+    const index_t m = s[0], k = s[1], n = s[2];
+    const auto a = fx::FixedTensor::from_float(rng.randn(Shape{m, k}), afmt);
+    const auto b = fx::FixedTensor::from_float(rng.randn(Shape{k, n}), bfmt);
+    const auto want = ref_qmatmul(a, b, {32, 16});
+    const auto got = fx::qmatmul(a, b, {32, 16});
+    for (index_t i = 0; i < want.numel(); ++i) {
+      ASSERT_EQ(got.raw()[i], want.raw()[i]) << "raw mismatch at " << i;
+    }
+  }
+}
+
+TEST(Kernels, QMatmulBitwiseUnderSaturationAndUpshift) {
+  nt::Rng rng(21);
+  const index_t m = 13, k = 37, n = 11;
+  // Large magnitudes into a narrow output format force the saturation path;
+  // an output with more fractional bits than the product forces the upshift.
+  const auto a = fx::FixedTensor::from_float(rng.randn(Shape{m, k}) * 40.0f, {16, 8});
+  const auto b = fx::FixedTensor::from_float(rng.randn(Shape{k, n}) * 40.0f, {16, 8});
+  for (const fx::FixedFormat out : {fx::FixedFormat{8, 4}, fx::FixedFormat{32, 8}}) {
+    const auto want = ref_qmatmul(a, b, out);
+    const auto got = fx::qmatmul(a, b, out);
+    for (index_t i = 0; i < want.numel(); ++i) {
+      ASSERT_EQ(got.raw()[i], want.raw()[i]) << "raw mismatch at " << i;
+    }
+  }
+}
+
+TEST(Kernels, QMatmulNtBitwiseMatchesTransposedReference) {
+  nt::Rng rng(22);
+  const index_t m = 9, k = 33, n = 7;
+  const auto a = fx::FixedTensor::from_float(rng.randn(Shape{m, k}), {32, 16});
+  const Tensor bf = rng.randn(Shape{k, n});
+  const auto b = fx::FixedTensor::from_float(bf, {24, 8});
+  const auto bt = fx::FixedTensor::from_float(transpose(bf), {24, 8});
+  const auto want = ref_qmatmul(a, b, {32, 16});
+  const auto got = fx::qmatmul_nt(a, bt, {32, 16});
+  for (index_t i = 0; i < want.numel(); ++i) {
+    ASSERT_EQ(got.raw()[i], want.raw()[i]) << "raw mismatch at " << i;
+  }
+}
+
+TEST(Kernels, ArenaScopesReuseStorageWithoutRegrowth) {
+  nt::ScratchArena arena;
+  const std::size_t before = arena.capacity();
+  {
+    nt::ScratchArena::Scope scope(arena);
+    float* p = arena.alloc<float>(1 << 16);
+    p[0] = 1.0f;  // touch the storage
+    {
+      nt::ScratchArena::Scope inner(arena);
+      float* q = arena.alloc<float>(1 << 14);
+      q[0] = 2.0f;
+      EXPECT_NE(p, q);
+      EXPECT_EQ(p[0], 1.0f) << "outer allocation must survive nested scopes";
+    }
+  }
+  const std::size_t grown = arena.capacity();
+  EXPECT_GT(grown, before);
+  EXPECT_GE(arena.high_water(), (std::size_t{1} << 16) * sizeof(float));
+  // A second identical round must be served entirely from retained chunks.
+  for (int round = 0; round < 3; ++round) {
+    nt::ScratchArena::Scope scope(arena);
+    (void)arena.alloc<float>(1 << 16);
+    nt::ScratchArena::Scope inner(arena);
+    (void)arena.alloc<float>(1 << 14);
+  }
+  EXPECT_EQ(arena.capacity(), grown) << "steady-state kernel calls must not regrow the arena";
+}
+
+TEST(Kernels, ArenaAllocationsAre64ByteAligned) {
+  auto& arena = nt::ScratchArena::local();
+  nt::ScratchArena::Scope scope(arena);
+  for (std::size_t count : {1, 3, 17, 1000}) {
+    auto* p = arena.alloc<float>(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  }
+}
+
+TEST(Kernels, ParallelForSplitsLoopsLargerThanOneGrain) {
+  // Regression for the old floor-division chunking: a loop spanning more than
+  // one grain but less than two used to run serially in a single chunk.
+  std::atomic<int> calls{0};
+  std::atomic<nt::index_t> covered{0};
+  nt::parallel_for(0, 100, [&](index_t lo, index_t hi) {
+    calls.fetch_add(1);
+    covered.fetch_add(hi - lo);
+  }, /*grain=*/64);
+  EXPECT_EQ(covered.load(), 100);
+  EXPECT_EQ(calls.load(), 2) << "100 elements at grain 64 must split into ceil(100/64) chunks";
+}
