@@ -1,0 +1,70 @@
+// Overhead of the fault-injection sites that now sit on the serving hot
+// paths (DMA transfers, DDR accesses, AXI register ops, batch assembly).
+//
+// The design claim under test: a *dormant* site costs one relaxed atomic
+// load — sub-nanosecond, safe to leave compiled into production binaries.
+// An *armed* site takes the injector lock and consults its schedule, which
+// is fine for tests and soak runs but not for serving, so the armed cost is
+// reported alongside to keep the gap honest.
+//
+//   ./bench_fault_overhead [iters]   (default 50M)
+//
+// Writes BENCH_fault.json with dormant/armed ns-per-check.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "nodetr/fault/fault.hpp"
+
+namespace bench = nodetr::bench;
+namespace fault = nodetr::fault;
+
+namespace {
+
+double ns_per_check(std::int64_t iters) {
+  std::int64_t fired = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < iters; ++i) {
+    fired += fault::fire("bench.site") ? 1 : 0;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  // `fired` keeps the loop from being optimized out.
+  std::printf("  (fires: %lld)\n", static_cast<long long>(fired));
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+         static_cast<double>(iters);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t iters = argc > 1 ? std::atoll(argv[1]) : 50'000'000;
+  if (iters < 100) iters = 50'000'000;  // non-numeric or tiny argv -> default
+  bench::header("fault", "fault-injection site overhead (dormant vs armed)");
+
+  auto& inj = fault::Injector::instance();
+  inj.reset();
+  const double dormant_ns = ns_per_check(iters);
+  std::printf("  dormant site:             %8.3f ns/check\n", dormant_ns);
+
+  // Armed on a *different* site: the checked site still misses the schedule
+  // map, but the injector is no longer globally dormant.
+  inj.arm("bench.other", fault::Schedule::with_probability(0.5));
+  const double armed_other_ns = ns_per_check(iters / 50);
+  std::printf("  armed elsewhere:          %8.3f ns/check\n", armed_other_ns);
+
+  // Armed on the checked site itself, never actually firing.
+  inj.arm("bench.site", fault::Schedule::once(std::uint64_t(-1)));
+  const double armed_ns = ns_per_check(iters / 50);
+  std::printf("  armed on the hot site:    %8.3f ns/check\n", armed_ns);
+  inj.reset();
+
+  bench::note("\n  serving runs dormant; schedules are armed only by tests and soak runs");
+
+  bench::JsonReport report("fault");
+  report.set("dormant_ns_per_check", dormant_ns);
+  report.set("armed_elsewhere_ns_per_check", armed_other_ns);
+  report.set("armed_site_ns_per_check", armed_ns);
+  report.write();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nodetr/fault/fault.hpp"
 #include "nodetr/obs/obs.hpp"
 #include "nodetr/tensor/gemm.hpp"
 #include "nodetr/tensor/ops.hpp"
@@ -217,6 +218,16 @@ fx::FixedTensor MhsaIpCore::run_fixed_tokens(const fx::FixedTensor& x) const {
 Tensor MhsaIpCore::run(const Tensor& x) {
   obs::ScopedSpan span("hls.mhsa_ip.run");
   span.attr("dtype", point_.dtype == DataType::kFloat32 ? "float32" : "fixed");
+  // Fault sites. A stall means this START will never raise DONE — the
+  // accelerator driver latches it and lets its deadline diagnose the hang.
+  // An overflow event is the fixed datapath's sticky saturation flag: the
+  // arithmetic saturated hard enough that the driver must discard the run.
+  if (fault::fire("hls.ip.stall")) throw fault::IpStallFault("hls.ip.stall");
+  if (fault::fire("hls.ip.overflow")) {
+    static auto& overflows = obs::Registry::instance().counter("hls.ip.overflow_events");
+    overflows.add();
+    throw fault::FixedOverflowFault("hls.ip.overflow");
+  }
   Tensor input = x;
   bool squeeze = false;
   if (input.rank() == 3) {

@@ -27,6 +27,15 @@ struct MhsaRegs {
   static constexpr std::uint32_t kBatch = 0x20;
 };
 
+/// Completion budget for one execute(): wall-clock time the driver will poll
+/// STATUS.DONE, and the simulated cycles charged when the budget expires
+/// (the cycles the PS burnt waiting on a device that never answered).
+/// A field of 0 disables that bound.
+struct ExecDeadline {
+  std::int64_t wall_us = 200'000;        ///< 200 ms of real polling
+  std::int64_t sim_cycles = 40'000'000;  ///< 200 ms at the 200 MHz PL clock
+};
+
 class MhsaAccelerator {
  public:
   MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr);
@@ -47,7 +56,16 @@ class MhsaAccelerator {
   /// START validates the programmed BATCH register against the staged shape,
   /// so a driver that reprograms BATCH inconsistently faults instead of
   /// silently reading a mis-sized feature map out of DDR.
+  ///
+  /// Bounded completion: execute() polls STATUS.DONE for at most the
+  /// configured ExecDeadline. A device that never raises DONE (a stalled IP)
+  /// surfaces as fault::DeadlineExceeded — a typed, transient error — with
+  /// the simulated-cycle budget charged to last_cycles(). DMA / ECC / NACK
+  /// faults propagate as their own typed transient errors.
   [[nodiscard]] Tensor execute(const Tensor& x);
+
+  void set_deadline(ExecDeadline deadline) { deadline_ = deadline; }
+  [[nodiscard]] const ExecDeadline& deadline() const { return deadline_; }
 
  private:
   void start();
@@ -56,8 +74,10 @@ class MhsaAccelerator {
   DdrMemory& ddr_;
   AxiLiteRegisterFile regs_;
   AxiStreamDma dma_;
+  ExecDeadline deadline_;
   std::int64_t last_cycles_ = 0;
   std::int64_t total_cycles_ = 0;
+  bool stalled_ = false;  ///< latched injected stall: DONE will never rise
   Shape staged_shape_{std::initializer_list<index_t>{0}};
 };
 

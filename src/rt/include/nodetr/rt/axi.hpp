@@ -1,6 +1,12 @@
 // Board-level interconnect models (Fig. 5): DDR memory, the 32-bit HP0
 // AXI4-Stream DMA path, and an AXI-Lite register file for memory-mapped IP
 // control.
+//
+// Fault sites (see nodetr::fault): "rt.ddr.bitflip" corrupts one bit of the
+// payload and raises DdrEccError (the ECC-protected DDR detects it),
+// "rt.dma.error" makes a DMA transfer fail with DmaTransferError, and
+// "rt.axi.nack" makes a register access fail with AxiNackError. All three
+// are transient: re-issuing the operation retransfers clean data.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +15,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nodetr/fault/fault.hpp"
 #include "nodetr/tensor/tensor.hpp"
 
 namespace nodetr::rt {
@@ -49,8 +56,16 @@ class AxiStreamDma {
     return kSetupCycles + (bytes + kBeatBytes - 1) / kBeatBytes;
   }
 
-  /// Accumulated cycles of all transfers issued through this engine.
-  void transfer(std::int64_t bytes) { total_cycles_ += transfer_cycles(bytes); }
+  /// Accumulated cycles of all transfers issued through this engine. Throws
+  /// fault::DmaTransferError when the "rt.dma.error" site fires; the setup
+  /// cycles are still accounted (the descriptor was issued before it failed).
+  void transfer(std::int64_t bytes) {
+    if (fault::fire("rt.dma.error")) {
+      total_cycles_ += kSetupCycles;
+      throw fault::DmaTransferError("rt.dma.error");
+    }
+    total_cycles_ += transfer_cycles(bytes);
+  }
   [[nodiscard]] std::int64_t total_cycles() const { return total_cycles_; }
   void reset() { total_cycles_ = 0; }
 

@@ -1,5 +1,7 @@
 #include "nodetr/rt/accelerator.hpp"
 
+#include <chrono>
+
 #include "nodetr/obs/obs.hpp"
 
 namespace nodetr::rt {
@@ -48,7 +50,18 @@ void MhsaAccelerator::start() {
     dma_.transfer(ip_->dma_bytes_per_image() * batch);
   }
   Tensor x = ddr_.read_tensor(in_addr, shape);
-  Tensor y = ip_->run(x);
+  Tensor y;
+  try {
+    y = ip_->run(x);
+  } catch (const fault::IpStallFault&) {
+    // The IP hung mid-run: DONE is never raised for this START. Latch the
+    // stall so execute()'s deadline poll can diagnose it; the START write
+    // itself completes normally, exactly as a real stalled device behaves.
+    stalled_ = true;
+    static auto& stalls = obs::Registry::instance().counter("rt.mhsa_accel.stalls");
+    stalls.add();
+    return;
+  }
   ddr_.write_tensor(out_addr, y);
 
   last_cycles_ = dma_.total_cycles() + ip_->last_cycles().total();
@@ -76,6 +89,8 @@ Tensor MhsaAccelerator::execute(const Tensor& x) {
                                 p.to_string());
   }
   staged_shape_ = x.shape();
+  stalled_ = false;
+  const auto poll_start = std::chrono::steady_clock::now();
   ddr_.write_tensor(kDefaultInput, x);
   regs_.write(MhsaRegs::kInputAddrLo, static_cast<std::uint32_t>(kDefaultInput));
   regs_.write(MhsaRegs::kInputAddrHi, static_cast<std::uint32_t>(kDefaultInput >> 32));
@@ -83,8 +98,42 @@ Tensor MhsaAccelerator::execute(const Tensor& x) {
   regs_.write(MhsaRegs::kOutputAddrHi, static_cast<std::uint32_t>(kDefaultOutput >> 32));
   regs_.write(MhsaRegs::kBatch, static_cast<std::uint32_t>(x.dim(0)));
   regs_.write(MhsaRegs::kCtrl, 1);
+  // Check STATUS.DONE under the completion budget. START ran synchronously,
+  // so a cleared DONE here means the IP stalled and will never answer: the
+  // watchdog wait that a real driver would spend polling is fast-forwarded
+  // (simulated time, not real time) and charged as the cycle budget.
   if (regs_.read(MhsaRegs::kStatus) != 1) {
-    throw std::runtime_error("MhsaAccelerator: device did not complete");
+    if (!stalled_) {
+      // Not a latched stall — the device is misprogrammed or absent; keep
+      // the pre-hardening fail-fast contract.
+      throw std::runtime_error("MhsaAccelerator: device did not complete");
+    }
+    last_cycles_ = deadline_.sim_cycles;
+    total_cycles_ += last_cycles_;
+    static auto& deadlines =
+        obs::Registry::instance().counter("rt.mhsa_accel.deadline_exceeded");
+    deadlines.add();
+    throw fault::DeadlineExceeded(
+        "rt.mhsa_accel.deadline",
+        "MhsaAccelerator::execute: device did not raise DONE within deadline (wall " +
+            std::to_string(deadline_.wall_us) + " us, budget " +
+            std::to_string(deadline_.sim_cycles) + " cycles)");
+  }
+  // Wall-clock budget: a START whose synchronous simulation outran the
+  // configured wall deadline would have been abandoned by a real driver.
+  if (deadline_.wall_us > 0) {
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - poll_start);
+    if (waited.count() > deadline_.wall_us) {
+      static auto& deadlines =
+          obs::Registry::instance().counter("rt.mhsa_accel.deadline_exceeded");
+      deadlines.add();
+      throw fault::DeadlineExceeded(
+          "rt.mhsa_accel.deadline",
+          "MhsaAccelerator::execute: completion exceeded wall deadline (" +
+              std::to_string(waited.count()) + " us > " +
+              std::to_string(deadline_.wall_us) + " us)");
+    }
   }
   return ddr_.read_tensor(kDefaultOutput, x.shape());
 }

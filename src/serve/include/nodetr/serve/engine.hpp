@@ -21,11 +21,26 @@
 //     value, or with the backend's exception — including during shutdown,
 //     which drains all queued work before the workers exit;
 //   - a request's rows stay on one worker in row order even when the request
-//     is split across micro-batches.
+//     is split across micro-batches;
+//   - **bounded completion**: under any fault schedule (stalled IP, DMA /
+//     ECC / AXI faults, allocation failure, worker crash — see
+//     nodetr::fault) every accepted request still resolves, with a value or
+//     a typed exception, in bounded time. Stalls are cut off by the
+//     per-execute ExecDeadline; transient device faults are retried with
+//     exponential backoff; a batch that keeps failing is re-run slice by
+//     slice so co-batched innocent requests are not failed collectively; a
+//     crashed worker is respawned after failing its in-flight rows and
+//     requeuing every untouched request it held; an FPGA session that keeps
+//     faulting falls back to kCpuFloat (float-backend fallback preserves
+//     bitwise results; kFpgaFixed fallback trades the quantized datapath
+//     for float numerics to stay available).
 //
 // Observability: spans serve.submit / serve.batch; metrics serve.requests_*,
-// serve.batches, serve.rows, serve.queue_depth, and the histograms
-// serve.batch_occupancy_pct and serve.request_latency_us (p50/p95/p99).
+// serve.batches, serve.rows, serve.queue_depth, serve.retries[.<backend>],
+// serve.fallbacks[.<backend>], serve.faults_injected.<backend>,
+// serve.worker_aborted / serve.worker_respawns / serve.isolation_runs, and
+// the histograms serve.batch_occupancy_pct, serve.request_latency_us and
+// serve.retry_latency_us (p50/p95/p99).
 #pragma once
 
 #include <atomic>
@@ -48,6 +63,21 @@ enum class Backend {
 
 [[nodiscard]] const char* to_string(Backend backend);
 
+/// Recovery policy for faulted batches. A fault classified transient
+/// (fault::is_transient — DMA error, ECC event, AXI NACK, deadline, overflow
+/// event) is retried up to `max_retries` times with exponential backoff;
+/// anything else fails the affected requests immediately. An FPGA session
+/// accumulating `fallback_after` consecutive device faults is rebuilt on the
+/// kCpuFloat backend (0 disables the fallback ladder).
+struct FaultPolicy {
+  int max_retries = 3;
+  std::int64_t backoff_us = 50;        ///< first retry delay
+  double backoff_multiplier = 2.0;
+  std::int64_t max_backoff_us = 5'000;
+  int fallback_after = 8;
+  rt::ExecDeadline deadline;           ///< per-execute completion budget (kFpga*)
+};
+
 struct EngineConfig {
   /// MHSA geometry (and the quantization scheme for kFpgaFixed). The dtype
   /// and weight residency fields are overridden per backend: FPGA sessions
@@ -62,6 +92,7 @@ struct EngineConfig {
   std::size_t queue_capacity = 64;
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
   BatcherConfig batcher;
+  FaultPolicy fault;
 };
 
 struct EngineStats {
@@ -71,6 +102,9 @@ struct EngineStats {
   std::uint64_t failed = 0;      ///< futures fulfilled with an exception
   std::uint64_t batches = 0;     ///< micro-batches executed
   std::uint64_t rows = 0;        ///< total rows executed
+  std::uint64_t retries = 0;     ///< batch re-executions after transient faults
+  std::uint64_t fallbacks = 0;   ///< FPGA sessions demoted to kCpuFloat
+  std::uint64_t respawns = 0;    ///< worker sessions rebuilt after a crash
   std::int64_t sim_cycles = 0;   ///< accumulated accelerator cycles (FPGA backends)
   /// rows / (batches * max_batch); 1.0 means every batch was full.
   [[nodiscard]] double occupancy(index_t max_batch) const {
@@ -106,12 +140,20 @@ class InferenceEngine {
  private:
   struct WorkerSession;
 
+  [[nodiscard]] std::unique_ptr<WorkerSession> make_session(Backend backend);
   void worker_loop(std::size_t worker);
   void process_batch(WorkerSession& session, MicroBatch& batch);
+  [[nodiscard]] Tensor run_attempt(WorkerSession& session, const Tensor& input);
+  [[nodiscard]] Tensor run_with_recovery(WorkerSession& session, const Tensor& input);
+  void fall_back_to_cpu(WorkerSession& session);
+  void isolate_slices(WorkerSession& session, MicroBatch& batch);
+  void salvage_requests(const std::vector<RequestPtr>& held, std::exception_ptr error);
   void fail_batch(MicroBatch& batch, std::exception_ptr error);
   void finish_rows(const MicroBatch& batch, const Tensor& output);
+  void fail_request(Request& r, std::exception_ptr error);
 
   EngineConfig config_;
+  hls::MhsaWeights weights_;  ///< retained for respawn and CPU fallback
   RequestQueue queue_;
   std::vector<std::unique_ptr<WorkerSession>> sessions_;
   std::unique_ptr<tensor::ThreadPool> pool_;
@@ -121,6 +163,7 @@ class InferenceEngine {
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> submitted_{0}, rejected_{0}, completed_{0}, failed_{0};
   std::atomic<std::uint64_t> batches_{0}, rows_{0};
+  std::atomic<std::uint64_t> retries_{0}, fallbacks_{0}, respawns_{0};
   std::atomic<std::int64_t> sim_cycles_{0};
 };
 

@@ -41,7 +41,22 @@ class MicroBatcher {
   /// Coalesce the next micro-batch, blocking until at least one row is
   /// available. Returns false once the queue is closed and drained and no
   /// carried-over rows remain — the worker's signal to exit.
+  ///
+  /// Exception safety: if assembly fails (allocation failure, injected via
+  /// the "serve.alloc" fault site), no popped request is lost — they are
+  /// parked in the orphan list (and the carry cleared into it) for the
+  /// supervisor to requeue or fail, then the exception is rethrown.
   [[nodiscard]] bool next(MicroBatch& out);
+
+  /// Requests popped by a next() call that subsequently threw: they are in
+  /// neither the queue nor any returned batch. The supervisor must requeue
+  /// or fail each one (see InferenceEngine's salvage path). Fetching clears
+  /// the list. Ordered as popped (FIFO).
+  [[nodiscard]] std::vector<RequestPtr> take_orphans();
+
+  /// Steal the worker-local carry (nullptr if none) so a supervisor can
+  /// salvage it when the worker dies between batches.
+  [[nodiscard]] RequestPtr take_carry();
 
   /// Pure planning core (also exercised by the property tests): pack the
   /// given request row counts, all pending at once, into batches of at most
@@ -62,6 +77,7 @@ class MicroBatcher {
   BatcherConfig config_;
   RequestPtr carry_;       ///< partially consumed request (worker-local)
   index_t carry_row_ = 0;  ///< next unconsumed row of carry_
+  std::vector<RequestPtr> orphans_;  ///< popped by a failed next(); see take_orphans()
 };
 
 }  // namespace nodetr::serve

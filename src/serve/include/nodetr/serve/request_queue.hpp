@@ -76,6 +76,12 @@ class RequestQueue {
   /// Non-blocking dequeue; nullptr when empty.
   [[nodiscard]] RequestPtr try_pop();
 
+  /// Return an already-accepted request to the FRONT of the queue so it is
+  /// served next (crash salvage: a dying worker hands back requests it
+  /// popped but never touched). Ignores capacity and the closed flag — the
+  /// request was admitted once and must still drain.
+  void requeue(RequestPtr r);
+
   /// Dequeue, waiting at most until `deadline`. Returns nullptr on timeout
   /// or once closed and drained.
   [[nodiscard]] RequestPtr pop_until(std::chrono::steady_clock::time_point deadline);

@@ -1,7 +1,9 @@
 #include "nodetr/serve/engine.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "nodetr/fault/fault.hpp"
 #include "nodetr/obs/obs.hpp"
 
 namespace nodetr::serve {
@@ -25,12 +27,37 @@ struct InferenceEngine::WorkerSession {
   std::unique_ptr<hls::MhsaIpCore> cpu_ip;    ///< kCpuFloat
   std::unique_ptr<rt::DdrMemory> ddr;         ///< kFpga*
   std::unique_ptr<rt::MhsaAccelerator> accel; ///< kFpga*
+  /// Device faults since the last successful execute; drives the fallback
+  /// ladder (kFpga* -> kCpuFloat after FaultPolicy::fallback_after).
+  int consecutive_device_faults = 0;
 
   WorkerSession(RequestQueue& queue, const BatcherConfig& cfg) : batcher(queue, cfg) {}
 };
 
+std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(Backend backend) {
+  auto session = std::make_unique<WorkerSession>(queue_, config_.batcher);
+  session->backend = backend;
+  hls::MhsaDesignPoint point = config_.point;
+  point.dtype = backend == Backend::kFpgaFixed ? hls::DataType::kFixed
+                                               : hls::DataType::kFloat32;
+  if (backend == Backend::kCpuFloat) {
+    session->cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
+  } else {
+    // The batched START keeps weights resident across the programmed batch —
+    // the amortization the micro-batcher exists to exploit.
+    point.residency = hls::WeightResidency::kBatchResident;
+    session->ddr = std::make_unique<rt::DdrMemory>();
+    session->accel = std::make_unique<rt::MhsaAccelerator>(
+        std::make_unique<hls::MhsaIpCore>(point, weights_), *session->ddr);
+    session->accel->set_deadline(config_.fault.deadline);
+  }
+  return session;
+}
+
 InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& weights)
-    : config_(std::move(config)), queue_(config_.queue_capacity, config_.policy) {
+    : config_(std::move(config)),
+      weights_(weights),
+      queue_(config_.queue_capacity, config_.policy) {
   if (config_.workers < 1) {
     throw std::invalid_argument("InferenceEngine: workers must be >= 1");
   }
@@ -38,25 +65,15 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
     throw std::invalid_argument(
         "InferenceEngine: worker_backends must be empty or one entry per worker");
   }
+  if (config_.fault.max_retries < 0 || config_.fault.fallback_after < 0 ||
+      config_.fault.backoff_us < 0 || config_.fault.max_backoff_us < 0 ||
+      config_.fault.backoff_multiplier < 1.0) {
+    throw std::invalid_argument("InferenceEngine: invalid FaultPolicy");
+  }
   sessions_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
-    auto session = std::make_unique<WorkerSession>(queue_, config_.batcher);
-    session->backend =
-        config_.worker_backends.empty() ? config_.backend : config_.worker_backends[w];
-    hls::MhsaDesignPoint point = config_.point;
-    point.dtype = session->backend == Backend::kFpgaFixed ? hls::DataType::kFixed
-                                                          : hls::DataType::kFloat32;
-    if (session->backend == Backend::kCpuFloat) {
-      session->cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights);
-    } else {
-      // The batched START keeps weights resident across the programmed batch —
-      // the amortization the micro-batcher exists to exploit.
-      point.residency = hls::WeightResidency::kBatchResident;
-      session->ddr = std::make_unique<rt::DdrMemory>();
-      session->accel = std::make_unique<rt::MhsaAccelerator>(
-          std::make_unique<hls::MhsaIpCore>(point, weights), *session->ddr);
-    }
-    sessions_.push_back(std::move(session));
+    sessions_.push_back(make_session(
+        config_.worker_backends.empty() ? config_.backend : config_.worker_backends[w]));
   }
   // Worker loops ride on a private ThreadPool: the dispatcher thread posts
   // one long-lived chunk per session and participates itself, leaving the
@@ -119,23 +136,166 @@ std::future<Tensor> InferenceEngine::submit(Tensor input) {
   }
 }
 
-void InferenceEngine::worker_loop(std::size_t worker) try {
-  auto& session = *sessions_[worker];
-  MicroBatch batch;
-  while (session.batcher.next(batch)) {
-    obs::ScopedSpan span("serve.batch");
-    span.attr("worker", static_cast<std::int64_t>(worker));
-    span.attr("backend", to_string(session.backend));
-    span.attr("rows", batch.rows());
-    span.attr("requests", static_cast<std::int64_t>(batch.slices.size()));
-    process_batch(session, batch);
-    static auto& depth = obs::Registry::instance().gauge("serve.queue_depth");
-    depth.set(static_cast<double>(queue_.size()));
+void InferenceEngine::worker_loop(std::size_t worker) {
+  // Supervision loop: a session that dies outside the per-batch guard
+  // (batch-assembly allocation failure, injected crash) is salvaged — its
+  // in-flight rows fail, untouched requests go back to the queue — and the
+  // session is respawned, so a crash never strands a future or kills the
+  // worker slot. The loop only returns once the queue is closed and drained.
+  for (;;) {
+    WorkerSession& session = *sessions_[worker];
+    MicroBatch batch;
+    try {
+      while (session.batcher.next(batch)) {
+        if (fault::fire("serve.worker_crash")) {
+          throw fault::WorkerCrashFault("serve.worker_crash");
+        }
+        obs::ScopedSpan span("serve.batch");
+        span.attr("worker", static_cast<std::int64_t>(worker));
+        span.attr("backend", to_string(session.backend));
+        span.attr("rows", batch.rows());
+        span.attr("requests", static_cast<std::int64_t>(batch.slices.size()));
+        process_batch(session, batch);
+        batch = MicroBatch{};  // drop request refs so salvage never re-sees them
+        static auto& depth = obs::Registry::instance().gauge("serve.queue_depth");
+        depth.set(static_cast<double>(queue_.size()));
+      }
+      return;  // closed and drained
+    } catch (...) {
+      obs::Registry::instance().counter("serve.worker_aborted").add();
+      // Everything this worker held when it died: the assembled batch (crash
+      // between batches), requests a failed next() parked as orphans, and
+      // the worker-local carry.
+      std::vector<RequestPtr> held;
+      for (const BatchSlice& slice : batch.slices) held.push_back(slice.request);
+      for (RequestPtr& r : session.batcher.take_orphans()) held.push_back(std::move(r));
+      if (RequestPtr carry = session.batcher.take_carry()) held.push_back(std::move(carry));
+      salvage_requests(held, std::current_exception());
+      try {
+        sessions_[worker] = make_session(session.backend);
+      } catch (...) {
+        // Respawn itself failed (e.g. out of memory building the IP). Give
+        // up this worker slot; the remaining workers keep draining, and the
+        // salvage above already resolved everything this worker held.
+        obs::Registry::instance().counter("serve.worker_lost").add();
+        return;
+      }
+      respawns_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::instance().counter("serve.worker_respawns").add();
+    }
   }
-} catch (...) {
-  // Batch assembly failed outside the per-batch guard (e.g. allocation).
-  // Record it and let the remaining workers keep draining the queue.
-  obs::Registry::instance().counter("serve.worker_aborted").add();
+}
+
+void InferenceEngine::salvage_requests(const std::vector<RequestPtr>& held,
+                                       std::exception_ptr error) {
+  // Dedupe while preserving pop order (a carry is usually also the last
+  // batch slice's request).
+  std::vector<RequestPtr> unique;
+  for (const RequestPtr& r : held) {
+    if (r && std::find(unique.begin(), unique.end(), r) == unique.end()) unique.push_back(r);
+  }
+  // Untouched requests (no output rows delivered) lose nothing by being
+  // re-served; return them to the FRONT of the queue in reverse pop order so
+  // FIFO order survives the crash. Partially delivered requests cannot be
+  // restarted (their early rows already live in a fulfilled batch), so their
+  // futures fail with the crash error.
+  for (auto it = unique.rbegin(); it != unique.rend(); ++it) {
+    RequestPtr& r = *it;
+    const bool completed = r->rows_done == r->input.dim(0);
+    if (completed || r->failed) continue;
+    if (r->rows_done == 0) {
+      queue_.requeue(r);
+    } else {
+      fail_request(*r, error);
+    }
+  }
+}
+
+void InferenceEngine::fail_request(Request& r, std::exception_ptr error) {
+  static auto& failures = obs::Registry::instance().counter("serve.requests_failed");
+  if (r.failed || r.rows_done == r.input.dim(0)) return;
+  r.failed = true;
+  // Counters first: a caller woken by the promise must already see this
+  // failure in stats().
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  failures.add();
+  r.promise.set_exception(error);
+}
+
+Tensor InferenceEngine::run_attempt(WorkerSession& session, const Tensor& input) {
+  if (session.backend == Backend::kCpuFloat) {
+    return session.cpu_ip->run(input);
+  }
+  Tensor output = session.accel->execute(input);
+  sim_cycles_.fetch_add(session.accel->last_cycles(), std::memory_order_relaxed);
+  return output;
+}
+
+void InferenceEngine::fall_back_to_cpu(WorkerSession& session) {
+  static auto& fallbacks = obs::Registry::instance().counter("serve.fallbacks");
+  obs::Registry::instance()
+      .counter(std::string("serve.fallbacks.") + to_string(session.backend))
+      .add();
+  fallbacks.add();
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  hls::MhsaDesignPoint point = config_.point;
+  point.dtype = hls::DataType::kFloat32;
+  session.cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
+  session.accel.reset();
+  session.ddr.reset();
+  session.backend = Backend::kCpuFloat;
+  session.consecutive_device_faults = 0;
+}
+
+Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const Tensor& input) {
+  static auto& retry_latency = obs::Registry::instance().histogram("serve.retry_latency_us");
+  const auto t0 = std::chrono::steady_clock::now();
+  std::int64_t backoff_us = config_.fault.backoff_us;
+  int attempt = 0;
+  for (;;) {
+    try {
+      Tensor output = run_attempt(session, input);
+      session.consecutive_device_faults = 0;
+      if (attempt > 0) {
+        retry_latency.observe(
+            static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count()) /
+            1e3);
+      }
+      return output;
+    } catch (const fault::FaultError& e) {
+      obs::Registry::instance()
+          .counter(std::string("serve.faults_injected.") + to_string(session.backend))
+          .add();
+      if (session.backend != Backend::kCpuFloat && e.transient()) {
+        // The fallback ladder: an FPGA device faulting this persistently is
+        // treated as broken and the session is rebuilt on the CPU datapath.
+        // The demoted session retries immediately (no attempt consumed — the
+        // CPU replica has seen no fault yet).
+        if (config_.fault.fallback_after > 0 &&
+            ++session.consecutive_device_faults >= config_.fault.fallback_after) {
+          fall_back_to_cpu(session);
+          continue;
+        }
+      }
+      if (!e.transient() || attempt >= config_.fault.max_retries) throw;
+      ++attempt;
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      static auto& retries = obs::Registry::instance().counter("serve.retries");
+      retries.add();
+      obs::Registry::instance()
+          .counter(std::string("serve.retries.") + to_string(session.backend))
+          .add();
+      if (backoff_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = std::min<std::int64_t>(
+          static_cast<std::int64_t>(static_cast<double>(backoff_us) *
+                                    config_.fault.backoff_multiplier),
+          config_.fault.max_backoff_us);
+    }
+    // Non-fault exceptions (geometry validation, genuine bad_alloc inside a
+    // kernel, ...) are permanent by definition and propagate to the caller.
+  }
 }
 
 void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
@@ -149,16 +309,39 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(static_cast<std::uint64_t>(batch.rows()), std::memory_order_relaxed);
   try {
-    Tensor output;
-    if (session.backend == Backend::kCpuFloat) {
-      output = session.cpu_ip->run(batch.input);
-    } else {
-      output = session.accel->execute(batch.input);
-      sim_cycles_.fetch_add(session.accel->last_cycles(), std::memory_order_relaxed);
-    }
+    Tensor output = run_with_recovery(session, batch.input);
     finish_rows(batch, output);
   } catch (...) {
-    fail_batch(batch, std::current_exception());
+    if (batch.slices.size() > 1) {
+      // The coalesced batch failed even after retries. Don't fail every
+      // co-batched request collectively — re-run each request's slice alone
+      // so only the ones that fail on their own carry the error.
+      isolate_slices(session, batch);
+    } else {
+      fail_batch(batch, std::current_exception());
+    }
+  }
+}
+
+void InferenceEngine::isolate_slices(WorkerSession& session, MicroBatch& batch) {
+  static auto& isolations = obs::Registry::instance().counter("serve.isolation_runs");
+  isolations.add();
+  const index_t row_floats =
+      config_.point.dim * config_.point.height * config_.point.width;
+  for (const BatchSlice& slice : batch.slices) {
+    if (slice.request->failed) continue;  // earlier batch already delivered an error
+    const index_t n = slice.row_end - slice.row_begin;
+    MicroBatch one;
+    one.input = Tensor(Shape{n, config_.point.dim, config_.point.height, config_.point.width});
+    std::memcpy(one.input.data(), batch.input.data() + slice.batch_row * row_floats,
+                static_cast<std::size_t>(n * row_floats) * sizeof(float));
+    one.slices = {BatchSlice{slice.request, slice.row_begin, slice.row_end, 0}};
+    try {
+      Tensor output = run_with_recovery(session, one.input);
+      finish_rows(one, output);
+    } catch (...) {
+      fail_batch(one, std::current_exception());
+    }
   }
 }
 
@@ -182,26 +365,22 @@ void InferenceEngine::finish_rows(const MicroBatch& batch, const Tensor& output)
         r.output.reshape_inplace(
             Shape{r.output.dim(1), r.output.dim(2), r.output.dim(3)});
       }
-      r.promise.set_value(std::move(r.output));
+      // Counters first: a caller woken by the promise must already see this
+      // completion in stats().
       completed_.fetch_add(1, std::memory_order_relaxed);
       completed.add();
       latency_us.observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - r.enqueued_at)
                              .count()) /
                          1e3);
+      r.promise.set_value(std::move(r.output));
     }
   }
 }
 
 void InferenceEngine::fail_batch(MicroBatch& batch, std::exception_ptr error) {
-  static auto& failures = obs::Registry::instance().counter("serve.requests_failed");
   for (const BatchSlice& slice : batch.slices) {
-    Request& r = *slice.request;
-    if (r.failed) continue;
-    r.failed = true;  // later carried slices of this request are skipped
-    r.promise.set_exception(error);
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    failures.add();
+    fail_request(*slice.request, error);
   }
 }
 
@@ -221,6 +400,9 @@ EngineStats InferenceEngine::stats() const {
   s.failed = failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.rows = rows_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
+  s.respawns = respawns_.load(std::memory_order_relaxed);
   s.sim_cycles = sim_cycles_.load(std::memory_order_relaxed);
   return s;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "nodetr/fault/fault.hpp"
+
 namespace nodetr::serve {
 
 MicroBatcher::MicroBatcher(RequestQueue& queue, BatcherConfig config)
@@ -25,39 +27,71 @@ bool MicroBatcher::next(MicroBatch& out) {
       std::chrono::steady_clock::now() + std::chrono::microseconds(config_.max_wait_us);
 
   std::vector<BatchSlice> slices;
-  index_t rows = 0;
-  for (;;) {
-    const index_t take =
-        std::min(config_.max_batch - rows, current->input.dim(0) - current_row);
-    slices.push_back({current, current_row, current_row + take, rows});
-    rows += take;
-    current_row += take;
-    if (current_row < current->input.dim(0)) {
-      // Batch is full mid-request; the remainder leads this worker's next one.
-      carry_ = std::move(current);
-      carry_row_ = current_row;
-      break;
+  try {
+    index_t rows = 0;
+    for (;;) {
+      const index_t take =
+          std::min(config_.max_batch - rows, current->input.dim(0) - current_row);
+      slices.push_back({current, current_row, current_row + take, rows});
+      rows += take;
+      current_row += take;
+      if (current_row < current->input.dim(0)) {
+        // Batch is full mid-request; the remainder leads this worker's next one.
+        carry_ = std::move(current);
+        carry_row_ = current_row;
+        break;
+      }
+      if (rows >= config_.max_batch) break;
+      RequestPtr nxt = queue_.try_pop();
+      if (!nxt && config_.max_wait_us > 0) nxt = queue_.pop_until(deadline);
+      if (!nxt) break;  // nothing more within the linger window
+      current = std::move(nxt);
+      current_row = 0;
     }
-    if (rows >= config_.max_batch) break;
-    RequestPtr nxt = queue_.try_pop();
-    if (!nxt && config_.max_wait_us > 0) nxt = queue_.pop_until(deadline);
-    if (!nxt) break;  // nothing more within the linger window
-    current = std::move(nxt);
-    current_row = 0;
-  }
 
-  const Shape& s = slices.front().request->input.shape();
-  const index_t row_floats = s.dim(1) * s.dim(2) * s.dim(3);
-  out.input = Tensor(Shape{rows, s.dim(1), s.dim(2), s.dim(3)});
-  for (const BatchSlice& sl : slices) {
-    const float* src = sl.request->input.data() + sl.row_begin * row_floats;
-    float* dst = out.input.data() + sl.batch_row * row_floats;
-    std::memcpy(dst, src,
-                static_cast<std::size_t>((sl.row_end - sl.row_begin) * row_floats) *
-                    sizeof(float));
+    if (fault::fire("serve.alloc")) throw fault::AllocationFault("serve.alloc");
+    const Shape& s = slices.front().request->input.shape();
+    const index_t row_floats = s.dim(1) * s.dim(2) * s.dim(3);
+    out.input = Tensor(Shape{rows, s.dim(1), s.dim(2), s.dim(3)});
+    for (const BatchSlice& sl : slices) {
+      const float* src = sl.request->input.data() + sl.row_begin * row_floats;
+      float* dst = out.input.data() + sl.batch_row * row_floats;
+      std::memcpy(dst, src,
+                  static_cast<std::size_t>((sl.row_end - sl.row_begin) * row_floats) *
+                      sizeof(float));
+    }
+    out.slices = std::move(slices);
+    return true;
+  } catch (...) {
+    // Park every request this call popped (slices, the one in hand, and any
+    // carry it created) so the supervisor can requeue or fail them — a lost
+    // request would mean a future that never resolves.
+    for (BatchSlice& sl : slices) {
+      if (orphans_.empty() || orphans_.back() != sl.request) {
+        orphans_.push_back(std::move(sl.request));
+      }
+    }
+    if (current && (orphans_.empty() || orphans_.back() != current)) {
+      orphans_.push_back(std::move(current));
+    }
+    if (carry_ && (orphans_.empty() || orphans_.back() != carry_)) {
+      orphans_.push_back(std::move(carry_));
+    }
+    carry_.reset();
+    carry_row_ = 0;
+    throw;
   }
-  out.slices = std::move(slices);
-  return true;
+}
+
+std::vector<RequestPtr> MicroBatcher::take_orphans() {
+  std::vector<RequestPtr> out = std::move(orphans_);
+  orphans_.clear();
+  return out;
+}
+
+RequestPtr MicroBatcher::take_carry() {
+  carry_row_ = 0;
+  return std::move(carry_);
 }
 
 std::vector<std::vector<MicroBatcher::PlanSlice>> MicroBatcher::plan(

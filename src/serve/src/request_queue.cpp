@@ -41,6 +41,14 @@ RequestPtr RequestQueue::try_pop() {
   return r;
 }
 
+void RequestQueue::requeue(RequestPtr r) {
+  {
+    std::lock_guard lk(mu_);
+    items_.push_front(std::move(r));
+  }
+  cv_items_.notify_one();
+}
+
 RequestPtr RequestQueue::pop_until(std::chrono::steady_clock::time_point deadline) {
   std::unique_lock lk(mu_);
   if (!cv_items_.wait_until(lk, deadline, [&] { return closed_ || !items_.empty(); })) {

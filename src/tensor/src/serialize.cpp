@@ -2,13 +2,30 @@
 
 #include <cstdint>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
 namespace nodetr::tensor {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x4e445431;  // "NDT1"
+
+/// Bytes left between the stream's current position and its end, or -1 when
+/// the stream is unseekable (pipes). Restores the read position.
+std::int64_t stream_remaining(std::istream& is) {
+  const std::istream::pos_type pos = is.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  is.seekg(0, std::ios::end);
+  const std::istream::pos_type end = is.tellg();
+  is.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !is) {
+    is.clear();
+    is.seekg(pos);
+    return -1;
+  }
+  return static_cast<std::int64_t>(end - pos);
 }
+}  // namespace
 
 void write_tensor(std::ostream& os, const Tensor& t) {
   const std::uint32_t magic = kMagic;
@@ -31,16 +48,36 @@ Tensor read_tensor(std::istream& is) {
   std::uint32_t rank = 0;
   is.read(reinterpret_cast<char*>(&rank), sizeof rank);
   if (!is || rank > 8) throw std::runtime_error("read_tensor: bad rank");
+  // Validate the header before allocating anything: extents must be
+  // non-negative, their product must not overflow, and the payload they
+  // imply must fit in what is actually left of the stream — a corrupt
+  // header must produce a typed error, never a wild multi-GB allocation.
+  constexpr std::int64_t kMaxBytes = std::numeric_limits<std::int64_t>::max();
   std::vector<index_t> dims(rank);
+  std::int64_t numel = 1;
   for (auto& d : dims) {
     std::int64_t e = 0;
     is.read(reinterpret_cast<char*>(&e), sizeof e);
     if (!is || e < 0) throw std::runtime_error("read_tensor: bad extent");
+    if (e > 0 && numel > kMaxBytes / e) {
+      throw std::runtime_error("read_tensor: extent overflow");
+    }
+    numel *= e;
     d = e;
+  }
+  if (numel > kMaxBytes / static_cast<std::int64_t>(sizeof(float))) {
+    throw std::runtime_error("read_tensor: extent overflow");
+  }
+  const std::int64_t payload_bytes = numel * static_cast<std::int64_t>(sizeof(float));
+  const std::int64_t remaining = stream_remaining(is);
+  if (remaining >= 0 && payload_bytes > remaining) {
+    throw std::runtime_error("read_tensor: truncated payload (header promises " +
+                             std::to_string(payload_bytes) + " bytes, " +
+                             std::to_string(remaining) + " remain)");
   }
   Tensor t{Shape(dims)};
   is.read(reinterpret_cast<char*>(t.data()),
-          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+          static_cast<std::streamsize>(payload_bytes));
   if (!is) throw std::runtime_error("read_tensor: truncated payload");
   return t;
 }

@@ -1,17 +1,42 @@
 // Model checkpointing: parameters are saved/loaded in traversal order.
+//
+// Both directions are transactional:
+//   - save_checkpoint writes to "<path>.tmp" and renames it over `path` only
+//     after every byte is flushed, so a crash mid-save leaves the previous
+//     checkpoint intact (rename is atomic on POSIX filesystems);
+//   - load_checkpoint stages every tensor and validates the whole container
+//     (magic, version, counts, shapes, no trailing bytes) before touching
+//     the model, so a corrupt or truncated file never leaves the model
+//     half-loaded.
+//
+// Container layout (little-endian):
+//   u32 magic "NDCK" | u32 version | u64 pcount | u64 bcount |
+//   pcount + bcount tensor records (see nodetr::tensor::write_tensor)
 #pragma once
 
+#include <stdexcept>
 #include <string>
 
 #include "nodetr/nn/module.hpp"
 
 namespace nodetr::train {
 
-/// Save every parameter of `model` (depth-first order) to a binary file.
+/// Raised for any malformed, truncated, or mismatched checkpoint. Derives
+/// from std::runtime_error so pre-existing catch sites keep working.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Save every parameter and buffer of `model` (depth-first order) to a
+/// binary file, atomically: the file at `path` is either the previous
+/// checkpoint or the complete new one, never a torn write.
 void save_checkpoint(const std::string& path, nodetr::nn::Module& model);
 
-/// Load parameters saved by save_checkpoint into an identically structured
-/// model. Throws on count/shape mismatch.
+/// Load a checkpoint saved by save_checkpoint into an identically
+/// structured model. Throws CheckpointError on bad magic/version,
+/// count/shape mismatch, truncation, or trailing bytes — and in every
+/// failure case the model is left exactly as it was.
 void load_checkpoint(const std::string& path, nodetr::nn::Module& model);
 
 }  // namespace nodetr::train

@@ -1,54 +1,110 @@
 #include "nodetr/train/checkpoint.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
-#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "nodetr/tensor/serialize.hpp"
 
 namespace nodetr::train {
 
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x4b43444e;  // "NDCK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
 void save_checkpoint(const std::string& path, nodetr::nn::Module& model) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  const auto params = model.parameters();
-  const auto buffers = model.buffers();
-  const std::uint64_t pcount = params.size();
-  const std::uint64_t bcount = buffers.size();
-  os.write(reinterpret_cast<const char*>(&pcount), sizeof pcount);
-  os.write(reinterpret_cast<const char*>(&bcount), sizeof bcount);
-  for (const auto* p : params) nodetr::tensor::write_tensor(os, p->value);
-  for (const auto* b : buffers) nodetr::tensor::write_tensor(os, *b);
+  // Write the whole container to a sibling temp file and rename it into
+  // place only once it is complete: a crash (or injected fault) mid-save
+  // must leave any previous checkpoint at `path` loadable.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw CheckpointError("save_checkpoint: cannot open " + tmp);
+    const auto params = model.parameters();
+    const auto buffers = model.buffers();
+    const std::uint32_t magic = kCheckpointMagic;
+    const std::uint32_t version = kCheckpointVersion;
+    const std::uint64_t pcount = params.size();
+    const std::uint64_t bcount = buffers.size();
+    os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+    os.write(reinterpret_cast<const char*>(&version), sizeof version);
+    os.write(reinterpret_cast<const char*>(&pcount), sizeof pcount);
+    os.write(reinterpret_cast<const char*>(&bcount), sizeof bcount);
+    for (const auto* p : params) nodetr::tensor::write_tensor(os, p->value);
+    for (const auto* b : buffers) nodetr::tensor::write_tensor(os, *b);
+    os.flush();
+    if (!os) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw CheckpointError("save_checkpoint: write failed for " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw CheckpointError("save_checkpoint: cannot rename " + tmp + " -> " + path);
+  }
 }
 
 void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  if (!is) throw CheckpointError("load_checkpoint: cannot open " + path);
+  std::uint32_t magic = 0, version = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (!is || magic != kCheckpointMagic) {
+    throw CheckpointError("load_checkpoint: bad magic in " + path);
+  }
+  is.read(reinterpret_cast<char*>(&version), sizeof version);
+  if (!is || version != kCheckpointVersion) {
+    throw CheckpointError("load_checkpoint: unsupported version " + std::to_string(version));
+  }
   std::uint64_t pcount = 0, bcount = 0;
   is.read(reinterpret_cast<char*>(&pcount), sizeof pcount);
   is.read(reinterpret_cast<char*>(&bcount), sizeof bcount);
+  if (!is) throw CheckpointError("load_checkpoint: truncated header in " + path);
   auto params = model.parameters();
   auto buffers = model.buffers();
   if (pcount != params.size() || bcount != buffers.size()) {
-    throw std::runtime_error("load_checkpoint: parameter/buffer count mismatch (file " +
-                             std::to_string(pcount) + "/" + std::to_string(bcount) +
-                             ", model " + std::to_string(params.size()) + "/" +
-                             std::to_string(buffers.size()) + ")");
+    throw CheckpointError("load_checkpoint: parameter/buffer count mismatch (file " +
+                          std::to_string(pcount) + "/" + std::to_string(bcount) + ", model " +
+                          std::to_string(params.size()) + "/" + std::to_string(buffers.size()) +
+                          ")");
   }
-  for (auto* p : params) {
-    nodetr::tensor::Tensor t = nodetr::tensor::read_tensor(is);
-    if (!(t.shape() == p->value.shape())) {
-      throw std::runtime_error("load_checkpoint: shape mismatch for " + p->name);
+  // Stage -> validate -> commit: no model tensor is touched until the whole
+  // file has deserialized and every shape matched, so a corrupt checkpoint
+  // leaves the model exactly as it was.
+  std::vector<nodetr::tensor::Tensor> staged_params, staged_buffers;
+  staged_params.reserve(params.size());
+  staged_buffers.reserve(buffers.size());
+  try {
+    for (auto* p : params) {
+      nodetr::tensor::Tensor t = nodetr::tensor::read_tensor(is);
+      if (!(t.shape() == p->value.shape())) {
+        throw CheckpointError("load_checkpoint: shape mismatch for " + p->name);
+      }
+      staged_params.push_back(std::move(t));
     }
-    p->value = std::move(t);
-  }
-  for (auto* b : buffers) {
-    nodetr::tensor::Tensor t = nodetr::tensor::read_tensor(is);
-    if (!(t.shape() == b->shape())) {
-      throw std::runtime_error("load_checkpoint: buffer shape mismatch");
+    for (auto* b : buffers) {
+      nodetr::tensor::Tensor t = nodetr::tensor::read_tensor(is);
+      if (!(t.shape() == b->shape())) {
+        throw CheckpointError("load_checkpoint: buffer shape mismatch");
+      }
+      staged_buffers.push_back(std::move(t));
     }
-    *b = std::move(t);
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // read_tensor throws std::runtime_error; re-type it so callers see one
+    // error family for every corruption mode.
+    throw CheckpointError(std::string("load_checkpoint: ") + e.what());
   }
+  if (is.peek() != std::char_traits<char>::eof()) {
+    throw CheckpointError("load_checkpoint: trailing bytes after last tensor in " + path);
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = std::move(staged_params[i]);
+  for (std::size_t i = 0; i < buffers.size(); ++i) *buffers[i] = std::move(staged_buffers[i]);
 }
 
 }  // namespace nodetr::train

@@ -1,0 +1,88 @@
+// Shared scaffolding for the fault-injection suite: every test runs with a
+// clean Injector, a deterministic seed (overridable via NODETR_FAULT_SEED for
+// replaying CI failures), and the seed is printed whenever a test fails so
+// the exact fault schedule can be reproduced.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+
+#include "nodetr/fault/fault.hpp"
+#include "nodetr/nn/attention.hpp"
+#include "nodetr/serve/serve.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace nodetr::testing {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto& inj = fault::Injector::instance();
+    inj.reset();
+    seed_ = 0x5eedf417u;
+    if (const char* env = std::getenv("NODETR_FAULT_SEED")) {
+      seed_ = std::strtoull(env, nullptr, 0);
+    }
+    inj.seed(seed_);
+  }
+
+  void TearDown() override {
+    fault::Injector::instance().reset();
+    if (HasFailure()) {
+      std::cerr << "[fault] replay with NODETR_FAULT_SEED=" << seed_ << std::endl;
+    }
+  }
+
+  std::uint64_t seed_ = 0;
+};
+
+/// Small MHSA design point + engine factory shared by the serving scenarios.
+class ServeFaultTest : public FaultTest {
+ protected:
+  void SetUp() override {
+    FaultTest::SetUp();
+    cfg_.dim = 16;
+    cfg_.heads = 2;
+    cfg_.height = 4;
+    cfg_.width = 4;
+    mhsa_ = std::make_unique<nn::MultiHeadSelfAttention>(cfg_, rng_);
+    mhsa_->train(false);
+    point_.dim = cfg_.dim;
+    point_.height = cfg_.height;
+    point_.width = cfg_.width;
+    point_.heads = cfg_.heads;
+    point_.scheme = fx::scheme_32_24();
+  }
+
+  [[nodiscard]] hls::MhsaWeights weights() { return hls::MhsaWeights::from_module(*mhsa_); }
+
+  [[nodiscard]] serve::EngineConfig config(serve::Backend backend, std::size_t workers = 1) {
+    serve::EngineConfig c;
+    c.point = point_;
+    c.backend = backend;
+    c.workers = workers;
+    c.queue_capacity = 64;
+    // Tight backoff keeps the suite fast while still exercising the policy.
+    c.fault.backoff_us = 10;
+    c.fault.max_backoff_us = 100;
+    return c;
+  }
+
+  /// Fault-free reference: the float IP datapath run in-process. Both float
+  /// backends (and the CPU fallback) must match this bitwise.
+  [[nodiscard]] tensor::Tensor reference(const tensor::Tensor& x) {
+    hls::MhsaDesignPoint p = point_;
+    p.dtype = hls::DataType::kFloat32;
+    hls::MhsaIpCore ip(p, weights());
+    return ip.run(x);
+  }
+
+  tensor::Rng rng_{7};
+  nn::MhsaConfig cfg_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> mhsa_;
+  hls::MhsaDesignPoint point_;
+};
+
+}  // namespace nodetr::testing

@@ -1,0 +1,194 @@
+// Crash-safety and corruption corpus for the transactional checkpoint path:
+// a checkpoint file is either the complete previous save or the complete new
+// one, and a corrupt file never half-loads into (or mutates) a model.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "nodetr/nn/activations.hpp"
+#include "nodetr/nn/conv_layers.hpp"
+#include "nodetr/nn/linear.hpp"
+#include "nodetr/nn/pool.hpp"
+#include "nodetr/nn/sequential.hpp"
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/serialize.hpp"
+#include "nodetr/train/checkpoint.hpp"
+
+namespace fs = std::filesystem;
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+namespace tr = nodetr::train;
+
+namespace {
+
+std::unique_ptr<nn::Sequential> tiny_net(nt::Rng& rng) {
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Conv2d>(3, 8, 3, 2, 1, true, rng);
+  net->emplace<nn::ReLU>();
+  net->emplace<nn::GlobalAvgPool>();
+  net->emplace<nn::Linear>(8, 4, true, rng);
+  net->train(false);
+  return net;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Snapshot of every parameter tensor, for "model unmutated" assertions.
+std::vector<nt::Tensor> snapshot(nn::Module& m) {
+  std::vector<nt::Tensor> out;
+  for (auto* p : m.parameters()) out.push_back(p->value);
+  return out;
+}
+
+bool matches(nn::Module& m, const std::vector<nt::Tensor>& snap) {
+  const auto params = m.parameters();
+  if (params.size() != snap.size()) return false;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (nt::max_abs_diff(params[i]->value, snap[i]) != 0.0f) return false;
+  }
+  return true;
+}
+
+struct CheckpointCorpus : ::testing::Test {
+  nt::Rng rng{31};
+  std::unique_ptr<nn::Sequential> net = tiny_net(rng);
+  std::string path = ::testing::TempDir() + "/nodetr_fault_ckpt.bin";
+
+  void SetUp() override { tr::save_checkpoint(path, *net); }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove(path, ec);
+    fs::remove(path + ".tmp", ec);
+  }
+};
+
+}  // namespace
+
+TEST_F(CheckpointCorpus, SaveLeavesNoTempFileBehind) {
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST_F(CheckpointCorpus, WrongMagicRejected) {
+  auto bytes = slurp(path);
+  bytes[0] = 'X';
+  spit(path, bytes);
+  const auto snap = snapshot(*net);
+  EXPECT_THROW(tr::load_checkpoint(path, *net), tr::CheckpointError);
+  EXPECT_TRUE(matches(*net, snap));
+}
+
+TEST_F(CheckpointCorpus, UnsupportedVersionRejected) {
+  auto bytes = slurp(path);
+  bytes[4] = 99;  // version word follows the 4-byte magic
+  spit(path, bytes);
+  EXPECT_THROW(tr::load_checkpoint(path, *net), tr::CheckpointError);
+}
+
+TEST_F(CheckpointCorpus, TruncationAtEveryStructuralOffsetRejected) {
+  const auto bytes = slurp(path);
+  // Chop the file at the header, mid-counts, mid-tensor-header, and
+  // mid-payload; every prefix must be rejected and leave the model alone.
+  const std::vector<std::size_t> cuts = {2,  6,  12, 20,  // container header
+                                         30, 45, bytes.size() / 2, bytes.size() - 1};
+  const auto snap = snapshot(*net);
+  for (std::size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    spit(path, std::vector<char>(bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut)));
+    EXPECT_THROW(tr::load_checkpoint(path, *net), tr::CheckpointError) << "cut at " << cut;
+    EXPECT_TRUE(matches(*net, snap)) << "model mutated by truncated load (cut " << cut << ")";
+  }
+}
+
+TEST_F(CheckpointCorpus, OversizedExtentRejectedWithoutWildAllocation) {
+  // Corrupt the first tensor record's first extent to a huge value. The
+  // loader must reject it from the remaining-stream bound instead of trying
+  // to allocate exabytes (the pre-hardening behaviour).
+  auto bytes = slurp(path);
+  // Layout: 4 magic + 4 version + 8 pcount + 8 bcount, then the first tensor
+  // record: 4 magic + 4 rank + extents.
+  const std::size_t extent_off = 24 + 8;
+  ASSERT_LE(extent_off + 8, bytes.size());
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max() / 2;
+  std::memcpy(bytes.data() + extent_off, &huge, sizeof huge);
+  spit(path, bytes);
+  const auto snap = snapshot(*net);
+  EXPECT_THROW(tr::load_checkpoint(path, *net), tr::CheckpointError);
+  EXPECT_TRUE(matches(*net, snap));
+}
+
+TEST_F(CheckpointCorpus, TrailingBytesRejected) {
+  auto bytes = slurp(path);
+  bytes.push_back('!');
+  spit(path, bytes);
+  const auto snap = snapshot(*net);
+  EXPECT_THROW(tr::load_checkpoint(path, *net), tr::CheckpointError);
+  EXPECT_TRUE(matches(*net, snap));
+}
+
+TEST_F(CheckpointCorpus, CrashMidSaveLeavesPreviousCheckpointLoadable) {
+  // Simulate a kill -9 mid-save: a truncated .tmp file next to the real
+  // checkpoint. The committed checkpoint must still load, and the stale temp
+  // must not be picked up.
+  const auto bytes = slurp(path);
+  spit(path + ".tmp", std::vector<char>(bytes.begin(), bytes.begin() + 10));
+  for (auto* p : net->parameters()) p->value += 1.0f;
+  const auto x = rng.randn(nt::Shape{1, 3, 8, 8});
+  tr::load_checkpoint(path, *net);
+  const auto restored = net->forward(x);
+  // Reload is still idempotent with the stale temp present.
+  tr::load_checkpoint(path, *net);
+  EXPECT_EQ(nt::max_abs_diff(net->forward(x), restored), 0.0f);
+}
+
+TEST_F(CheckpointCorpus, CountMismatchRejectedBeforeAnyStaging) {
+  nn::Sequential other;
+  other.emplace<nn::Linear>(4, 2, true, rng);
+  EXPECT_THROW(tr::load_checkpoint(path, other), tr::CheckpointError);
+}
+
+TEST_F(CheckpointCorpus, ReadTensorRejectsExtentProductOverflow) {
+  // Direct serialize-layer probe: two extents whose product overflows
+  // int64 must be caught by the checked multiply, not wrap to a small
+  // "plausible" allocation.
+  const std::string tpath = ::testing::TempDir() + "/nodetr_fault_tensor.bin";
+  std::ofstream os(tpath, std::ios::binary | std::ios::trunc);
+  const std::uint32_t magic = 0x4e445431;  // "NDT1"
+  const std::uint32_t rank = 2;
+  const std::int64_t e0 = std::numeric_limits<std::int64_t>::max() / 2;
+  const std::int64_t e1 = 8;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  os.write(reinterpret_cast<const char*>(&rank), sizeof rank);
+  os.write(reinterpret_cast<const char*>(&e0), sizeof e0);
+  os.write(reinterpret_cast<const char*>(&e1), sizeof e1);
+  os.close();
+  std::ifstream is(tpath, std::ios::binary);
+  EXPECT_THROW((void)nt::read_tensor(is), std::runtime_error);
+  std::error_code ec;
+  fs::remove(tpath, ec);
+}
+
+TEST_F(CheckpointCorpus, SaveOverwritesAtomically) {
+  // A second save over an existing checkpoint must leave a loadable file
+  // with the *new* parameters.
+  for (auto* p : net->parameters()) p->value += 0.5f;
+  tr::save_checkpoint(path, *net);
+  const auto snap = snapshot(*net);
+  for (auto* p : net->parameters()) p->value += -2.0f;
+  tr::load_checkpoint(path, *net);
+  EXPECT_TRUE(matches(*net, snap));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}

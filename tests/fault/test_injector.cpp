@@ -1,0 +1,115 @@
+// nodetr::fault::Injector semantics: schedules, determinism, and the
+// zero-cost dormant path.
+#include "fault_fixture.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace fault = nodetr::fault;
+using nodetr::testing::FaultTest;
+
+TEST_F(FaultTest, DormantSiteNeverFires) {
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(fault::fire("test.dormant"));
+  }
+  EXPECT_FALSE(fault::Injector::instance().armed());
+}
+
+TEST_F(FaultTest, OnceFiresAtExactlyTheRequestedOp) {
+  auto& inj = fault::Injector::instance();
+  inj.arm("test.once", fault::Schedule::once(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(fault::fire("test.once"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, false, false, false, false}));
+  EXPECT_EQ(inj.ops("test.once"), 8u);
+  EXPECT_EQ(inj.fires("test.once"), 1u);
+}
+
+TEST_F(FaultTest, AtOpsAndWindowCombine) {
+  auto& inj = fault::Injector::instance();
+  fault::Schedule s = fault::Schedule::at_ops({0, 5});
+  s.first = 2;
+  s.last = 4;  // ops 2 and 3
+  inj.arm("test.combo", s);
+  std::vector<int> hits;
+  for (int i = 0; i < 8; ++i) {
+    if (fault::fire("test.combo")) hits.push_back(i);
+  }
+  EXPECT_EQ(hits, (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST_F(FaultTest, MaxFiresCapsAnAlwaysSchedule) {
+  auto& inj = fault::Injector::instance();
+  inj.arm("test.capped", fault::Schedule::always(/*max_fires=*/2));
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) fires += fault::fire("test.capped") ? 1 : 0;
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(inj.fires("test.capped"), 2u);
+}
+
+TEST_F(FaultTest, ProbabilityScheduleIsDeterministicPerSeed) {
+  auto& inj = fault::Injector::instance();
+  auto pattern = [&](std::uint64_t seed) {
+    inj.reset();
+    inj.seed(seed);
+    inj.arm("test.prob", fault::Schedule::with_probability(0.3));
+    std::vector<bool> p;
+    for (int i = 0; i < 256; ++i) p.push_back(fault::fire("test.prob"));
+    return p;
+  };
+  const auto a = pattern(42);
+  const auto b = pattern(42);
+  const auto c = pattern(43);
+  EXPECT_EQ(a, b) << "same seed must replay the same fault pattern";
+  EXPECT_NE(a, c) << "different seeds must decorrelate";
+  // Sanity: a 0.3 Bernoulli over 256 draws fires somewhere in (0, 256).
+  const auto fires = static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 256u);
+}
+
+TEST_F(FaultTest, SitesDeriveIndependentStreams) {
+  auto& inj = fault::Injector::instance();
+  inj.arm("test.stream_a", fault::Schedule::with_probability(0.5));
+  inj.arm("test.stream_b", fault::Schedule::with_probability(0.5));
+  std::vector<bool> a, b;
+  for (int i = 0; i < 128; ++i) {
+    a.push_back(fault::fire("test.stream_a"));
+    b.push_back(fault::fire("test.stream_b"));
+  }
+  EXPECT_NE(a, b) << "two sites with the same schedule must not be correlated";
+}
+
+TEST_F(FaultTest, DisarmAndResetSilenceSites) {
+  auto& inj = fault::Injector::instance();
+  inj.arm("test.quiet", fault::Schedule::always());
+  EXPECT_TRUE(fault::fire("test.quiet"));
+  inj.disarm("test.quiet");
+  EXPECT_FALSE(fault::fire("test.quiet"));
+  inj.arm("test.quiet", fault::Schedule::always());
+  inj.reset();
+  EXPECT_FALSE(fault::fire("test.quiet"));
+  EXPECT_FALSE(inj.armed());
+}
+
+TEST_F(FaultTest, RearmResetsCounters) {
+  auto& inj = fault::Injector::instance();
+  inj.arm("test.rearm", fault::Schedule::once(0));
+  EXPECT_TRUE(fault::fire("test.rearm"));
+  EXPECT_FALSE(fault::fire("test.rearm"));
+  inj.arm("test.rearm", fault::Schedule::once(0));  // op counter back to 0
+  EXPECT_TRUE(fault::fire("test.rearm"));
+}
+
+TEST_F(FaultTest, IsTransientClassifiesTheTaxonomy) {
+  auto as_ptr = [](auto&& e) { return std::make_exception_ptr(std::forward<decltype(e)>(e)); };
+  EXPECT_TRUE(fault::is_transient(as_ptr(fault::DmaTransferError("s"))));
+  EXPECT_TRUE(fault::is_transient(as_ptr(fault::DdrEccError("s"))));
+  EXPECT_TRUE(fault::is_transient(as_ptr(fault::AxiNackError("s"))));
+  EXPECT_TRUE(fault::is_transient(as_ptr(fault::IpStallFault("s"))));
+  EXPECT_TRUE(fault::is_transient(as_ptr(fault::FixedOverflowFault("s"))));
+  EXPECT_TRUE(fault::is_transient(as_ptr(fault::AllocationFault("s"))));
+  EXPECT_TRUE(fault::is_transient(as_ptr(fault::DeadlineExceeded("s", "late"))));
+  EXPECT_FALSE(fault::is_transient(as_ptr(fault::WorkerCrashFault("s"))));
+  EXPECT_FALSE(fault::is_transient(as_ptr(std::runtime_error("not a fault"))));
+}

@@ -1,0 +1,229 @@
+// Deterministic fault schedules against the accelerator driver and the
+// serving engine. The invariant under test everywhere: every accepted
+// request resolves — with a value or a typed exception — in bounded time,
+// no matter what the schedule injects.
+#include "fault_fixture.hpp"
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "nodetr/rt/accelerator.hpp"
+
+namespace fault = nodetr::fault;
+namespace serve = nodetr::serve;
+namespace hls = nodetr::hls;
+namespace rt = nodetr::rt;
+namespace nt = nodetr::tensor;
+using nodetr::testing::ServeFaultTest;
+
+namespace {
+
+/// All futures must become ready within `budget`; a hung future fails the
+/// test instead of hanging the suite.
+template <typename T>
+bool all_ready_within(std::vector<std::future<T>>& futures, std::chrono::seconds budget) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  for (auto& f : futures) {
+    if (f.wait_until(deadline) != std::future_status::ready) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- accelerator ----
+
+TEST_F(ServeFaultTest, StalledIpHitsDeadlineThenRecovers) {
+  hls::MhsaDesignPoint p = point_;
+  p.dtype = hls::DataType::kFloat32;
+  rt::DdrMemory ddr;
+  rt::MhsaAccelerator accel(std::make_unique<hls::MhsaIpCore>(p, weights()), ddr);
+  rt::ExecDeadline deadline;
+  deadline.sim_cycles = 123'456;
+  accel.set_deadline(deadline);
+
+  fault::Injector::instance().arm("hls.ip.stall", fault::Schedule::once(0));
+  const nt::Tensor x = rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width});
+  EXPECT_THROW((void)accel.execute(x), fault::DeadlineExceeded);
+  // The PS burnt the whole polling budget waiting on a DONE that never rose.
+  EXPECT_EQ(accel.last_cycles(), deadline.sim_cycles);
+
+  // The stall was a one-shot: re-issuing the START succeeds bitwise.
+  const nt::Tensor y = accel.execute(x);
+  EXPECT_EQ(nt::max_abs_diff(y, reference(x)), 0.0f);
+}
+
+TEST_F(ServeFaultTest, DdrBitFlipIsDetectedAndRetryConverges) {
+  hls::MhsaDesignPoint p = point_;
+  p.dtype = hls::DataType::kFloat32;
+  rt::DdrMemory ddr;
+  rt::MhsaAccelerator accel(std::make_unique<hls::MhsaIpCore>(p, weights()), ddr);
+
+  fault::Injector::instance().arm("rt.ddr.bitflip", fault::Schedule::once(0));
+  const nt::Tensor x = rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width});
+  EXPECT_THROW((void)accel.execute(x), fault::DdrEccError);
+  // The retry restages everything, so the flipped bit cannot leak into the
+  // output: the result is bitwise the fault-free one.
+  const nt::Tensor y = accel.execute(x);
+  EXPECT_EQ(nt::max_abs_diff(y, reference(x)), 0.0f);
+}
+
+// --------------------------------------------------------------- engine ----
+
+TEST_F(ServeFaultTest, DmaErrorIsRetriedTransparently) {
+  fault::Injector::instance().arm("rt.dma.error", fault::Schedule::once(0));
+  serve::InferenceEngine engine(config(serve::Backend::kFpgaFloat), weights());
+  const nt::Tensor x = rng_.rand(nt::Shape{2, point_.dim, point_.height, point_.width});
+  auto future = engine.submit(x);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  const nt::Tensor y = future.get();
+  EXPECT_EQ(nt::max_abs_diff(y, reference(x)), 0.0f);
+  const auto stats = engine.stats();
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.fallbacks, 0u);
+}
+
+TEST_F(ServeFaultTest, ExhaustedRetriesFailTheFutureWithTypedError) {
+  fault::Injector::instance().arm("rt.dma.error", fault::Schedule::always());
+  serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat);
+  cfg.fault.max_retries = 2;
+  cfg.fault.fallback_after = 0;  // fallback ladder off: the error must surface
+  serve::InferenceEngine engine(cfg, weights());
+  auto future = engine.submit(rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width}));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_THROW((void)future.get(), fault::DmaTransferError);
+  EXPECT_EQ(engine.stats().retries, 2u);
+  EXPECT_EQ(engine.stats().failed, 1u);
+}
+
+TEST_F(ServeFaultTest, PersistentDeviceFaultFallsBackToCpu) {
+  fault::Injector::instance().arm("rt.dma.error", fault::Schedule::always());
+  serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat);
+  cfg.fault.max_retries = 8;
+  cfg.fault.fallback_after = 3;
+  serve::InferenceEngine engine(cfg, weights());
+  const nt::Tensor x = rng_.rand(nt::Shape{2, point_.dim, point_.height, point_.width});
+  auto f0 = engine.submit(x);
+  ASSERT_EQ(f0.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  // The demoted session runs the float datapath in-process: bitwise results.
+  EXPECT_EQ(nt::max_abs_diff(f0.get(), reference(x)), 0.0f);
+  EXPECT_EQ(engine.stats().fallbacks, 1u);
+  EXPECT_EQ(engine.stats().failed, 0u);
+  // The session stays demoted: later requests never touch the dead device.
+  auto f1 = engine.submit(x);
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(nt::max_abs_diff(f1.get(), reference(x)), 0.0f);
+  EXPECT_EQ(engine.stats().fallbacks, 1u);
+}
+
+TEST_F(ServeFaultTest, WorkerCrashStrandsNoFuture) {
+  fault::Injector::instance().arm("serve.worker_crash", fault::Schedule::once(0));
+  serve::InferenceEngine engine(config(serve::Backend::kCpuFloat), weights());
+  std::vector<std::future<nt::Tensor>> futures;
+  std::vector<nt::Tensor> inputs;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width}));
+    futures.push_back(engine.submit(inputs.back()));
+  }
+  ASSERT_TRUE(all_ready_within(futures, std::chrono::seconds(30)));
+  // The crash hit between batches, so every request was untouched and got
+  // requeued: all futures carry values, and the worker was respawned.
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(nt::max_abs_diff(futures[i].get(), reference(inputs[i])), 0.0f) << "request " << i;
+  }
+  EXPECT_GE(engine.stats().respawns, 1u);
+  EXPECT_EQ(engine.stats().failed, 0u);
+}
+
+TEST_F(ServeFaultTest, BatchAllocationFailureRequeuesEveryRequest) {
+  fault::Injector::instance().arm("serve.alloc", fault::Schedule::once(0));
+  serve::InferenceEngine engine(config(serve::Backend::kCpuFloat), weights());
+  std::vector<std::future<nt::Tensor>> futures;
+  std::vector<nt::Tensor> inputs;
+  for (int i = 0; i < 4; ++i) {
+    inputs.push_back(rng_.rand(nt::Shape{2, point_.dim, point_.height, point_.width}));
+    futures.push_back(engine.submit(inputs[i]));
+  }
+  ASSERT_TRUE(all_ready_within(futures, std::chrono::seconds(30)));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(nt::max_abs_diff(futures[i].get(), reference(inputs[i])), 0.0f) << "request " << i;
+  }
+  EXPECT_GE(engine.stats().respawns, 1u);
+  EXPECT_EQ(engine.stats().failed, 0u);
+}
+
+TEST_F(ServeFaultTest, FixedOverflowEventRetriesOnTheFixedBackend) {
+  fault::Injector::instance().arm("hls.ip.overflow", fault::Schedule::once(0));
+  serve::InferenceEngine engine(config(serve::Backend::kFpgaFixed), weights());
+  const nt::Tensor x = rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width});
+  auto future = engine.submit(x);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_NO_THROW((void)future.get());
+  EXPECT_GE(engine.stats().retries, 1u);
+  EXPECT_EQ(engine.stats().failed, 0u);
+}
+
+TEST_F(ServeFaultTest, MixedProbabilisticScheduleResolvesEverythingBounded) {
+  // The storm: every device-path site misbehaving at once, probabilistically,
+  // on a deterministic seed. With retries + fallback armed, every future must
+  // resolve with a value, bitwise equal to the fault-free reference.
+  // References are computed BEFORE arming — the reference path runs the same
+  // instrumented IP model and must stay fault-free.
+  std::vector<nt::Tensor> inputs, expected;
+  for (int i = 0; i < 16; ++i) {
+    inputs.push_back(rng_.rand(nt::Shape{1 + (i % 3), point_.dim, point_.height, point_.width}));
+    expected.push_back(reference(inputs[i]));
+  }
+  auto& inj = fault::Injector::instance();
+  inj.arm("rt.dma.error", fault::Schedule::with_probability(0.10));
+  inj.arm("rt.ddr.bitflip", fault::Schedule::with_probability(0.05));
+  inj.arm("rt.axi.nack", fault::Schedule::with_probability(0.02));
+  inj.arm("hls.ip.stall", fault::Schedule::with_probability(0.05));
+  serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat, /*workers=*/2);
+  cfg.fault.max_retries = 6;
+  cfg.fault.fallback_after = 16;
+  cfg.fault.deadline.sim_cycles = 1'000'000;
+  serve::InferenceEngine engine(cfg, weights());
+  std::vector<std::future<nt::Tensor>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(engine.submit(inputs[i]));
+  ASSERT_TRUE(all_ready_within(futures, std::chrono::seconds(60)))
+      << "a future failed to resolve under the fault storm (bounded completion violated)";
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    nt::Tensor y;
+    try {
+      y = futures[i].get();
+    } catch (const fault::FaultError&) {
+      // Acceptable only as a typed fault after exhausted retries.
+      continue;
+    }
+    EXPECT_EQ(nt::max_abs_diff(y, expected[i]), 0.0f) << "request " << i;
+  }
+  engine.shutdown();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.completed + stats.failed, stats.submitted);
+}
+
+TEST_F(ServeFaultTest, ShutdownDrainsUnderFaults) {
+  fault::Injector::instance().arm("rt.dma.error", fault::Schedule::with_probability(0.2));
+  std::vector<std::future<nt::Tensor>> futures;
+  {
+    serve::InferenceEngine engine(config(serve::Backend::kFpgaFloat, /*workers=*/2), weights());
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(
+          engine.submit(rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width})));
+    }
+    engine.shutdown();  // must drain every accepted request, faults included
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "shutdown returned with an unresolved future";
+    // Each future holds a value or, after exhausted retries, a typed fault —
+    // never anything untyped, and never nothing.
+    try {
+      (void)f.get();
+    } catch (const fault::FaultError&) {
+    }
+  }
+}
