@@ -1,0 +1,209 @@
+// Open-loop overload benchmark: goodput and queue delay vs offered load,
+// with and without the overload-protection stack (admission control +
+// TTLs + shed-oldest backpressure).
+//
+// An open-loop generator offers load at a fixed rate regardless of how the
+// engine is coping — the regime where an unprotected queue melts down: the
+// backlog (and p99 latency) grows without bound while goodput stays pinned
+// at saturation only if nothing times out. With shedding, excess load is
+// refused cheaply at admission and goodput must stay within 20% of the
+// saturation throughput even at 4x offered load — the acceptance bar this
+// binary's exit code enforces.
+//
+//   ./bench_serve_overload [seconds-per-run]   (default 1.0)
+//
+// Writes BENCH_overload.json with the headline `goodput_ratio_4x_shed`.
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "nodetr/nn/attention.hpp"
+#include "nodetr/serve/serve.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace bench = nodetr::bench;
+namespace serve = nodetr::serve;
+namespace hls = nodetr::hls;
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+using nt::index_t;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr index_t kRowsPerRequest = 4;
+
+serve::EngineConfig engine_config(const hls::MhsaDesignPoint& point, bool shedding) {
+  serve::EngineConfig cfg;
+  cfg.point = point;
+  cfg.backend = serve::Backend::kCpuFloat;  // the overload path is backend-agnostic
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.adaptive = true;
+  cfg.batcher.min_wait_us = 0;
+  cfg.batcher.max_wait_us = 200;
+  if (shedding) {
+    cfg.policy = serve::BackpressurePolicy::kShedOldest;
+    cfg.admission.enabled = true;
+    cfg.admission.target_wait_us = 2'000;
+    cfg.admission.interval_us = 10'000;
+  } else {
+    // The unprotected baseline: a queue deep enough to never push back, the
+    // classic meltdown configuration — backlog (and tail latency) grows with
+    // every second of overload.
+    cfg.policy = serve::BackpressurePolicy::kBlock;
+    cfg.queue_capacity = 1 << 20;
+  }
+  return cfg;
+}
+
+struct LoadResult {
+  double offered_rps = 0.0;
+  double goodput_rps = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t refused = 0;   // shed/expired at submit (typed, cheap)
+  std::uint64_t failed = 0;    // accepted but resolved with a typed error
+  double queue_p99_us = 0.0;
+};
+
+/// Closed-loop flood: the producer is paced by backpressure alone. The
+/// resulting completion rate is the engine's saturation throughput.
+double measure_saturation(const hls::MhsaDesignPoint& point, const hls::MhsaWeights& weights,
+                          const std::vector<nt::Tensor>& pool, double seconds) {
+  serve::EngineConfig cfg = engine_config(point, /*shedding=*/false);
+  cfg.queue_capacity = 64;  // backpressure paces the closed-loop producer
+  serve::InferenceEngine engine(cfg, weights);
+  std::vector<std::future<nt::Tensor>> futures;
+  const auto t0 = Clock::now();
+  const auto t_end = t0 + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(seconds));
+  std::size_t i = 0;
+  while (Clock::now() < t_end) {
+    futures.push_back(engine.submit(pool[i++ % pool.size()]));
+  }
+  engine.shutdown();
+  for (auto& f : futures) (void)f.get();
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(futures.size()) / wall;
+}
+
+/// Open-loop run at a fixed offered rate (requests/s), paced in 1 ms bursts
+/// so high rates don't depend on fine-grained sleep granularity.
+LoadResult run_open_loop(const hls::MhsaDesignPoint& point, const hls::MhsaWeights& weights,
+                         const std::vector<nt::Tensor>& pool, double rate_rps, double seconds,
+                         bool shedding) {
+  serve::InferenceEngine engine(engine_config(point, shedding), weights);
+  serve::SubmitOptions opts;
+  if (shedding) opts.ttl_us = 50'000;  // a client that waits at most 50 ms
+
+  LoadResult r;
+  r.offered_rps = rate_rps;
+  std::vector<std::future<nt::Tensor>> futures;
+  const auto t0 = Clock::now();
+  const auto t_end = t0 + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(seconds));
+  std::size_t i = 0;
+  for (auto now = t0; now < t_end; now = Clock::now()) {
+    const auto target = static_cast<std::uint64_t>(
+        rate_rps * std::chrono::duration<double>(now - t0).count());
+    while (r.offered < target) {
+      ++r.offered;
+      try {
+        futures.push_back(engine.submit(pool[i++ % pool.size()], opts));
+      } catch (const serve::RequestShedError&) {
+        ++r.refused;
+      } catch (const serve::RequestExpired&) {
+        ++r.refused;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  engine.shutdown();
+  std::uint64_t values = 0;
+  for (auto& f : futures) {
+    try {
+      (void)f.get();
+      ++values;
+    } catch (const std::runtime_error&) {
+      ++r.failed;  // typed shed/expired after admission — still a clean resolve
+    }
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - t0).count();
+  r.goodput_rps = static_cast<double>(values) / wall;
+  r.queue_p99_us = engine.stats().queue_wait_p99_us;
+  return r;
+}
+
+void print_result(const char* label, const LoadResult& r) {
+  std::printf("  %-18s offered %8.0f rps  goodput %8.0f rps  refused %6llu  "
+              "failed %4llu  queue p99 %9.0f us\n",
+              label, r.offered_rps, r.goodput_rps,
+              static_cast<unsigned long long>(r.refused),
+              static_cast<unsigned long long>(r.failed), r.queue_p99_us);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 1.0;
+  bench::header("overload", "open-loop goodput vs offered load, shedding on/off");
+
+  nt::Rng rng(11);
+  hls::MhsaDesignPoint point;
+  point.dim = 64;
+  point.height = 6;
+  point.width = 6;
+  point.heads = 8;
+  nn::MhsaConfig cfg;
+  cfg.dim = point.dim;
+  cfg.heads = point.heads;
+  cfg.height = point.height;
+  cfg.width = point.width;
+  nn::MultiHeadSelfAttention mhsa(cfg, rng);
+  mhsa.train(false);
+  const auto weights = hls::MhsaWeights::from_module(mhsa);
+
+  std::vector<nt::Tensor> pool;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(rng.rand(nt::Shape{kRowsPerRequest, point.dim, point.height, point.width}));
+  }
+
+  const double saturation = measure_saturation(point, weights, pool, seconds);
+  std::printf("  saturation (closed loop): %.0f requests/s\n", saturation);
+
+  const LoadResult shed_1x = run_open_loop(point, weights, pool, saturation, seconds, true);
+  const LoadResult shed_2x = run_open_loop(point, weights, pool, 2 * saturation, seconds, true);
+  const LoadResult shed_4x = run_open_loop(point, weights, pool, 4 * saturation, seconds, true);
+  const LoadResult raw_4x = run_open_loop(point, weights, pool, 4 * saturation, seconds, false);
+  print_result("shed @ 1x", shed_1x);
+  print_result("shed @ 2x", shed_2x);
+  print_result("shed @ 4x", shed_4x);
+  print_result("no shed @ 4x", raw_4x);
+
+  const double ratio = shed_4x.goodput_rps / saturation;
+  std::printf("  goodput@4x / saturation = %.2f  (target >= 0.80)\n", ratio);
+  std::printf("  queue p99 @4x: shed %.0f us vs unprotected %.0f us\n",
+              shed_4x.queue_p99_us, raw_4x.queue_p99_us);
+
+  bench::JsonReport report("overload");
+  report.set("seconds_per_run", seconds);
+  report.set("rows_per_request", static_cast<std::int64_t>(kRowsPerRequest));
+  report.set("saturation_rps", saturation);
+  report.set("goodput_1x_shed", shed_1x.goodput_rps);
+  report.set("goodput_2x_shed", shed_2x.goodput_rps);
+  report.set("goodput_4x_shed", shed_4x.goodput_rps);
+  report.set("goodput_4x_noshed", raw_4x.goodput_rps);
+  report.set("goodput_ratio_4x_shed", ratio);
+  report.set("queue_p99_us_1x_shed", shed_1x.queue_p99_us);
+  report.set("queue_p99_us_4x_shed", shed_4x.queue_p99_us);
+  report.set("queue_p99_us_4x_noshed", raw_4x.queue_p99_us);
+  report.set("refused_4x_shed", static_cast<std::int64_t>(shed_4x.refused));
+  report.set("failed_4x_shed", static_cast<std::int64_t>(shed_4x.failed));
+  report.write();
+
+  return ratio >= 0.8 ? 0 : 1;
+}

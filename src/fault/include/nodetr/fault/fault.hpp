@@ -11,8 +11,12 @@
 //
 // Model:
 //   - every place that can fault is a named *site* ("rt.dma.error",
-//     "hls.ip.stall", ...); the code at the site asks `fault::fire(site)`
-//     on each operation;
+//     "hls.ip.stall", "serve.alloc", "serve.worker_crash", ...); the code at
+//     the site asks `fault::fire(site)` on each operation. Not every site
+//     throws: the overload sites "serve.overload.shed" (admission refuses
+//     the submit) and "serve.overload.expire" (a queued request is treated
+//     as past its deadline at batch formation) force the serving engine's
+//     shedding paths on a deterministic schedule instead;
 //   - a site is dormant (one relaxed atomic load, no strings, no locks)
 //     until a test *arms* it with a Schedule;
 //   - a Schedule decides, from the site's per-site operation counter and a

@@ -34,6 +34,18 @@ struct MhsaRegs {
 struct ExecDeadline {
   std::int64_t wall_us = 200'000;        ///< 200 ms of real polling
   std::int64_t sim_cycles = 40'000'000;  ///< 200 ms at the 200 MHz PL clock
+
+  /// This deadline with the wall budget tightened to at most `wall_us`
+  /// (ignored when <= 0). The serving engine uses this to bound an execute
+  /// by the submitting client's remaining deadline budget: there is no point
+  /// polling a device past the moment the client gives up.
+  [[nodiscard]] ExecDeadline clamped_to_wall(std::int64_t wall_us_cap) const {
+    ExecDeadline d = *this;
+    if (wall_us_cap > 0 && (d.wall_us <= 0 || wall_us_cap < d.wall_us)) {
+      d.wall_us = wall_us_cap;
+    }
+    return d;
+  }
 };
 
 class MhsaAccelerator {

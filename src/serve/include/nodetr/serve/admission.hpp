@@ -1,0 +1,75 @@
+// AdmissionController: CoDel-style queue-delay-based load shedding in front
+// of the RequestQueue.
+//
+// The overload signal is *standing* queue delay, not queue depth: a deep
+// queue that drains fast is healthy, a shallow queue whose requests sit past
+// the delay target is not. Following CoDel, the controller tracks the
+// MINIMUM queue wait observed over a sliding interval — bursts that clear
+// within one interval never shed — and declares overload only when even the
+// best-served request waited longer than the target for a whole interval.
+// Under overload it sheds lowest-priority-first:
+//
+//   level 0  healthy            admit everything
+//   level 1  min wait > target  shed Priority::kBatch
+//   level 2  min wait > 4x      shed kBatch and kNormal (kInteractive only)
+//
+// Any single wait sample under the target immediately restores level 0
+// (CoDel's exit condition), so recovery is one drained batch away.
+//
+// Thread safety: record_wait() is called by every worker at queue pop;
+// admit() by every producer at submit. Both are cheap (admit is one relaxed
+// atomic load on the healthy path).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "nodetr/serve/request_queue.hpp"
+
+namespace nodetr::serve {
+
+struct AdmissionConfig {
+  bool enabled = false;
+  /// Queue wait the engine is willing to tolerate indefinitely.
+  std::int64_t target_wait_us = 2'000;
+  /// The standing queue must exceed the target for this long before
+  /// shedding starts (CoDel interval).
+  std::int64_t interval_us = 20'000;
+  /// Min wait above `escalate_ratio * target_wait_us` escalates to level 2.
+  double escalate_ratio = 4.0;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit AdmissionController(AdmissionConfig config);
+
+  /// Feed one queue-wait sample (µs), taken when a request leaves the queue.
+  void record_wait(std::int64_t wait_us) { record_wait(wait_us, Clock::now()); }
+  void record_wait(std::int64_t wait_us, Clock::time_point now);
+
+  /// Admission decision for a submit at `priority`. An empty queue always
+  /// admits — with nothing queued there is no standing delay to protect, and
+  /// a stale overload level from a drained burst must not refuse fresh work.
+  [[nodiscard]] bool admit(Priority priority, std::size_t queue_depth) const;
+
+  /// 0 = healthy, 1 = shedding kBatch, 2 = shedding kBatch + kNormal.
+  [[nodiscard]] int overload_level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+
+ private:
+  AdmissionConfig config_;
+  std::atomic<int> level_{0};
+  std::mutex mu_;  ///< guards the interval tracking below
+  bool interval_open_ = false;
+  Clock::time_point interval_start_{};
+  std::int64_t min_wait_us_ = 0;
+};
+
+}  // namespace nodetr::serve

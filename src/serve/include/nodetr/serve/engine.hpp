@@ -1,16 +1,20 @@
 // nodetr::serve — concurrent batched inference engine over the MHSA
 // accelerator (the request path the ROADMAP's production north star needs).
 //
-//   producers ── submit() ──► RequestQueue (bounded, kBlock | kReject)
-//                                  │  FIFO rows, ≤ max_batch, ≤ max_wait_us
-//                             MicroBatcher (one per worker; order-preserving
-//                                  │        splits/merges, worker-local carry)
-//                                  ▼
+//   producers ── submit(x, {ttl, priority}) ──► admission control
+//                    │   deadline check ► AdmissionController (CoDel shed)
+//                    ▼
+//               RequestQueue (bounded, kBlock | kReject | kShedOldest)
+//                    │  FIFO rows, ≤ max_batch, adaptive linger
+//               MicroBatcher (one per worker; order-preserving splits/
+//                    │        merges, worker-local carry, expiry re-check)
+//                    ▼
 //      worker 0..N-1 ── warm MhsaIpCore replica per session
 //          ├─ kCpuFloat:  float32 datapath run in-process
 //          └─ kFpga*:     own DdrMemory + MhsaAccelerator; batched START with
-//                         batch-resident weights (one weight DMA per batch)
-//                                  ▼
+//                         batch-resident weights; per-session circuit
+//                         breaker (closed → open → half-open probe → closed)
+//                    ▼
 //             scatter rows back per request ──► fulfil std::future<Tensor>
 //
 // Guarantees:
@@ -18,8 +22,8 @@
 //     the same backend (the IP processes images independently, so batch
 //     composition never changes numerics);
 //   - every accepted request's future is fulfilled exactly once — with a
-//     value, or with the backend's exception — including during shutdown,
-//     which drains all queued work before the workers exit;
+//     value, or with a typed exception — including during shutdown, which
+//     drains all queued work before the workers exit;
 //   - a request's rows stay on one worker in row order even when the request
 //     is split across micro-batches;
 //   - **bounded completion**: under any fault schedule (stalled IP, DMA /
@@ -30,17 +34,30 @@
 //     exponential backoff; a batch that keeps failing is re-run slice by
 //     slice so co-batched innocent requests are not failed collectively; a
 //     crashed worker is respawned after failing its in-flight rows and
-//     requeuing every untouched request it held; an FPGA session that keeps
-//     faulting falls back to kCpuFloat (float-backend fallback preserves
-//     bitwise results; kFpgaFixed fallback trades the quantized datapath
-//     for float numerics to stay available).
+//     requeuing every untouched request it held;
+//   - **overload protection**: a request carries an optional deadline (TTL)
+//     enforced at admission, re-checked at batch formation (expired rows are
+//     shed with RequestExpired before touching the IP), and propagated into
+//     the accelerator's ExecDeadline so the client's remaining budget bounds
+//     the device poll. Admission control (AdmissionConfig) sheds
+//     lowest-priority-first when the standing queue delay exceeds its
+//     target; BackpressurePolicy::kShedOldest trades the stalest queued
+//     request for the newest. Shed and expired requests always resolve with
+//     a typed error (RequestShedError / RequestExpired) — never hang;
+//   - **self-healing backends**: each FPGA session runs behind a circuit
+//     breaker. Repeated device faults open it (traffic falls back to the
+//     in-process CPU float datapath, bitwise for float backends); after a
+//     cooldown the next batch probes the device (half-open) and a clean run
+//     restores the session's FPGA backend. See circuit_breaker.hpp.
 //
 // Observability: spans serve.submit / serve.batch; metrics serve.requests_*,
-// serve.batches, serve.rows, serve.queue_depth, serve.retries[.<backend>],
-// serve.fallbacks[.<backend>], serve.faults_injected.<backend>,
+// serve.batches, serve.rows, serve.queue_depth, serve.shed, serve.expired,
+// serve.retries[.<backend>], serve.fallbacks[.<backend>],
+// serve.faults_injected.<backend>, serve.breaker.{open,reopen,half_open,
+// close} with the serve.breaker_state gauge (currently demoted sessions),
 // serve.worker_aborted / serve.worker_respawns / serve.isolation_runs, and
-// the histograms serve.batch_occupancy_pct, serve.request_latency_us and
-// serve.retry_latency_us (p50/p95/p99).
+// the histograms serve.batch_occupancy_pct, serve.queue_wait_us,
+// serve.request_latency_us and serve.retry_latency_us (p50/p95/p99).
 #pragma once
 
 #include <atomic>
@@ -49,7 +66,10 @@
 #include <vector>
 
 #include "nodetr/hls/mhsa_ip.hpp"
+#include "nodetr/obs/obs.hpp"
 #include "nodetr/rt/accelerator.hpp"
+#include "nodetr/serve/admission.hpp"
+#include "nodetr/serve/circuit_breaker.hpp"
 #include "nodetr/serve/micro_batcher.hpp"
 #include "nodetr/tensor/parallel.hpp"
 
@@ -66,16 +86,28 @@ enum class Backend {
 /// Recovery policy for faulted batches. A fault classified transient
 /// (fault::is_transient — DMA error, ECC event, AXI NACK, deadline, overflow
 /// event) is retried up to `max_retries` times with exponential backoff;
-/// anything else fails the affected requests immediately. An FPGA session
-/// accumulating `fallback_after` consecutive device faults is rebuilt on the
-/// kCpuFloat backend (0 disables the fallback ladder).
+/// anything else fails the affected requests immediately. Sessions whose
+/// device keeps faulting are demoted (and later restored) by the per-session
+/// circuit breaker — see EngineConfig::breaker.
 struct FaultPolicy {
   int max_retries = 3;
   std::int64_t backoff_us = 50;        ///< first retry delay
   double backoff_multiplier = 2.0;
   std::int64_t max_backoff_us = 5'000;
-  int fallback_after = 8;
   rt::ExecDeadline deadline;           ///< per-execute completion budget (kFpga*)
+};
+
+/// Per-request submission options: the deadline budget and priority class
+/// the overload-protection path keys on.
+struct SubmitOptions {
+  /// Time-to-live: the request must complete within this many µs of submit
+  /// or it is shed with RequestExpired wherever it is found (queue, batch
+  /// formation, shutdown drain). 0 = no deadline.
+  std::int64_t ttl_us = 0;
+  /// Absolute deadline; overrides ttl_us when set (non-epoch). A deadline
+  /// already in the past is refused at admission with RequestExpired.
+  std::chrono::steady_clock::time_point deadline{};
+  Priority priority = Priority::kNormal;
 };
 
 struct EngineConfig {
@@ -93,18 +125,32 @@ struct EngineConfig {
   BackpressurePolicy policy = BackpressurePolicy::kBlock;
   BatcherConfig batcher;
   FaultPolicy fault;
+  AdmissionConfig admission;  ///< CoDel-style shedding (disabled by default)
+  BreakerConfig breaker;      ///< per-session device circuit breaker
 };
 
 struct EngineStats {
   std::uint64_t submitted = 0;   ///< accepted into the queue
   std::uint64_t rejected = 0;    ///< refused under kReject backpressure
+  std::uint64_t shed = 0;        ///< shed by admission control / kShedOldest
+  std::uint64_t expired = 0;     ///< deadline passed before completion
   std::uint64_t completed = 0;   ///< futures fulfilled with a value
   std::uint64_t failed = 0;      ///< futures fulfilled with an exception
   std::uint64_t batches = 0;     ///< micro-batches executed
   std::uint64_t rows = 0;        ///< total rows executed
   std::uint64_t retries = 0;     ///< batch re-executions after transient faults
-  std::uint64_t fallbacks = 0;   ///< FPGA sessions demoted to kCpuFloat
+  std::uint64_t fallbacks = 0;   ///< demotions to kCpuFloat (opens + reopens)
   std::uint64_t respawns = 0;    ///< worker sessions rebuilt after a crash
+  // Circuit-breaker transitions (see circuit_breaker.hpp).
+  std::uint64_t breaker_opens = 0;    ///< closed -> open (device presumed broken)
+  std::uint64_t breaker_probes = 0;   ///< open -> half-open (cooldown elapsed)
+  std::uint64_t breaker_reopens = 0;  ///< half-open -> open (probe faulted)
+  std::uint64_t breaker_closes = 0;   ///< half-open -> closed (device healed)
+  std::uint64_t open_breakers = 0;    ///< sessions currently demoted to CPU
+  // Queue-wait distribution (µs) — the admission-control signal.
+  double queue_wait_p50_us = 0.0;
+  double queue_wait_p95_us = 0.0;
+  double queue_wait_p99_us = 0.0;
   std::int64_t sim_cycles = 0;   ///< accumulated accelerator cycles (FPGA backends)
   /// rows / (batches * max_batch); 1.0 means every batch was full.
   [[nodiscard]] double occupancy(index_t max_batch) const {
@@ -117,7 +163,9 @@ struct EngineStats {
 class InferenceEngine {
  public:
   /// Spins up the worker sessions (each quantizes/copies `weights` into its
-  /// own warm MhsaIpCore replica) and starts serving immediately.
+  /// own warm MhsaIpCore replica) and starts serving immediately. Throws
+  /// std::invalid_argument on an invalid config (workers, queue_capacity,
+  /// worker_backends size, fault/admission/breaker/batcher bounds).
   InferenceEngine(EngineConfig config, const hls::MhsaWeights& weights);
   ~InferenceEngine();
 
@@ -127,11 +175,14 @@ class InferenceEngine {
   /// Submit one request: (D, H, W) single image or (B, D, H, W) multi-row.
   /// The future resolves with the same-shaped output. Throws
   /// std::invalid_argument on a geometry mismatch, QueueFullError under
-  /// kReject backpressure, and std::runtime_error after shutdown.
-  [[nodiscard]] std::future<Tensor> submit(Tensor input);
+  /// kReject backpressure, RequestShedError when admission control sheds it,
+  /// RequestExpired when opts carries an already-passed deadline, and
+  /// EngineStoppedError after shutdown.
+  [[nodiscard]] std::future<Tensor> submit(Tensor input, SubmitOptions opts = {});
 
   /// Stop admitting requests, drain everything already accepted, and join
-  /// the workers. Idempotent and safe to call concurrently.
+  /// the workers. Queued requests whose deadline passes during the drain
+  /// resolve with RequestExpired. Idempotent and safe to call concurrently.
   void shutdown();
 
   [[nodiscard]] EngineStats stats() const;
@@ -140,21 +191,32 @@ class InferenceEngine {
  private:
   struct WorkerSession;
 
+  [[nodiscard]] static EngineConfig validated(EngineConfig config);
   [[nodiscard]] std::unique_ptr<WorkerSession> make_session(Backend backend);
   void worker_loop(std::size_t worker);
   void process_batch(WorkerSession& session, MicroBatch& batch);
+  /// Fail slices whose deadline has passed with RequestExpired; returns the
+  /// number of live (non-failed) slices remaining.
+  std::size_t shed_expired_slices(MicroBatch& batch);
+  void apply_exec_deadline(WorkerSession& session, const MicroBatch& batch);
   [[nodiscard]] Tensor run_attempt(WorkerSession& session, const Tensor& input);
   [[nodiscard]] Tensor run_with_recovery(WorkerSession& session, const Tensor& input);
-  void fall_back_to_cpu(WorkerSession& session);
+  void maybe_probe(WorkerSession& session);
+  void demote_to_cpu(WorkerSession& session);
+  void note_device_success(WorkerSession& session);
   void isolate_slices(WorkerSession& session, MicroBatch& batch);
   void salvage_requests(const std::vector<RequestPtr>& held, std::exception_ptr error);
   void fail_batch(MicroBatch& batch, std::exception_ptr error);
   void finish_rows(const MicroBatch& batch, const Tensor& output);
   void fail_request(Request& r, std::exception_ptr error);
+  void fail_expired(Request& r);
+  void fail_shed(Request& r);
 
   EngineConfig config_;
   hls::MhsaWeights weights_;  ///< retained for respawn and CPU fallback
   RequestQueue queue_;
+  AdmissionController admission_;
+  obs::Histogram queue_wait_us_;  ///< engine-local; feeds stats() percentiles
   std::vector<std::unique_ptr<WorkerSession>> sessions_;
   std::unique_ptr<tensor::ThreadPool> pool_;
   std::thread dispatcher_;
@@ -162,8 +224,12 @@ class InferenceEngine {
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> submitted_{0}, rejected_{0}, completed_{0}, failed_{0};
+  std::atomic<std::uint64_t> shed_{0}, expired_{0};
   std::atomic<std::uint64_t> batches_{0}, rows_{0};
   std::atomic<std::uint64_t> retries_{0}, fallbacks_{0}, respawns_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0}, breaker_probes_{0};
+  std::atomic<std::uint64_t> breaker_reopens_{0}, breaker_closes_{0};
+  std::atomic<std::uint64_t> open_breakers_{0};
   std::atomic<std::int64_t> sim_cycles_{0};
 };
 

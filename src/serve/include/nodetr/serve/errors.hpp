@@ -1,0 +1,46 @@
+// Typed error taxonomy of the serving admission path. Every way the engine
+// refuses or abandons a request has its own exception type, so callers can
+// distinguish "slow down" (QueueFullError, RequestShedError — retryable
+// later, possibly against another replica) from "too late" (RequestExpired —
+// the answer would be useless now) from "gone" (EngineStoppedError). The
+// overload-protection contract: a request is either computed, or resolves
+// with exactly one of these — never an untyped error, never a hung future.
+#pragma once
+
+#include <stdexcept>
+
+namespace nodetr::serve {
+
+/// Thrown by InferenceEngine::submit under BackpressurePolicy::kReject when
+/// the queue is at capacity.
+class QueueFullError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by InferenceEngine::submit once shutdown() has begun: the engine
+/// no longer admits work (queued requests still drain).
+class EngineStoppedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The request's deadline (TTL) elapsed before its rows reached the IP. Set
+/// on the future when a queued request expires — at admission, at batch
+/// formation, or during the shutdown drain — so stale work is shed instead
+/// of executed for a client that already gave up.
+class RequestExpired : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The request was shed to protect the engine: admission control observed a
+/// standing queue above its delay target (thrown from submit, lowest
+/// priority first), or a kShedOldest queue evicted it to make room for newer
+/// work (set on the victim's future).
+class RequestShedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace nodetr::serve

@@ -2,11 +2,23 @@
 //
 // Each worker session owns one MicroBatcher over the shared RequestQueue.
 // A batch is formed by taking rows in strict FIFO order until either
-// `max_batch` rows are collected or `max_wait_us` has elapsed since the
+// `max_batch` rows are collected or the linger window has elapsed since the
 // first row was available. Requests larger than the remaining capacity are
 // split; the leftover rows are carried worker-locally and lead the worker's
 // next batch, so every split request is consumed (and its output assembled)
 // by exactly one worker, in row order.
+//
+// Overload protection hooks:
+//   - deadline re-check: a request whose deadline has already passed when it
+//     leaves the queue is never placed in a batch — it is parked on the
+//     expired list (see take_expired()) for the engine to fail with
+//     RequestExpired, so stale work never touches the IP. The fault site
+//     "serve.overload.expire" forces this path on a deterministic schedule.
+//   - adaptive linger: with `adaptive` set, the linger window scales with
+//     queue depth — `min_wait_us` when the queue is idle (an isolated
+//     request is not held hostage for rows that are not coming) up to
+//     `max_wait_us` under backlog (coalescing is what keeps goodput high at
+//     saturation).
 #pragma once
 
 #include <vector>
@@ -16,8 +28,11 @@
 namespace nodetr::serve {
 
 struct BatcherConfig {
-  index_t max_batch = 8;        ///< rows per micro-batch (the BATCH register)
+  index_t max_batch = 8;           ///< rows per micro-batch (the BATCH register)
   std::int64_t max_wait_us = 200;  ///< linger for more rows after the first
+  /// Scale the linger window with queue depth (see file comment).
+  bool adaptive = false;
+  std::int64_t min_wait_us = 0;    ///< adaptive linger floor (idle queue)
 };
 
 /// A contiguous span of one request's rows placed inside a micro-batch.
@@ -54,6 +69,20 @@ class MicroBatcher {
   /// the list. Ordered as popped (FIFO).
   [[nodiscard]] std::vector<RequestPtr> take_orphans();
 
+  /// Handler invoked (on the worker thread, at the moment of shedding) with
+  /// each request whose deadline had already passed when it left the queue.
+  /// The engine fails these with RequestExpired. Invoking eagerly matters:
+  /// next() may block on an empty queue right after shedding, so a
+  /// drain-after-return scheme would leave the victim's future unresolved
+  /// until more traffic arrives. Set once before the worker starts.
+  void set_expired_handler(std::function<void(RequestPtr)> handler) {
+    expired_handler_ = std::move(handler);
+  }
+
+  /// Without an expired handler, shed requests are parked here instead so
+  /// they are never silently lost. Fetching clears the list.
+  [[nodiscard]] std::vector<RequestPtr> take_expired();
+
   /// Steal the worker-local carry (nullptr if none) so a supervisor can
   /// salvage it when the worker dies between batches.
   [[nodiscard]] RequestPtr take_carry();
@@ -72,12 +101,23 @@ class MicroBatcher {
 
   [[nodiscard]] const BatcherConfig& config() const { return config_; }
 
+  /// The linger window next() would use right now (µs) — `max_wait_us`
+  /// unless adaptive, else scaled by current queue depth. Exposed for tests.
+  [[nodiscard]] std::int64_t effective_wait_us() const;
+
  private:
+  /// True if the request may enter a batch; expired requests (or those hit
+  /// by the "serve.overload.expire" site) go to the expired handler (or the
+  /// expired_ list when no handler is set) instead.
+  [[nodiscard]] bool admissible(RequestPtr& r);
+
   RequestQueue& queue_;
   BatcherConfig config_;
+  std::function<void(RequestPtr)> expired_handler_;
   RequestPtr carry_;       ///< partially consumed request (worker-local)
   index_t carry_row_ = 0;  ///< next unconsumed row of carry_
   std::vector<RequestPtr> orphans_;  ///< popped by a failed next(); see take_orphans()
+  std::vector<RequestPtr> expired_;  ///< shed at batch formation; see take_expired()
 };
 
 }  // namespace nodetr::serve

@@ -4,19 +4,24 @@
 // Producers submit requests from arbitrary threads; worker sessions drain
 // them through the MicroBatcher. The queue is bounded so a traffic burst
 // turns into explicit backpressure instead of unbounded memory growth:
-//   - kBlock:  push waits for space (producer-paced, no request loss);
-//   - kReject: push fails immediately when full (caller sheds load).
+//   - kBlock:      push waits for space (producer-paced, no request loss);
+//   - kReject:     push fails immediately when full (caller sheds load);
+//   - kShedOldest: push evicts the oldest queued request when full — the
+//                  victim's future is failed with RequestShedError by the
+//                  caller, newest work is admitted (freshest-first shedding
+//                  for deadline-bound traffic).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
-#include <stdexcept>
 
+#include "nodetr/serve/errors.hpp"
 #include "nodetr/tensor/tensor.hpp"
 
 namespace nodetr::serve {
@@ -26,16 +31,21 @@ using nodetr::tensor::Shape;
 using nodetr::tensor::Tensor;
 
 enum class BackpressurePolicy {
-  kBlock,   ///< submit blocks until queue space frees up
-  kReject,  ///< submit throws QueueFullError when the queue is at capacity
+  kBlock,      ///< submit blocks until queue space frees up
+  kReject,     ///< submit throws QueueFullError when the queue is at capacity
+  kShedOldest, ///< a full queue evicts its oldest request to admit the new one
 };
 
-/// Thrown by InferenceEngine::submit under BackpressurePolicy::kReject when
-/// the queue is at capacity.
-class QueueFullError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
+/// Priority class carried by a request. Under admission-control overload the
+/// lowest classes are shed first; kInteractive is only refused by a full
+/// queue itself.
+enum class Priority : int {
+  kBatch = 0,        ///< offline / bulk work — first to shed
+  kNormal = 1,       ///< default
+  kInteractive = 2,  ///< latency-sensitive — shed last
 };
+
+[[nodiscard]] const char* to_string(Priority priority);
 
 /// One in-flight inference request. `input`/`output` are rank-4
 /// (rows, D, H, W); a rank-3 submission is wrapped as one row and squeezed
@@ -51,6 +61,24 @@ struct Request {
   bool failed = false;
   std::promise<Tensor> promise;
   std::chrono::steady_clock::time_point enqueued_at;
+  Priority priority = Priority::kNormal;
+  /// Absolute completion deadline; the epoch value means "none". Enforced at
+  /// admission, re-checked at batch formation, and propagated into the
+  /// accelerator's ExecDeadline (see engine.hpp).
+  std::chrono::steady_clock::time_point deadline{};
+
+  [[nodiscard]] bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  [[nodiscard]] bool expired(std::chrono::steady_clock::time_point now) const {
+    return has_deadline() && now >= deadline;
+  }
+  /// Remaining budget in µs (clamped at 0); meaningless without a deadline.
+  [[nodiscard]] std::int64_t remaining_us(std::chrono::steady_clock::time_point now) const {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::microseconds>(deadline - now).count();
+    return left > 0 ? left : 0;
+  }
 };
 
 using RequestPtr = std::shared_ptr<Request>;
@@ -67,7 +95,10 @@ class RequestQueue {
 
   /// Enqueue. Under kBlock this waits for space (kClosed if the queue closes
   /// while waiting); under kReject a full queue returns kFull immediately.
-  PushResult push(RequestPtr r);
+  /// Under kShedOldest a full queue evicts its front request into `*shed`
+  /// and admits `r` (kOk); the caller must fail the victim's future. When
+  /// `shed` is null, kShedOldest degrades to kReject.
+  PushResult push(RequestPtr r, RequestPtr* shed = nullptr);
 
   /// Dequeue, blocking until an item arrives. Returns nullptr only once the
   /// queue is closed AND drained, so close() never drops accepted requests.
@@ -86,6 +117,14 @@ class RequestQueue {
   /// or once closed and drained.
   [[nodiscard]] RequestPtr pop_until(std::chrono::steady_clock::time_point deadline);
 
+  /// Observer invoked (outside the queue lock) with each popped request's
+  /// queue wait in µs — the standing-queue-delay signal admission control
+  /// keys on. Set once before consumers start; not synchronized against
+  /// concurrent pops.
+  void set_wait_observer(std::function<void(std::int64_t)> observer) {
+    wait_observer_ = std::move(observer);
+  }
+
   /// Stop admitting new requests; queued ones remain poppable (drain).
   void close();
 
@@ -95,8 +134,11 @@ class RequestQueue {
   [[nodiscard]] BackpressurePolicy policy() const { return policy_; }
 
  private:
+  void observe_wait(const RequestPtr& r) const;
+
   const std::size_t capacity_;
   const BackpressurePolicy policy_;
+  std::function<void(std::int64_t)> wait_observer_;
   mutable std::mutex mu_;
   std::condition_variable cv_space_;  ///< signalled on pop/close
   std::condition_variable cv_items_;  ///< signalled on push/close

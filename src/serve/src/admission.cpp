@@ -1,0 +1,57 @@
+#include "nodetr/serve/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nodetr::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config) : config_(config) {
+  if (config_.enabled) {
+    if (config_.target_wait_us < 1) {
+      throw std::invalid_argument("AdmissionController: target_wait_us must be >= 1");
+    }
+    if (config_.interval_us < 1) {
+      throw std::invalid_argument("AdmissionController: interval_us must be >= 1");
+    }
+    if (config_.escalate_ratio < 1.0) {
+      throw std::invalid_argument("AdmissionController: escalate_ratio must be >= 1");
+    }
+  }
+}
+
+void AdmissionController::record_wait(std::int64_t wait_us, Clock::time_point now) {
+  if (!config_.enabled) return;
+  std::lock_guard lk(mu_);
+  if (wait_us < config_.target_wait_us) {
+    // CoDel exit: one request served under the target means the standing
+    // queue is gone — stop shedding immediately.
+    level_.store(0, std::memory_order_relaxed);
+    interval_open_ = false;
+    return;
+  }
+  if (!interval_open_) {
+    interval_open_ = true;
+    interval_start_ = now;
+    min_wait_us_ = wait_us;
+    return;
+  }
+  min_wait_us_ = std::min(min_wait_us_, wait_us);
+  if (now - interval_start_ >= std::chrono::microseconds(config_.interval_us)) {
+    // Even the best-served request of the whole interval waited past the
+    // target: a standing queue. Shed, harder the further past target it is.
+    const double escalate =
+        config_.escalate_ratio * static_cast<double>(config_.target_wait_us);
+    level_.store(static_cast<double>(min_wait_us_) > escalate ? 2 : 1,
+                 std::memory_order_relaxed);
+    // Roll the interval so the level keeps tracking the current delay.
+    interval_start_ = now;
+    min_wait_us_ = wait_us;
+  }
+}
+
+bool AdmissionController::admit(Priority priority, std::size_t queue_depth) const {
+  if (!config_.enabled || queue_depth == 0) return true;
+  return static_cast<int>(priority) >= level_.load(std::memory_order_relaxed);
+}
+
+}  // namespace nodetr::serve

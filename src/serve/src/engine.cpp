@@ -4,7 +4,6 @@
 #include <cstring>
 
 #include "nodetr/fault/fault.hpp"
-#include "nodetr/obs/obs.hpp"
 
 namespace nodetr::serve {
 
@@ -21,21 +20,56 @@ const char* to_string(Backend backend) {
 
 /// One worker's private execution state: a warm IP replica, and for FPGA
 /// backends its own DDR + accelerator, so sessions never contend on a device.
+/// `backend` is where traffic runs right now; `home_backend` is where the
+/// session belongs — the circuit breaker demotes `backend` to kCpuFloat when
+/// the device keeps faulting and restores it after a clean half-open probe.
 struct InferenceEngine::WorkerSession {
+  Backend home_backend = Backend::kCpuFloat;
   Backend backend = Backend::kCpuFloat;
   MicroBatcher batcher;
-  std::unique_ptr<hls::MhsaIpCore> cpu_ip;    ///< kCpuFloat
+  std::unique_ptr<hls::MhsaIpCore> cpu_ip;    ///< kCpuFloat (built on demand)
   std::unique_ptr<rt::DdrMemory> ddr;         ///< kFpga*
-  std::unique_ptr<rt::MhsaAccelerator> accel; ///< kFpga*
-  /// Device faults since the last successful execute; drives the fallback
-  /// ladder (kFpga* -> kCpuFloat after FaultPolicy::fallback_after).
-  int consecutive_device_faults = 0;
+  std::unique_ptr<rt::MhsaAccelerator> accel; ///< kFpga* (kept alive while open
+                                              ///  so the probe can reuse it)
+  CircuitBreaker breaker;
 
-  WorkerSession(RequestQueue& queue, const BatcherConfig& cfg) : batcher(queue, cfg) {}
+  WorkerSession(RequestQueue& queue, const BatcherConfig& cfg, const BreakerConfig& breaker_cfg)
+      : batcher(queue, cfg), breaker(breaker_cfg) {}
 };
 
+EngineConfig InferenceEngine::validated(EngineConfig config) {
+  if (config.workers < 1) {
+    throw std::invalid_argument("InferenceEngine: workers must be >= 1");
+  }
+  if (config.queue_capacity < 1) {
+    throw std::invalid_argument("InferenceEngine: queue_capacity must be >= 1");
+  }
+  if (!config.worker_backends.empty() && config.worker_backends.size() != config.workers) {
+    throw std::invalid_argument(
+        "InferenceEngine: worker_backends must be empty or one entry per worker (got " +
+        std::to_string(config.worker_backends.size()) + " entries for " +
+        std::to_string(config.workers) + " workers)");
+  }
+  if (config.fault.max_retries < 0 || config.fault.backoff_us < 0 ||
+      config.fault.max_backoff_us < 0 || config.fault.backoff_multiplier < 1.0) {
+    throw std::invalid_argument(
+        "InferenceEngine: invalid FaultPolicy (retries/backoffs must be >= 0, "
+        "multiplier >= 1)");
+  }
+  // Admission, breaker, and batcher configs are validated by their own
+  // constructors; trigger the breaker's here so a bad config fails the
+  // engine constructor instead of the first worker session.
+  (void)CircuitBreaker(config.breaker);
+  return config;
+}
+
 std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(Backend backend) {
-  auto session = std::make_unique<WorkerSession>(queue_, config_.batcher);
+  auto session = std::make_unique<WorkerSession>(queue_, config_.batcher, config_.breaker);
+  // Expired requests are failed the moment the batcher sheds them — next()
+  // may block on an empty queue right afterwards, so deferring would leave
+  // the victim's future hanging until more traffic arrives.
+  session->batcher.set_expired_handler([this](RequestPtr r) { fail_expired(*r); });
+  session->home_backend = backend;
   session->backend = backend;
   hls::MhsaDesignPoint point = config_.point;
   point.dtype = backend == Backend::kFpgaFixed ? hls::DataType::kFixed
@@ -55,21 +89,19 @@ std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(Ba
 }
 
 InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& weights)
-    : config_(std::move(config)),
+    : config_(validated(std::move(config))),
       weights_(weights),
-      queue_(config_.queue_capacity, config_.policy) {
-  if (config_.workers < 1) {
-    throw std::invalid_argument("InferenceEngine: workers must be >= 1");
-  }
-  if (!config_.worker_backends.empty() && config_.worker_backends.size() != config_.workers) {
-    throw std::invalid_argument(
-        "InferenceEngine: worker_backends must be empty or one entry per worker");
-  }
-  if (config_.fault.max_retries < 0 || config_.fault.fallback_after < 0 ||
-      config_.fault.backoff_us < 0 || config_.fault.max_backoff_us < 0 ||
-      config_.fault.backoff_multiplier < 1.0) {
-    throw std::invalid_argument("InferenceEngine: invalid FaultPolicy");
-  }
+      queue_(config_.queue_capacity, config_.policy),
+      admission_(config_.admission) {
+  // Every pop reports its queue wait: the engine-local histogram backs the
+  // stats() percentiles, the registry one the metrics dump, and the sample
+  // stream drives the CoDel admission controller.
+  queue_.set_wait_observer([this](std::int64_t wait_us) {
+    static auto& wait_hist = obs::Registry::instance().histogram("serve.queue_wait_us");
+    queue_wait_us_.observe(static_cast<double>(wait_us));
+    wait_hist.observe(static_cast<double>(wait_us));
+    admission_.record_wait(wait_us);
+  });
   sessions_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     sessions_.push_back(make_session(
@@ -86,10 +118,13 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
-std::future<Tensor> InferenceEngine::submit(Tensor input) {
+std::future<Tensor> InferenceEngine::submit(Tensor input, SubmitOptions opts) {
   obs::ScopedSpan span("serve.submit");
   if (stopped_.load(std::memory_order_relaxed)) {
-    throw std::runtime_error("InferenceEngine::submit: engine is shut down");
+    throw EngineStoppedError("InferenceEngine::submit: engine is shut down");
+  }
+  if (opts.ttl_us < 0) {
+    throw std::invalid_argument("InferenceEngine::submit: ttl_us must be >= 0");
   }
   bool squeeze = false;
   if (input.rank() == 3) {
@@ -102,13 +137,21 @@ std::future<Tensor> InferenceEngine::submit(Tensor input) {
     throw std::invalid_argument("InferenceEngine::submit: input does not match design point " +
                                 config_.point.to_string());
   }
+  const auto now = std::chrono::steady_clock::now();
   auto request = std::make_shared<Request>();
   request->id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request->input = std::move(input);
   request->squeeze = squeeze;
-  request->enqueued_at = std::chrono::steady_clock::now();
+  request->enqueued_at = now;
+  request->priority = opts.priority;
+  if (opts.deadline != std::chrono::steady_clock::time_point{}) {
+    request->deadline = opts.deadline;
+  } else if (opts.ttl_us > 0) {
+    request->deadline = now + std::chrono::microseconds(opts.ttl_us);
+  }
   auto future = request->promise.get_future();
   span.attr("rows", request->input.dim(0));
+  span.attr("priority", to_string(opts.priority));
   if (request->input.dim(0) == 0) {
     // Nothing to compute; resolve immediately without occupying the queue.
     request->promise.set_value(Tensor(request->input.shape()));
@@ -118,12 +161,35 @@ std::future<Tensor> InferenceEngine::submit(Tensor input) {
   }
   static auto& submitted = obs::Registry::instance().counter("serve.requests_submitted");
   static auto& rejected = obs::Registry::instance().counter("serve.requests_rejected");
-  static auto& depth = obs::Registry::instance().gauge("serve.queue_depth");
-  switch (queue_.push(std::move(request))) {
+  static auto& shed = obs::Registry::instance().counter("serve.shed");
+  static auto& expired = obs::Registry::instance().counter("serve.expired");
+  static auto& depth_gauge = obs::Registry::instance().gauge("serve.queue_depth");
+  // Deadline enforcement at admission: work that is already stale is refused
+  // before it can occupy a queue slot.
+  if (request->expired(now)) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    expired.add();
+    throw RequestExpired("InferenceEngine::submit: request " + std::to_string(request->id) +
+                         " deadline already passed at admission");
+  }
+  // Admission control: when the standing queue delay is past target, shed
+  // lowest-priority first instead of queueing work that will expire anyway.
+  // The "serve.overload.shed" site forces this on a deterministic schedule.
+  if (fault::fire("serve.overload.shed") ||
+      !admission_.admit(opts.priority, queue_.size())) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    shed.add();
+    throw RequestShedError("InferenceEngine::submit: shed at admission, priority " +
+                           std::string(to_string(opts.priority)) + " (overload level " +
+                           std::to_string(admission_.overload_level()) + ")");
+  }
+  RequestPtr victim;  // kShedOldest: the queued request evicted to admit this one
+  switch (queue_.push(std::move(request), &victim)) {
     case PushResult::kOk:
       submitted_.fetch_add(1, std::memory_order_relaxed);
       submitted.add();
-      depth.set(static_cast<double>(queue_.size()));
+      depth_gauge.set(static_cast<double>(queue_.size()));
+      if (victim) fail_shed(*victim);
       return future;
     case PushResult::kFull:
       rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -132,7 +198,7 @@ std::future<Tensor> InferenceEngine::submit(Tensor input) {
                            std::to_string(queue_.capacity()) + ")");
     case PushResult::kClosed:
     default:
-      throw std::runtime_error("InferenceEngine::submit: engine is shut down");
+      throw EngineStoppedError("InferenceEngine::submit: engine is shut down");
   }
 }
 
@@ -172,7 +238,7 @@ void InferenceEngine::worker_loop(std::size_t worker) {
       if (RequestPtr carry = session.batcher.take_carry()) held.push_back(std::move(carry));
       salvage_requests(held, std::current_exception());
       try {
-        sessions_[worker] = make_session(session.backend);
+        sessions_[worker] = make_session(session.home_backend);
       } catch (...) {
         // Respawn itself failed (e.g. out of memory building the IP). Give
         // up this worker slot; the remaining workers keep draining, and the
@@ -222,6 +288,29 @@ void InferenceEngine::fail_request(Request& r, std::exception_ptr error) {
   r.promise.set_exception(error);
 }
 
+void InferenceEngine::fail_expired(Request& r) {
+  if (r.failed || r.rows_done == r.input.dim(0)) return;
+  static auto& expired = obs::Registry::instance().counter("serve.expired");
+  expired_.fetch_add(1, std::memory_order_relaxed);
+  expired.add();
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - r.enqueued_at)
+                          .count();
+  fail_request(r, std::make_exception_ptr(RequestExpired(
+                      "request " + std::to_string(r.id) + " expired after " +
+                      std::to_string(waited) + " us in the serving pipeline")));
+}
+
+void InferenceEngine::fail_shed(Request& r) {
+  if (r.failed || r.rows_done == r.input.dim(0)) return;
+  static auto& shed = obs::Registry::instance().counter("serve.shed");
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  shed.add();
+  fail_request(r, std::make_exception_ptr(RequestShedError(
+                      "request " + std::to_string(r.id) +
+                      " shed: evicted by newer work (kShedOldest backpressure)")));
+}
+
 Tensor InferenceEngine::run_attempt(WorkerSession& session, const Tensor& input) {
   if (session.backend == Backend::kCpuFloat) {
     return session.cpu_ip->run(input);
@@ -231,31 +320,57 @@ Tensor InferenceEngine::run_attempt(WorkerSession& session, const Tensor& input)
   return output;
 }
 
-void InferenceEngine::fall_back_to_cpu(WorkerSession& session) {
+void InferenceEngine::demote_to_cpu(WorkerSession& session) {
   static auto& fallbacks = obs::Registry::instance().counter("serve.fallbacks");
   obs::Registry::instance()
-      .counter(std::string("serve.fallbacks.") + to_string(session.backend))
+      .counter(std::string("serve.fallbacks.") + to_string(session.home_backend))
       .add();
   fallbacks.add();
   fallbacks_.fetch_add(1, std::memory_order_relaxed);
-  hls::MhsaDesignPoint point = config_.point;
-  point.dtype = hls::DataType::kFloat32;
-  session.cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
-  session.accel.reset();
-  session.ddr.reset();
+  if (!session.cpu_ip) {
+    hls::MhsaDesignPoint point = config_.point;
+    point.dtype = hls::DataType::kFloat32;
+    session.cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
+  }
+  // The accelerator and its DDR stay alive: the device may recover, and the
+  // breaker's half-open probe will re-drive it without a rebuild.
   session.backend = Backend::kCpuFloat;
-  session.consecutive_device_faults = 0;
+}
+
+void InferenceEngine::maybe_probe(WorkerSession& session) {
+  if (session.home_backend == Backend::kCpuFloat) return;
+  if (session.backend != Backend::kCpuFloat) return;  // not demoted
+  if (!session.breaker.probe_due()) return;
+  // Half-open: this batch runs on the real device. Success closes the
+  // breaker; another device fault re-opens it with a longer cooldown (the
+  // request is not lost either way — a failed probe falls back within the
+  // same recovery loop).
+  breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::instance().counter("serve.breaker.half_open").add();
+  session.backend = session.home_backend;
+}
+
+void InferenceEngine::note_device_success(WorkerSession& session) {
+  static auto& state_gauge = obs::Registry::instance().gauge("serve.breaker_state");
+  if (session.breaker.on_success() == CircuitBreaker::Event::kClosed) {
+    breaker_closes_.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::instance().counter("serve.breaker.close").add();
+    state_gauge.set(static_cast<double>(
+        open_breakers_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  }
 }
 
 Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const Tensor& input) {
   static auto& retry_latency = obs::Registry::instance().histogram("serve.retry_latency_us");
+  static auto& state_gauge = obs::Registry::instance().gauge("serve.breaker_state");
+  maybe_probe(session);
   const auto t0 = std::chrono::steady_clock::now();
   std::int64_t backoff_us = config_.fault.backoff_us;
   int attempt = 0;
   for (;;) {
     try {
       Tensor output = run_attempt(session, input);
-      session.consecutive_device_faults = 0;
+      note_device_success(session);
       if (attempt > 0) {
         retry_latency.observe(
             static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -269,14 +384,26 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const Tensor& 
           .counter(std::string("serve.faults_injected.") + to_string(session.backend))
           .add();
       if (session.backend != Backend::kCpuFloat && e.transient()) {
-        // The fallback ladder: an FPGA device faulting this persistently is
-        // treated as broken and the session is rebuilt on the CPU datapath.
-        // The demoted session retries immediately (no attempt consumed — the
+        // Circuit breaker: a device faulting this persistently is presumed
+        // broken. Open the breaker and demote to the CPU datapath; the
+        // demoted session retries immediately (no attempt consumed — the
         // CPU replica has seen no fault yet).
-        if (config_.fault.fallback_after > 0 &&
-            ++session.consecutive_device_faults >= config_.fault.fallback_after) {
-          fall_back_to_cpu(session);
-          continue;
+        switch (session.breaker.on_fault()) {
+          case CircuitBreaker::Event::kOpened:
+            breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+            obs::Registry::instance().counter("serve.breaker.open").add();
+            state_gauge.set(static_cast<double>(
+                open_breakers_.fetch_add(1, std::memory_order_relaxed) + 1));
+            demote_to_cpu(session);
+            continue;
+          case CircuitBreaker::Event::kReopened:
+            // The half-open probe faulted: back to CPU, longer cooldown.
+            breaker_reopens_.fetch_add(1, std::memory_order_relaxed);
+            obs::Registry::instance().counter("serve.breaker.reopen").add();
+            demote_to_cpu(session);
+            continue;
+          default:
+            break;
         }
       }
       if (!e.transient() || attempt >= config_.fault.max_retries) throw;
@@ -298,7 +425,47 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const Tensor& 
   }
 }
 
+std::size_t InferenceEngine::shed_expired_slices(MicroBatch& batch) {
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t live = 0;
+  for (const BatchSlice& slice : batch.slices) {
+    Request& r = *slice.request;
+    if (r.failed) continue;
+    if (r.expired(now)) {
+      fail_expired(r);
+      continue;
+    }
+    ++live;
+  }
+  return live;
+}
+
+void InferenceEngine::apply_exec_deadline(WorkerSession& session, const MicroBatch& batch) {
+  if (!session.accel) return;
+  // The device poll is bounded by the tightest remaining client budget in
+  // the batch: there is no point waiting on DONE for a client that will
+  // have given up by then. (The budget is a bound, not a reservation — a
+  // faster completion is unaffected.)
+  const auto now = std::chrono::steady_clock::now();
+  std::int64_t min_remaining_us = 0;
+  bool any = false;
+  for (const BatchSlice& slice : batch.slices) {
+    const Request& r = *slice.request;
+    if (r.failed || !r.has_deadline()) continue;
+    const std::int64_t remaining = std::max<std::int64_t>(r.remaining_us(now), 1);
+    min_remaining_us = any ? std::min(min_remaining_us, remaining) : remaining;
+    any = true;
+  }
+  rt::ExecDeadline deadline = config_.fault.deadline;
+  if (any) deadline = deadline.clamped_to_wall(min_remaining_us);
+  session.accel->set_deadline(deadline);
+}
+
 void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
+  // Re-check deadlines between batch formation and execution: expired rows
+  // are shed with RequestExpired before the IP is touched, and a batch with
+  // nothing live left is skipped entirely.
+  if (shed_expired_slices(batch) == 0) return;
   static auto& batches = obs::Registry::instance().counter("serve.batches");
   static auto& rows = obs::Registry::instance().counter("serve.rows");
   static auto& occupancy = obs::Registry::instance().histogram("serve.batch_occupancy_pct");
@@ -308,11 +475,16 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
                     static_cast<double>(config_.batcher.max_batch));
   batches_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(static_cast<std::uint64_t>(batch.rows()), std::memory_order_relaxed);
+  apply_exec_deadline(session, batch);
   try {
     Tensor output = run_with_recovery(session, batch.input);
     finish_rows(batch, output);
   } catch (...) {
-    if (batch.slices.size() > 1) {
+    // Requests whose deadline ran out while the batch was failing resolve
+    // as expired, not as casualties of the device error.
+    const std::size_t live = shed_expired_slices(batch);
+    if (live == 0) return;
+    if (live > 1) {
       // The coalesced batch failed even after retries. Don't fail every
       // co-batched request collectively — re-run each request's slice alone
       // so only the ones that fail on their own carry the error.
@@ -328,14 +500,20 @@ void InferenceEngine::isolate_slices(WorkerSession& session, MicroBatch& batch) 
   isolations.add();
   const index_t row_floats =
       config_.point.dim * config_.point.height * config_.point.width;
+  const auto now = std::chrono::steady_clock::now();
   for (const BatchSlice& slice : batch.slices) {
     if (slice.request->failed) continue;  // earlier batch already delivered an error
+    if (slice.request->expired(now)) {
+      fail_expired(*slice.request);
+      continue;
+    }
     const index_t n = slice.row_end - slice.row_begin;
     MicroBatch one;
     one.input = Tensor(Shape{n, config_.point.dim, config_.point.height, config_.point.width});
     std::memcpy(one.input.data(), batch.input.data() + slice.batch_row * row_floats,
                 static_cast<std::size_t>(n * row_floats) * sizeof(float));
     one.slices = {BatchSlice{slice.request, slice.row_begin, slice.row_end, 0}};
+    apply_exec_deadline(session, one);  // this slice's own remaining budget
     try {
       Tensor output = run_with_recovery(session, one.input);
       finish_rows(one, output);
@@ -396,6 +574,8 @@ EngineStats InferenceEngine::stats() const {
   EngineStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
@@ -403,6 +583,14 @@ EngineStats InferenceEngine::stats() const {
   s.retries = retries_.load(std::memory_order_relaxed);
   s.fallbacks = fallbacks_.load(std::memory_order_relaxed);
   s.respawns = respawns_.load(std::memory_order_relaxed);
+  s.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  s.breaker_probes = breaker_probes_.load(std::memory_order_relaxed);
+  s.breaker_reopens = breaker_reopens_.load(std::memory_order_relaxed);
+  s.breaker_closes = breaker_closes_.load(std::memory_order_relaxed);
+  s.open_breakers = open_breakers_.load(std::memory_order_relaxed);
+  s.queue_wait_p50_us = queue_wait_us_.percentile(50);
+  s.queue_wait_p95_us = queue_wait_us_.percentile(95);
+  s.queue_wait_p99_us = queue_wait_us_.percentile(99);
   s.sim_cycles = sim_cycles_.load(std::memory_order_relaxed);
   return s;
 }

@@ -11,6 +11,38 @@ MicroBatcher::MicroBatcher(RequestQueue& queue, BatcherConfig config)
     : queue_(queue), config_(config) {
   if (config_.max_batch < 1) throw std::invalid_argument("MicroBatcher: max_batch must be >= 1");
   if (config_.max_wait_us < 0) throw std::invalid_argument("MicroBatcher: max_wait_us must be >= 0");
+  if (config_.min_wait_us < 0) throw std::invalid_argument("MicroBatcher: min_wait_us must be >= 0");
+  if (config_.adaptive && config_.min_wait_us > config_.max_wait_us) {
+    throw std::invalid_argument("MicroBatcher: min_wait_us must be <= max_wait_us");
+  }
+}
+
+bool MicroBatcher::admissible(RequestPtr& r) {
+  const bool forced = fault::fire("serve.overload.expire");
+  if (!forced && !r->expired(std::chrono::steady_clock::now())) return true;
+  if (forced && !r->has_deadline()) {
+    // The injected expiry needs a deadline to have passed; synthesize one so
+    // the engine's expiry path (and its error message) stays uniform.
+    r->deadline = r->enqueued_at;
+  }
+  if (expired_handler_) {
+    expired_handler_(std::move(r));
+  } else {
+    expired_.push_back(std::move(r));
+  }
+  return false;
+}
+
+std::int64_t MicroBatcher::effective_wait_us() const {
+  if (!config_.adaptive) return config_.max_wait_us;
+  // Idle queue: lingering cannot fill the batch, it only adds tail latency.
+  // Backlog: linger the full window so batches leave dense. In between,
+  // scale linearly with depth.
+  const auto depth = static_cast<index_t>(queue_.size());
+  if (depth == 0) return config_.min_wait_us;
+  if (depth >= config_.max_batch) return config_.max_wait_us;
+  return config_.min_wait_us +
+         (config_.max_wait_us - config_.min_wait_us) * depth / config_.max_batch;
 }
 
 bool MicroBatcher::next(MicroBatch& out) {
@@ -18,13 +50,14 @@ bool MicroBatcher::next(MicroBatch& out) {
   index_t current_row = carry_row_;
   carry_.reset();
   carry_row_ = 0;
-  if (!current) {
+  while (!current) {
     current = queue_.pop();
     if (!current) return false;  // closed and drained
+    if (!admissible(current)) continue;  // expired in queue; parked for the engine
     current_row = 0;
   }
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::microseconds(config_.max_wait_us);
+  const std::int64_t wait_us = effective_wait_us();
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(wait_us);
 
   std::vector<BatchSlice> slices;
   try {
@@ -42,8 +75,12 @@ bool MicroBatcher::next(MicroBatch& out) {
         break;
       }
       if (rows >= config_.max_batch) break;
-      RequestPtr nxt = queue_.try_pop();
-      if (!nxt && config_.max_wait_us > 0) nxt = queue_.pop_until(deadline);
+      RequestPtr nxt;
+      for (;;) {
+        nxt = queue_.try_pop();
+        if (!nxt && wait_us > 0) nxt = queue_.pop_until(deadline);
+        if (!nxt || admissible(nxt)) break;  // expired pops don't consume rows
+      }
       if (!nxt) break;  // nothing more within the linger window
       current = std::move(nxt);
       current_row = 0;
@@ -86,6 +123,12 @@ bool MicroBatcher::next(MicroBatch& out) {
 std::vector<RequestPtr> MicroBatcher::take_orphans() {
   std::vector<RequestPtr> out = std::move(orphans_);
   orphans_.clear();
+  return out;
+}
+
+std::vector<RequestPtr> MicroBatcher::take_expired() {
+  std::vector<RequestPtr> out = std::move(expired_);
+  expired_.clear();
   return out;
 }
 

@@ -2,18 +2,43 @@
 
 namespace nodetr::serve {
 
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kBatch: return "batch";
+    case Priority::kNormal: return "normal";
+    case Priority::kInteractive: return "interactive";
+  }
+  return "?";
+}
+
 RequestQueue::RequestQueue(std::size_t capacity, BackpressurePolicy policy)
     : capacity_(capacity), policy_(policy) {
   if (capacity_ == 0) throw std::invalid_argument("RequestQueue: capacity must be >= 1");
 }
 
-PushResult RequestQueue::push(RequestPtr r) {
+void RequestQueue::observe_wait(const RequestPtr& r) const {
+  if (!wait_observer_ || !r) return;
+  wait_observer_(std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - r->enqueued_at)
+                     .count());
+}
+
+PushResult RequestQueue::push(RequestPtr r, RequestPtr* shed) {
   std::unique_lock lk(mu_);
   if (policy_ == BackpressurePolicy::kBlock) {
     cv_space_.wait(lk, [&] { return closed_ || items_.size() < capacity_; });
   }
   if (closed_) return PushResult::kClosed;
-  if (items_.size() >= capacity_) return PushResult::kFull;
+  if (items_.size() >= capacity_) {
+    if (policy_ != BackpressurePolicy::kShedOldest || shed == nullptr) {
+      return PushResult::kFull;
+    }
+    // Evict the oldest queued request to make room: under deadline-bound
+    // traffic the front of a standing queue is the work most likely to be
+    // stale, so freshest-first admission maximizes goodput.
+    *shed = std::move(items_.front());
+    items_.pop_front();
+  }
   items_.push_back(std::move(r));
   lk.unlock();
   cv_items_.notify_one();
@@ -28,6 +53,7 @@ RequestPtr RequestQueue::pop() {
   items_.pop_front();
   lk.unlock();
   cv_space_.notify_one();
+  observe_wait(r);
   return r;
 }
 
@@ -38,6 +64,7 @@ RequestPtr RequestQueue::try_pop() {
   items_.pop_front();
   lk.unlock();
   cv_space_.notify_one();
+  observe_wait(r);
   return r;
 }
 
@@ -59,6 +86,7 @@ RequestPtr RequestQueue::pop_until(std::chrono::steady_clock::time_point deadlin
   items_.pop_front();
   lk.unlock();
   cv_space_.notify_one();
+  observe_wait(r);
   return r;
 }
 

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "nodetr/rt/accelerator.hpp"
@@ -89,7 +90,7 @@ TEST_F(ServeFaultTest, ExhaustedRetriesFailTheFutureWithTypedError) {
   fault::Injector::instance().arm("rt.dma.error", fault::Schedule::always());
   serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat);
   cfg.fault.max_retries = 2;
-  cfg.fault.fallback_after = 0;  // fallback ladder off: the error must surface
+  cfg.breaker.open_after = 0;  // breaker off: the error must surface
   serve::InferenceEngine engine(cfg, weights());
   auto future = engine.submit(rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width}));
   ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
@@ -102,7 +103,8 @@ TEST_F(ServeFaultTest, PersistentDeviceFaultFallsBackToCpu) {
   fault::Injector::instance().arm("rt.dma.error", fault::Schedule::always());
   serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat);
   cfg.fault.max_retries = 8;
-  cfg.fault.fallback_after = 3;
+  cfg.breaker.open_after = 3;
+  cfg.breaker.cooldown_us = 10'000'000;  // no half-open probe within this test
   serve::InferenceEngine engine(cfg, weights());
   const nt::Tensor x = rng_.rand(nt::Shape{2, point_.dim, point_.height, point_.width});
   auto f0 = engine.submit(x);
@@ -111,11 +113,88 @@ TEST_F(ServeFaultTest, PersistentDeviceFaultFallsBackToCpu) {
   EXPECT_EQ(nt::max_abs_diff(f0.get(), reference(x)), 0.0f);
   EXPECT_EQ(engine.stats().fallbacks, 1u);
   EXPECT_EQ(engine.stats().failed, 0u);
-  // The session stays demoted: later requests never touch the dead device.
+  EXPECT_EQ(engine.stats().breaker_opens, 1u);
+  EXPECT_EQ(engine.stats().open_breakers, 1u);
+  // The breaker stays open (cooldown not elapsed): later requests never
+  // touch the dead device.
   auto f1 = engine.submit(x);
   ASSERT_EQ(f1.wait_for(std::chrono::seconds(30)), std::future_status::ready);
   EXPECT_EQ(nt::max_abs_diff(f1.get(), reference(x)), 0.0f);
   EXPECT_EQ(engine.stats().fallbacks, 1u);
+  EXPECT_EQ(engine.stats().breaker_probes, 0u);
+}
+
+TEST_F(ServeFaultTest, BreakerHalfOpenProbeRestoresHealedDevice) {
+  // The acceptance scenario for self-healing: a device that faults long
+  // enough to open the breaker, then heals. The half-open probe must restore
+  // the session's FPGA backend — the demotion is not one-way.
+  fault::Injector::instance().arm("rt.dma.error", fault::Schedule::always());
+  serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat);
+  cfg.fault.max_retries = 8;
+  cfg.breaker.open_after = 2;
+  cfg.breaker.cooldown_us = 1'000;  // 1 ms: the probe fires within the test
+  serve::InferenceEngine engine(cfg, weights());
+  const nt::Tensor x = rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width});
+
+  auto f0 = engine.submit(x);
+  ASSERT_EQ(f0.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(nt::max_abs_diff(f0.get(), reference(x)), 0.0f);  // served by CPU fallback
+  auto s = engine.stats();
+  EXPECT_EQ(s.breaker_opens, 1u);
+  EXPECT_EQ(s.open_breakers, 1u);
+  EXPECT_EQ(s.sim_cycles, 0);  // no device execute ever completed
+
+  // The device heals; after the cooldown the next batch is the probe.
+  fault::Injector::instance().disarm("rt.dma.error");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  auto f1 = engine.submit(x);
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(nt::max_abs_diff(f1.get(), reference(x)), 0.0f);
+  s = engine.stats();
+  EXPECT_EQ(s.breaker_probes, 1u);
+  EXPECT_EQ(s.breaker_closes, 1u);
+  EXPECT_EQ(s.breaker_reopens, 0u);
+  EXPECT_EQ(s.open_breakers, 0u);
+  EXPECT_GT(s.sim_cycles, 0);  // the probe ran on the real device
+
+  // And the session is genuinely back home: further traffic keeps accruing
+  // simulated device cycles.
+  const std::int64_t cycles_after_probe = s.sim_cycles;
+  auto f2 = engine.submit(x);
+  ASSERT_EQ(f2.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(nt::max_abs_diff(f2.get(), reference(x)), 0.0f);
+  EXPECT_GT(engine.stats().sim_cycles, cycles_after_probe);
+  EXPECT_EQ(engine.stats().failed, 0u);
+}
+
+TEST_F(ServeFaultTest, FlappingDeviceBacksOffExponentially) {
+  // A device that faults every probe: each failed probe re-opens the breaker
+  // with a longer cooldown, so traffic converges to mostly-CPU instead of
+  // thrashing between backends.
+  fault::Injector::instance().arm("rt.dma.error", fault::Schedule::always());
+  serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat);
+  cfg.fault.max_retries = 8;
+  cfg.breaker.open_after = 1;
+  cfg.breaker.cooldown_us = 500;
+  cfg.breaker.cooldown_multiplier = 4.0;
+  serve::InferenceEngine engine(cfg, weights());
+  const nt::Tensor x = rng_.rand(nt::Shape{1, point_.dim, point_.height, point_.width});
+
+  auto f0 = engine.submit(x);
+  ASSERT_EQ(f0.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(engine.stats().breaker_opens, 1u);
+
+  // Wait out the first cooldown so the next batch probes (and faults again).
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  auto f1 = engine.submit(x);
+  ASSERT_EQ(f1.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(nt::max_abs_diff(f1.get(), reference(x)), 0.0f);  // still served (by CPU)
+  const auto s = engine.stats();
+  EXPECT_EQ(s.breaker_probes, 1u);
+  EXPECT_EQ(s.breaker_reopens, 1u);
+  EXPECT_EQ(s.breaker_closes, 0u);
+  EXPECT_EQ(s.open_breakers, 1u);
+  EXPECT_EQ(s.failed, 0u);
 }
 
 TEST_F(ServeFaultTest, WorkerCrashStrandsNoFuture) {
@@ -183,7 +262,7 @@ TEST_F(ServeFaultTest, MixedProbabilisticScheduleResolvesEverythingBounded) {
   inj.arm("hls.ip.stall", fault::Schedule::with_probability(0.05));
   serve::EngineConfig cfg = config(serve::Backend::kFpgaFloat, /*workers=*/2);
   cfg.fault.max_retries = 6;
-  cfg.fault.fallback_after = 16;
+  cfg.breaker.open_after = 16;
   cfg.fault.deadline.sim_cycles = 1'000'000;
   serve::InferenceEngine engine(cfg, weights());
   std::vector<std::future<nt::Tensor>> futures;

@@ -1,0 +1,250 @@
+// RequestQueue edge cases: concurrent producers at capacity, requeue/close
+// interleavings, pop_until racing close(), shed-oldest under contention, and
+// deadline expiry during the shutdown drain. The invariant: no request is
+// ever lost or duplicated, and every future still resolves.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "nodetr/nn/attention.hpp"
+#include "nodetr/serve/serve.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace serve = nodetr::serve;
+namespace hls = nodetr::hls;
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+serve::RequestPtr dummy_request(std::uint64_t id) {
+  auto r = std::make_shared<serve::Request>();
+  r->id = id;
+  r->input = nt::Tensor(nt::Shape{1, 2, 1, 2});
+  r->enqueued_at = Clock::now();
+  return r;
+}
+
+}  // namespace
+
+TEST(QueueEdges, ConcurrentRejectProducersNeverLoseOrDuplicate) {
+  constexpr std::size_t kCapacity = 4;
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 200;
+  serve::RequestQueue q(kCapacity, serve::BackpressurePolicy::kReject);
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<bool> stop_consumer{false};
+  std::atomic<std::uint64_t> popped{0};
+  std::thread consumer([&] {
+    while (!stop_consumer.load()) {
+      if (q.try_pop()) popped.fetch_add(1);
+    }
+    while (q.try_pop()) popped.fetch_add(1);  // final drain
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto id = static_cast<std::uint64_t>(t * kPerProducer + i);
+        switch (q.push(dummy_request(id))) {
+          case serve::PushResult::kOk: accepted.fetch_add(1); break;
+          case serve::PushResult::kFull: rejected.fetch_add(1); break;
+          case serve::PushResult::kClosed: FAIL() << "queue closed unexpectedly";
+        }
+        EXPECT_LE(q.size(), kCapacity);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop_consumer.store(true);
+  consumer.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            static_cast<std::uint64_t>(kProducers * kPerProducer));
+  // Every accepted request was popped exactly once; none invented or lost.
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(QueueEdges, RequeueAfterCloseStillDrains) {
+  serve::RequestQueue q(2, serve::BackpressurePolicy::kReject);
+  ASSERT_EQ(q.push(dummy_request(0)), serve::PushResult::kOk);
+  auto r = q.pop();
+  ASSERT_NE(r, nullptr);
+  q.close();
+  // A crash-salvaged request was admitted once and must still drain, closed
+  // or not, capacity or not.
+  ASSERT_EQ(q.push(dummy_request(1)), serve::PushResult::kClosed);
+  q.requeue(r);
+  auto back = q.pop();
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->id, 0u);
+  EXPECT_EQ(q.pop(), nullptr);  // closed and drained
+}
+
+TEST(QueueEdges, RequeueGoesToTheFrontAheadOfQueuedWork) {
+  serve::RequestQueue q(4, serve::BackpressurePolicy::kReject);
+  ASSERT_EQ(q.push(dummy_request(0)), serve::PushResult::kOk);
+  ASSERT_EQ(q.push(dummy_request(1)), serve::PushResult::kOk);
+  auto first = q.pop();
+  ASSERT_EQ(first->id, 0u);
+  q.requeue(first);  // salvage: must be served next, not behind id 1
+  EXPECT_EQ(q.pop()->id, 0u);
+  EXPECT_EQ(q.pop()->id, 1u);
+}
+
+TEST(QueueEdges, PopUntilTimesOutOnEmptyQueue) {
+  serve::RequestQueue q(2, serve::BackpressurePolicy::kBlock);
+  const auto t0 = Clock::now();
+  EXPECT_EQ(q.pop_until(t0 + std::chrono::milliseconds(20)), nullptr);
+  EXPECT_GE(Clock::now() - t0, std::chrono::milliseconds(20));
+}
+
+TEST(QueueEdges, CloseWakesBlockedPopUntilPromptly) {
+  serve::RequestQueue q(2, serve::BackpressurePolicy::kBlock);
+  std::promise<void> returned;
+  std::thread waiter([&] {
+    // A long timeout: only close() can end this wait early.
+    EXPECT_EQ(q.pop_until(Clock::now() + std::chrono::seconds(30)), nullptr);
+    returned.set_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  auto done = returned.get_future();
+  EXPECT_EQ(done.wait_for(std::chrono::seconds(5)), std::future_status::ready)
+      << "close() did not wake a blocked pop_until";
+  waiter.join();
+}
+
+TEST(QueueEdges, PopUntilRacingCloseNeverHangsOrDropsItems) {
+  // Hammer the race: consumers inside pop_until while close() lands. Every
+  // pushed item must come out exactly once; every consumer must return.
+  for (int round = 0; round < 20; ++round) {
+    serve::RequestQueue q(16, serve::BackpressurePolicy::kReject);
+    std::atomic<std::uint64_t> popped{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+      consumers.emplace_back([&] {
+        for (;;) {
+          auto r = q.pop_until(Clock::now() + std::chrono::milliseconds(5));
+          if (r) {
+            popped.fetch_add(1);
+            continue;
+          }
+          if (q.closed()) return;  // closed and drained
+        }
+      });
+    }
+    std::uint64_t pushed = 0;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      if (q.push(dummy_request(i)) == serve::PushResult::kOk) ++pushed;
+    }
+    q.close();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(popped.load(), pushed) << "round " << round;
+  }
+}
+
+TEST(QueueEdges, ShedOldestUnderConcurrentProducersAccountsForEveryVictim) {
+  constexpr std::size_t kCapacity = 2;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  serve::RequestQueue q(kCapacity, serve::BackpressurePolicy::kShedOldest);
+  std::mutex victims_mu;
+  std::vector<serve::RequestPtr> victims;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        serve::RequestPtr victim;
+        ASSERT_EQ(q.push(dummy_request(static_cast<std::uint64_t>(t * kPerProducer + i)),
+                         &victim),
+                  serve::PushResult::kOk);  // shed-oldest always admits
+        if (victim) {
+          std::lock_guard lk(victims_mu);
+          victims.push_back(std::move(victim));
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  // Conservation: everything pushed is either still queued or was evicted.
+  EXPECT_EQ(victims.size() + q.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  // No victim was handed out twice.
+  std::set<const serve::Request*> unique;
+  for (const auto& v : victims) {
+    ASSERT_NE(v, nullptr);
+    EXPECT_TRUE(unique.insert(v.get()).second);
+  }
+}
+
+TEST(QueueEdges, WaitObserverSeesEveryPopVariant) {
+  serve::RequestQueue q(8, serve::BackpressurePolicy::kBlock);
+  std::atomic<int> samples{0};
+  q.set_wait_observer([&](std::int64_t wait_us) {
+    EXPECT_GE(wait_us, 0);
+    samples.fetch_add(1);
+  });
+  ASSERT_EQ(q.push(dummy_request(0)), serve::PushResult::kOk);
+  ASSERT_EQ(q.push(dummy_request(1)), serve::PushResult::kOk);
+  ASSERT_EQ(q.push(dummy_request(2)), serve::PushResult::kOk);
+  (void)q.pop();
+  (void)q.try_pop();
+  (void)q.pop_until(Clock::now() + std::chrono::milliseconds(5));
+  EXPECT_EQ(samples.load(), 3);
+  EXPECT_EQ(q.try_pop(), nullptr);  // empty pop: no sample
+  EXPECT_EQ(samples.load(), 3);
+}
+
+// ------------------------------------------- shutdown drain with TTLs ----
+
+TEST(QueueEdges, DeadlineExpiryDuringShutdownDrainResolvesTyped) {
+  nt::Rng rng{7};
+  nn::MhsaConfig cfg;
+  cfg.dim = 16;
+  cfg.heads = 2;
+  cfg.height = 4;
+  cfg.width = 4;
+  nn::MultiHeadSelfAttention mhsa(cfg, rng);
+  mhsa.train(false);
+  serve::EngineConfig ec;
+  ec.point.dim = cfg.dim;
+  ec.point.height = cfg.height;
+  ec.point.width = cfg.width;
+  ec.point.heads = cfg.heads;
+  ec.point.scheme = fx::scheme_32_24();
+  ec.backend = serve::Backend::kCpuFloat;
+  ec.workers = 1;
+  ec.queue_capacity = 64;
+  ec.batcher.max_batch = 8;
+  ec.batcher.max_wait_us = 0;
+  serve::InferenceEngine engine(ec, hls::MhsaWeights::from_module(mhsa));
+
+  // Pin the worker, stack TTL'd requests behind it, then shut down: the
+  // drain finds them expired and must resolve each with RequestExpired —
+  // futures never hang through shutdown.
+  auto pin = engine.submit(rng.rand(nt::Shape{128, cfg.dim, cfg.height, cfg.width}));
+  while (engine.stats().batches == 0) std::this_thread::yield();
+  std::vector<std::future<nt::Tensor>> doomed;
+  serve::SubmitOptions opts;
+  opts.ttl_us = 1;
+  for (int i = 0; i < 5; ++i) {
+    doomed.push_back(engine.submit(rng.rand(nt::Shape{1, cfg.dim, cfg.height, cfg.width}), opts));
+  }
+  engine.shutdown();
+  EXPECT_EQ(pin.get().dim(0), 128);
+  for (auto& f : doomed) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "shutdown returned with an unresolved future";
+    EXPECT_THROW((void)f.get(), serve::RequestExpired);
+  }
+  EXPECT_EQ(engine.stats().expired, 5u);
+}

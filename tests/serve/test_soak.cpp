@@ -1,0 +1,180 @@
+// Soak: open-loop mixed traffic (priorities, TTLs, oversized requests)
+// against an engine under a probabilistic fault storm, for
+// NODETR_SOAK_SECONDS (default 2; the nightly CI job runs 60). Asserts the
+// two properties that only show up over time: zero hung futures and bounded
+// memory growth. Seeded via NODETR_FAULT_SEED for replay.
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "nodetr/fault/fault.hpp"
+#include "nodetr/nn/attention.hpp"
+#include "nodetr/serve/serve.hpp"
+#include "nodetr/tensor/ops.hpp"
+
+namespace serve = nodetr::serve;
+namespace fault = nodetr::fault;
+namespace hls = nodetr::hls;
+namespace nn = nodetr::nn;
+namespace nt = nodetr::tensor;
+namespace fx = nodetr::fx;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+long max_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::strtoll(v, nullptr, 0) : fallback;
+}
+
+}  // namespace
+
+TEST(Soak, FaultStormNeverHangsAFutureAndMemoryStaysBounded) {
+  const std::int64_t seconds = env_int("NODETR_SOAK_SECONDS", 2);
+  auto& inj = fault::Injector::instance();
+  inj.reset();
+  const auto seed = static_cast<std::uint64_t>(env_int("NODETR_FAULT_SEED", 0x50a7'5eed));
+  inj.seed(seed);
+  inj.arm("rt.dma.error", fault::Schedule::with_probability(0.05));
+  inj.arm("rt.ddr.bitflip", fault::Schedule::with_probability(0.02));
+  inj.arm("hls.ip.stall", fault::Schedule::with_probability(0.02));
+  inj.arm("serve.alloc", fault::Schedule::with_probability(0.005));
+  inj.arm("serve.worker_crash", fault::Schedule::with_probability(0.002));
+  inj.arm("serve.overload.expire", fault::Schedule::with_probability(0.01));
+
+  nt::Rng rng{7};
+  nn::MhsaConfig mc;
+  mc.dim = 16;
+  mc.heads = 2;
+  mc.height = 4;
+  mc.width = 4;
+  nn::MultiHeadSelfAttention mhsa(mc, rng);
+  mhsa.train(false);
+
+  serve::EngineConfig cfg;
+  cfg.point.dim = mc.dim;
+  cfg.point.height = mc.height;
+  cfg.point.width = mc.width;
+  cfg.point.heads = mc.heads;
+  cfg.point.scheme = fx::scheme_32_24();
+  cfg.backend = serve::Backend::kFpgaFloat;
+  cfg.workers = 2;
+  cfg.queue_capacity = 128;
+  cfg.policy = serve::BackpressurePolicy::kShedOldest;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.adaptive = true;
+  cfg.batcher.min_wait_us = 0;
+  cfg.batcher.max_wait_us = 200;
+  cfg.fault.max_retries = 4;
+  cfg.fault.backoff_us = 10;
+  cfg.fault.max_backoff_us = 100;
+  cfg.fault.deadline.sim_cycles = 1'000'000;
+  cfg.admission.enabled = true;
+  cfg.admission.target_wait_us = 5'000;
+  cfg.admission.interval_us = 50'000;
+  cfg.breaker.open_after = 8;
+  cfg.breaker.cooldown_us = 10'000;
+  serve::InferenceEngine engine(cfg, hls::MhsaWeights::from_module(mhsa));
+
+  // Warm up the allocator/thread pools before the baseline RSS reading so
+  // steady-state growth, not first-touch, is what the bound measures.
+  for (int i = 0; i < 8; ++i) {
+    try {
+      (void)engine.submit(rng.rand(nt::Shape{2, mc.dim, mc.height, mc.width})).get();
+    } catch (const std::runtime_error&) {
+      // The storm is already armed; warmup requests may resolve with a
+      // typed error, which is fine — they only exist to touch memory.
+    }
+  }
+  const long rss_before_kb = max_rss_kb();
+
+  struct Pending {
+    std::future<nt::Tensor> future;
+    bool had_deadline;
+  };
+  std::vector<Pending> pending;
+  std::uint64_t accepted = 0, refused = 0, values = 0, typed_errors = 0;
+  const auto t_end = Clock::now() + std::chrono::seconds(seconds);
+  std::uint64_t i = 0;
+  while (Clock::now() < t_end) {
+    const nt::index_t rows = 1 + static_cast<nt::index_t>(i % 12);
+    serve::SubmitOptions opts;
+    opts.priority = static_cast<serve::Priority>(i % 3);
+    const bool with_ttl = (i % 4) == 0;
+    if (with_ttl) opts.ttl_us = 1'000 + static_cast<std::int64_t>(i % 7) * 10'000;
+    try {
+      pending.push_back(
+          {engine.submit(rng.rand(nt::Shape{rows, mc.dim, mc.height, mc.width}), opts),
+           with_ttl});
+      ++accepted;
+    } catch (const serve::RequestShedError&) {
+      ++refused;
+    } catch (const serve::RequestExpired&) {
+      ++refused;
+    }
+    ++i;
+    // Reap settled futures as we go so `pending` (and the inputs the engine
+    // holds for them) cannot grow without bound over a long soak.
+    if (pending.size() >= 64) {
+      for (auto& p : pending) {
+        try {
+          (void)p.future.get();
+          ++values;
+        } catch (const fault::FaultError&) {
+          ++typed_errors;  // exhausted retries under the storm
+        } catch (const serve::RequestExpired&) {
+          ++typed_errors;
+        } catch (const serve::RequestShedError&) {
+          ++typed_errors;
+        }
+        // Anything else (an untyped exception) propagates and fails the test.
+      }
+      pending.clear();
+    }
+  }
+  engine.shutdown();
+  const auto resolve_deadline = Clock::now() + std::chrono::seconds(30);
+  for (auto& p : pending) {
+    ASSERT_EQ(p.future.wait_until(resolve_deadline), std::future_status::ready)
+        << "hung future after shutdown (seed 0x" << std::hex << seed << ")";
+    try {
+      (void)p.future.get();
+      ++values;
+    } catch (const fault::FaultError&) {
+      ++typed_errors;
+    } catch (const serve::RequestExpired&) {
+      ++typed_errors;
+    } catch (const serve::RequestShedError&) {
+      ++typed_errors;
+    }
+  }
+  const auto stats = engine.stats();
+  // Every accepted request resolved exactly once, value or typed error.
+  EXPECT_EQ(values + typed_errors, accepted);
+  EXPECT_EQ(stats.completed + stats.failed, stats.submitted);
+  EXPECT_GT(values, 0u) << "storm drowned all traffic; nothing completed";
+
+  // Bounded memory: steady-state RSS growth over the whole soak stays under
+  // a generous fixed bound (a leak of one input tensor per request would
+  // blow far past this).
+  const long growth_kb = max_rss_kb() - rss_before_kb;
+  EXPECT_LT(growth_kb, 256 * 1024)
+      << "RSS grew " << growth_kb << " KiB over " << seconds << "s soak";
+
+  inj.reset();
+  std::cerr << "[soak] " << seconds << "s: accepted=" << accepted << " refused=" << refused
+            << " values=" << values << " typed_errors=" << typed_errors
+            << " sheds=" << stats.shed << " expired=" << stats.expired
+            << " breaker_opens=" << stats.breaker_opens << " closes=" << stats.breaker_closes
+            << " respawns=" << stats.respawns << " rss_growth_kb=" << growth_kb << std::endl;
+}
