@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure reproduction benches.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -67,8 +68,14 @@ class JsonReport {
     out << std::setprecision(15);
     out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-      out << (i == 0 ? "" : ",") << "\n    \"" << entries_[i].first
-          << "\": " << entries_[i].second;
+      out << (i == 0 ? "" : ",") << "\n    \"" << entries_[i].first << "\": ";
+      // Strict JSON has no inf/nan literal; a division by a zero denominator
+      // (e.g. goodput ratio with zero saturation) must not poison the file.
+      if (std::isfinite(entries_[i].second)) {
+        out << entries_[i].second;
+      } else {
+        out << "null";
+      }
     }
     out << "\n  }\n}\n";
     std::printf("wrote %s\n", out_path.c_str());

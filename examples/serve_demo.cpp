@@ -83,5 +83,21 @@ int main(int argc, char** argv) {
   auto& latency = obs::Registry::instance().histogram("serve.request_latency_us");
   std::printf("request latency: p50 %.0f us  p95 %.0f us  p99 %.0f us\n",
               latency.percentile(50), latency.percentile(95), latency.percentile(99));
+
+  for (const auto& [backend, d] : stats.devices) {
+    std::printf("device[%s]: starts %llu  dma in %llu B  dma out %llu B  "
+                "weight bytes saved %llu B  stall cycles %llu  utilization %.1f%%\n",
+                backend.c_str(), static_cast<unsigned long long>(d.starts),
+                static_cast<unsigned long long>(d.dma_bytes_in),
+                static_cast<unsigned long long>(d.dma_bytes_out),
+                static_cast<unsigned long long>(d.weight_bytes_saved),
+                static_cast<unsigned long long>(d.stall_cycles), d.utilization_pct());
+  }
+  std::printf("slo window: resolved %llu  goodput %.3f  queue-wait p99 %.0f us  "
+              "latency p99 %.0f us  breaches %llu%s\n",
+              static_cast<unsigned long long>(stats.slo.window_resolved()), stats.slo.goodput,
+              stats.slo.queue_wait_p99_us, stats.slo.latency_p99_us,
+              static_cast<unsigned long long>(stats.slo.breaches),
+              stats.slo.breached() ? "  [BREACHED]" : "");
   return stats.failed == 0 && stats.completed == stats.submitted ? 0 : 1;
 }

@@ -54,6 +54,10 @@ class MhsaIpCore {
   [[nodiscard]] std::int64_t weight_dma_bytes() const;
   /// The per-image share of the DMA traffic (input + output feature maps).
   [[nodiscard]] std::int64_t io_dma_bytes_per_image() const;
+  /// Host -> device share of the per-image traffic (input feature map).
+  [[nodiscard]] std::int64_t input_dma_bytes_per_image() const;
+  /// Device -> host share of the per-image traffic (output feature map).
+  [[nodiscard]] std::int64_t output_dma_bytes_per_image() const;
 
   /// Fixed-in / fixed-out datapath on one image's tokens (N, D) in the
   /// scheme's feature format — the exact arithmetic a full-model fixed

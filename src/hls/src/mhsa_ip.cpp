@@ -73,8 +73,17 @@ std::int64_t MhsaIpCore::weight_dma_bytes() const {
 }
 
 std::int64_t MhsaIpCore::io_dma_bytes_per_image() const {
+  return input_dma_bytes_per_image() + output_dma_bytes_per_image();
+}
+
+std::int64_t MhsaIpCore::input_dma_bytes_per_image() const {
   const std::int64_t d = point_.dim, n = point_.tokens();
-  return 2 * n * d * 4;                // input + output stream
+  return n * d * 4;                    // input stream
+}
+
+std::int64_t MhsaIpCore::output_dma_bytes_per_image() const {
+  const std::int64_t d = point_.dim, n = point_.tokens();
+  return n * d * 4;                    // output stream (same shape as input)
 }
 
 namespace {

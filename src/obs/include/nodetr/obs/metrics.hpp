@@ -54,9 +54,14 @@ class Histogram {
   /// microsecond/millisecond timings and cycle counts.
   explicit Histogram(std::vector<double> bounds = {});
 
+  /// Records `v`. Non-finite or negative samples (a NaN latency, a clock that
+  /// went backwards) are rejected and counted in dropped() instead of silently
+  /// polluting the percentiles.
   void observe(double v);
 
   [[nodiscard]] std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Samples rejected by observe() (NaN / infinite / negative).
+  [[nodiscard]] std::int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   [[nodiscard]] double sum() const;
   [[nodiscard]] double mean() const;
   /// p in [0, 100]. Returns 0 for an empty histogram.
@@ -70,6 +75,7 @@ class Histogram {
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::int64_t>[]> buckets_;  ///< bounds_.size() + 1
   std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> dropped_{0};
   std::atomic<double> sum_{0.0};
 };
 
@@ -85,9 +91,18 @@ class Registry {
   Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
-  /// p50,p95,p99}}} — keys sorted.
+  /// p50,p95,p99}}} — keys sorted. Non-finite values are emitted as null so
+  /// the dump is always strict JSON.
   [[nodiscard]] std::string to_json() const;
   void write_json(const std::string& path) const;
+
+  /// OpenMetrics text exposition (https://openmetrics.io): counters as
+  /// `nodetr_<name>_total`, gauges as `nodetr_<name>`, histograms as
+  /// summaries (quantile 0.5/0.95/0.99 + _count/_sum), names sanitized to
+  /// [a-zA-Z0-9_:], terminated by `# EOF`. If NODETR_OPENMETRICS=<path> is
+  /// set it is written there at process exit, alongside the JSON dump.
+  [[nodiscard]] std::string to_openmetrics() const;
+  void write_openmetrics(const std::string& path) const;
 
   /// Zero every instrument (the instruments themselves survive).
   void reset();
@@ -102,7 +117,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::string export_path_;  ///< from NODETR_METRICS; written at destruction
+  std::string export_path_;       ///< from NODETR_METRICS; written at destruction
+  std::string openmetrics_path_;  ///< from NODETR_OPENMETRICS; written at destruction
 };
 
 }  // namespace nodetr::obs

@@ -1,8 +1,10 @@
 // Umbrella header for nodetr::obs — scoped tracing spans, the metrics
-// registry, and their exporters. See trace.hpp and metrics.hpp for the
-// individual pieces, and the README "Observability" section for usage.
+// registry, the flight recorder, and their exporters. See trace.hpp,
+// metrics.hpp and flight_recorder.hpp for the individual pieces, and the
+// README "Observability" section for usage.
 #pragma once
 
+#include "nodetr/obs/flight_recorder.hpp"
 #include "nodetr/obs/metrics.hpp"
 #include "nodetr/obs/trace.hpp"
 

@@ -33,6 +33,19 @@ namespace nodetr::obs {
 using AttrValue = std::variant<std::int64_t, double, std::string>;
 using Attr = std::pair<std::string, AttrValue>;
 
+/// One point of a cross-thread flow arrow (Chrome trace "s"/"t"/"f" events).
+/// Recorded while a span is open on the same thread so the exporter's
+/// binding point ("bp":"e") attaches the arrow to that enclosing slice; all
+/// points sharing an id render as one clickable chain in Perfetto. The
+/// serving engine uses the request trace id, so a request's life —
+/// submit → batch (per split) → completion — is one arrow chain.
+struct FlowRecord {
+  std::uint64_t id = 0;
+  std::uint64_t ts_ns = 0;  ///< since Tracer epoch
+  std::uint32_t tid = 0;
+  char phase = 's';  ///< 's' start, 't' step, 'f' end
+};
+
 /// One completed span. `path` is the '/'-joined chain of enclosing span names
 /// on the same thread ("train.fit/train.epoch/ode.block.forward").
 struct SpanRecord {
@@ -65,10 +78,16 @@ class Tracer {
   [[nodiscard]] static std::uint32_t thread_index();
 
   void record(SpanRecord&& rec);
+  /// Record one flow point (see FlowRecord). Call while the span the arrow
+  /// should bind to is open on this thread; prefer the flow_start/step/end
+  /// helpers, which check enabled() first.
+  void record_flow(std::uint64_t id, char phase);
 
   [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::size_t flow_count() const;
   [[nodiscard]] std::size_t dropped_count() const;
   [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  [[nodiscard]] std::vector<FlowRecord> flow_snapshot() const;
   void clear();
 
   /// Chrome trace-event JSON ("X" complete events, ts/dur in microseconds).
@@ -87,6 +106,7 @@ class Tracer {
 
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
+  std::vector<FlowRecord> flows_;
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> dropped_{0};
   std::uint64_t epoch_ns_ = 0;   ///< steady-clock origin
@@ -140,6 +160,23 @@ class ScopedSpan {
   std::uint32_t depth_ = 0;
   std::vector<Attr> attrs_;
 };
+
+/// Flow arrows linking spans across threads. Record while the span the
+/// arrow should attach to is open on the calling thread: start under the
+/// producer's span, step under each intermediate hop's span, end under the
+/// final span. No-ops while tracing is disabled.
+inline void flow_start(std::uint64_t id) {
+  auto& t = Tracer::instance();
+  if (t.enabled()) t.record_flow(id, 's');
+}
+inline void flow_step(std::uint64_t id) {
+  auto& t = Tracer::instance();
+  if (t.enabled()) t.record_flow(id, 't');
+}
+inline void flow_end(std::uint64_t id) {
+  auto& t = Tracer::instance();
+  if (t.enabled()) t.record_flow(id, 'f');
+}
 
 namespace detail {
 #define NODETR_OBS_CONCAT_IMPL(a, b) a##b

@@ -18,6 +18,37 @@ void atomic_add_double(std::atomic<double>& a, double v) {
   }
 }
 
+/// Strict-JSON number: bare `inf`/`nan` are invalid JSON, so non-finite
+/// values become null (the BENCH_fault.json bug this guards against).
+void append_json_number(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+/// OpenMetrics metric names allow [a-zA-Z0-9_:]; dots and anything else
+/// become '_' ("serve.queue.wait_us" -> "serve_queue_wait_us").
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// OpenMetrics forbids NaN-free guarantees too — clamp non-finite to 0.
+void append_om_number(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << v;
+  } else {
+    os << 0;
+  }
+}
+
 }  // namespace
 
 std::vector<double> Histogram::default_bounds() {
@@ -41,6 +72,10 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double v) {
+  if (!std::isfinite(v) || v < 0.0) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
@@ -82,12 +117,16 @@ double Histogram::percentile(double p) const {
 void Histogram::reset() {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
   count_.store(0);
+  dropped_.store(0);
   sum_.store(0.0);
 }
 
 Registry::Registry() {
   if (const char* env = std::getenv("NODETR_METRICS"); env != nullptr && *env != '\0') {
     export_path_ = env;
+  }
+  if (const char* env = std::getenv("NODETR_OPENMETRICS"); env != nullptr && *env != '\0') {
+    openmetrics_path_ = env;
   }
 }
 
@@ -98,6 +137,14 @@ Registry::~Registry() {
       std::fprintf(stderr, "nodetr::obs: wrote metrics to %s\n", export_path_.c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "nodetr::obs: metrics export failed: %s\n", e.what());
+    }
+  }
+  if (!openmetrics_path_.empty()) {
+    try {
+      write_openmetrics(openmetrics_path_);
+      std::fprintf(stderr, "nodetr::obs: wrote OpenMetrics to %s\n", openmetrics_path_.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "nodetr::obs: OpenMetrics export failed: %s\n", e.what());
     }
   }
 }
@@ -140,16 +187,25 @@ std::string Registry::to_json() const {
   os << "\n  },\n  \"gauges\": {";
   first = true;
   for (const auto& [name, g] : gauges_) {
-    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g->value();
+    os << (first ? "" : ",") << "\n    \"" << name << "\": ";
+    append_json_number(os, g->value());
     first = false;
   }
   os << "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
     os << (first ? "" : ",") << "\n    \"" << name << "\": {\"count\": " << h->count()
-       << ", \"sum\": " << h->sum() << ", \"mean\": " << h->mean()
-       << ", \"p50\": " << h->percentile(50.0) << ", \"p95\": " << h->percentile(95.0)
-       << ", \"p99\": " << h->percentile(99.0) << "}";
+       << ", \"dropped\": " << h->dropped() << ", \"sum\": ";
+    append_json_number(os, h->sum());
+    os << ", \"mean\": ";
+    append_json_number(os, h->mean());
+    os << ", \"p50\": ";
+    append_json_number(os, h->percentile(50.0));
+    os << ", \"p95\": ";
+    append_json_number(os, h->percentile(95.0));
+    os << ", \"p99\": ";
+    append_json_number(os, h->percentile(99.0));
+    os << "}";
     first = false;
   }
   os << "\n  }\n}\n";
@@ -160,6 +216,44 @@ void Registry::write_json(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("Registry: cannot open " + path);
   out << to_json();
+}
+
+std::string Registry::to_openmetrics() const {
+  std::lock_guard lk(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string om = "nodetr_" + sanitize_metric_name(name);
+    os << "# TYPE " << om << " counter\n";
+    os << om << "_total " << c->value() << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string om = "nodetr_" + sanitize_metric_name(name);
+    os << "# TYPE " << om << " gauge\n";
+    os << om << ' ';
+    append_om_number(os, g->value());
+    os << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string om = "nodetr_" + sanitize_metric_name(name);
+    os << "# TYPE " << om << " summary\n";
+    for (const double q : {0.5, 0.95, 0.99}) {
+      os << om << "{quantile=\"" << q << "\"} ";
+      append_om_number(os, h->percentile(q * 100.0));
+      os << '\n';
+    }
+    os << om << "_count " << h->count() << '\n';
+    os << om << "_sum ";
+    append_om_number(os, h->sum());
+    os << '\n';
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+void Registry::write_openmetrics(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Registry: cannot open " + path);
+  out << to_openmetrics();
 }
 
 void Registry::reset() {

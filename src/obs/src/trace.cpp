@@ -102,9 +102,28 @@ void Tracer::record(SpanRecord&& rec) {
   spans_.push_back(std::move(rec));
 }
 
+void Tracer::record_flow(std::uint64_t id, char phase) {
+  FlowRecord rec;
+  rec.id = id;
+  rec.ts_ns = now_ns();
+  rec.tid = thread_index();
+  rec.phase = phase;
+  std::lock_guard lk(mu_);
+  if (flows_.size() >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  flows_.push_back(rec);
+}
+
 std::size_t Tracer::span_count() const {
   std::lock_guard lk(mu_);
   return spans_.size();
+}
+
+std::size_t Tracer::flow_count() const {
+  std::lock_guard lk(mu_);
+  return flows_.size();
 }
 
 std::size_t Tracer::dropped_count() const { return dropped_.load(std::memory_order_relaxed); }
@@ -114,14 +133,21 @@ std::vector<SpanRecord> Tracer::snapshot() const {
   return spans_;
 }
 
+std::vector<FlowRecord> Tracer::flow_snapshot() const {
+  std::lock_guard lk(mu_);
+  return flows_;
+}
+
 void Tracer::clear() {
   std::lock_guard lk(mu_);
   spans_.clear();
+  flows_.clear();
   dropped_.store(0, std::memory_order_relaxed);
 }
 
 std::string Tracer::chrome_trace_json() const {
   const auto spans = snapshot();
+  const auto flows = flow_snapshot();
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -138,6 +164,15 @@ std::string Tracer::chrome_trace_json() const {
       append_attr_value(os, value);
     }
     os << "}}";
+  }
+  // Flow arrows: "s"/"t"/"f" events sharing an id draw one chain across
+  // threads; "bp":"e" binds each point to the slice enclosing its timestamp.
+  for (const auto& f : flows) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"request\",\"cat\":\"serve.request\",\"ph\":\"" << f.phase << '"'
+       << ",\"id\":" << f.id << ",\"ts\":" << static_cast<double>(f.ts_ns) / 1e3
+       << ",\"pid\":1,\"tid\":" << f.tid << ",\"bp\":\"e\"}";
   }
   os << "\n]}\n";
   return os.str();

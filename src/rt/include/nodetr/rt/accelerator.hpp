@@ -48,6 +48,45 @@ struct ExecDeadline {
   }
 };
 
+/// Device performance counters, accumulated per START / deadline event —
+/// the per-resource accounting the paper's evaluation is built on, exported
+/// so `EngineStats` can report it per backend. All quantities are simulated
+/// (PL-clock cycles, HP-port bytes), not host wall time.
+struct DeviceCounters {
+  std::int64_t starts = 0;              ///< STARTs that raised DONE
+  std::int64_t stalls = 0;              ///< STARTs that hung (injected IP stall)
+  std::int64_t dma_bytes_in = 0;        ///< host -> device (weights + input maps)
+  std::int64_t dma_bytes_out = 0;       ///< device -> host (output maps)
+  std::int64_t weight_bytes = 0;        ///< parameter share of dma_bytes_in
+  std::int64_t weight_bytes_saved = 0;  ///< weight re-streams avoided by batch residency
+  std::int64_t dma_cycles = 0;          ///< HP-port transfer time
+  std::int64_t compute_cycles = 0;      ///< IP datapath time
+  std::int64_t stall_cycles = 0;        ///< deadline budget burnt polling a hung device
+
+  [[nodiscard]] std::int64_t total_cycles() const {
+    return dma_cycles + compute_cycles + stall_cycles;
+  }
+  /// Share of device time spent computing (vs moving data or stalled),
+  /// in percent. 0 when the device never ran.
+  [[nodiscard]] double utilization_pct() const {
+    const std::int64_t t = total_cycles();
+    return t == 0 ? 0.0 : 100.0 * static_cast<double>(compute_cycles) / static_cast<double>(t);
+  }
+
+  DeviceCounters& operator+=(const DeviceCounters& o) {
+    starts += o.starts;
+    stalls += o.stalls;
+    dma_bytes_in += o.dma_bytes_in;
+    dma_bytes_out += o.dma_bytes_out;
+    weight_bytes += o.weight_bytes;
+    weight_bytes_saved += o.weight_bytes_saved;
+    dma_cycles += o.dma_cycles;
+    compute_cycles += o.compute_cycles;
+    stall_cycles += o.stall_cycles;
+    return *this;
+  }
+};
+
 class MhsaAccelerator {
  public:
   MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr);
@@ -79,6 +118,17 @@ class MhsaAccelerator {
   void set_deadline(ExecDeadline deadline) { deadline_ = deadline; }
   [[nodiscard]] const ExecDeadline& deadline() const { return deadline_; }
 
+  /// Lifetime performance counters (see DeviceCounters).
+  [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
+  /// Counters accumulated since the previous take_counters() call — the
+  /// delta drain the serving engine absorbs into its per-backend totals.
+  /// Call only from the thread driving the device (not thread-safe).
+  [[nodiscard]] DeviceCounters take_counters() {
+    DeviceCounters delta = pending_;
+    pending_ = DeviceCounters{};
+    return delta;
+  }
+
  private:
   void start();
 
@@ -86,9 +136,15 @@ class MhsaAccelerator {
   DdrMemory& ddr_;
   AxiLiteRegisterFile regs_;
   AxiStreamDma dma_;
+  /// Merge `delta` into both counter accumulators and mirror it to the obs
+  /// registry (counters + utilization gauge).
+  void account(const DeviceCounters& delta);
+
   ExecDeadline deadline_;
   std::int64_t last_cycles_ = 0;
   std::int64_t total_cycles_ = 0;
+  DeviceCounters counters_;  ///< lifetime totals
+  DeviceCounters pending_;   ///< since the last take_counters()
   bool stalled_ = false;  ///< latched injected stall: DONE will never rise
   Shape staged_shape_{std::initializer_list<index_t>{0}};
 };

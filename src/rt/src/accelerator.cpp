@@ -41,14 +41,21 @@ void MhsaAccelerator::start() {
   const Shape shape{batch, p.dim, p.height, p.width};
 
   dma_.reset();
+  DeviceCounters delta;
   if (p.residency == hls::WeightResidency::kBatchResident) {
     // Weights in one descriptor for the whole batch, features per image.
     dma_.transfer(ip_->weight_dma_bytes());
     dma_.transfer(ip_->io_dma_bytes_per_image() * batch);
+    delta.weight_bytes = ip_->weight_dma_bytes();
+    // The non-resident design would re-stream the parameters per image.
+    delta.weight_bytes_saved = ip_->weight_dma_bytes() * (batch - 1);
   } else {
     // Weights + input stream in, output stream back (per image).
     dma_.transfer(ip_->dma_bytes_per_image() * batch);
+    delta.weight_bytes = ip_->weight_dma_bytes() * batch;
   }
+  delta.dma_bytes_in = delta.weight_bytes + ip_->input_dma_bytes_per_image() * batch;
+  delta.dma_bytes_out = ip_->output_dma_bytes_per_image() * batch;
   Tensor x = ddr_.read_tensor(in_addr, shape);
   Tensor y;
   try {
@@ -58,6 +65,8 @@ void MhsaAccelerator::start() {
     // stall so execute()'s deadline poll can diagnose it; the START write
     // itself completes normally, exactly as a real stalled device behaves.
     stalled_ = true;
+    delta.stalls = 1;
+    account(delta);
     static auto& stalls = obs::Registry::instance().counter("rt.mhsa_accel.stalls");
     stalls.add();
     return;
@@ -66,6 +75,10 @@ void MhsaAccelerator::start() {
 
   last_cycles_ = dma_.total_cycles() + ip_->last_cycles().total();
   total_cycles_ += last_cycles_;
+  delta.starts = 1;
+  delta.dma_cycles = dma_.total_cycles();
+  delta.compute_cycles = ip_->last_cycles().total();
+  account(delta);
   span.attr("batch", batch);
   span.attr("dma_cycles", dma_.total_cycles());
   span.attr("compute_cycles", ip_->last_cycles().total());
@@ -78,6 +91,20 @@ void MhsaAccelerator::start() {
   compute_cycles.add(ip_->last_cycles().total());
   // Self-clearing start bit; done flag raised.
   regs_.write(MhsaRegs::kStatus, 1);
+}
+
+void MhsaAccelerator::account(const DeviceCounters& delta) {
+  counters_ += delta;
+  pending_ += delta;
+  static auto& bytes_in = obs::Registry::instance().counter("rt.mhsa_accel.dma_bytes_in");
+  static auto& bytes_out = obs::Registry::instance().counter("rt.mhsa_accel.dma_bytes_out");
+  static auto& saved = obs::Registry::instance().counter("rt.mhsa_accel.weight_bytes_saved");
+  static auto& stall_cycles = obs::Registry::instance().counter("rt.mhsa_accel.stall_cycles");
+  bytes_in.add(delta.dma_bytes_in);
+  bytes_out.add(delta.dma_bytes_out);
+  saved.add(delta.weight_bytes_saved);
+  stall_cycles.add(delta.stall_cycles);
+  obs::Registry::instance().gauge("rt.mhsa_accel.utilization_pct").set(counters_.utilization_pct());
 }
 
 Tensor MhsaAccelerator::execute(const Tensor& x) {
@@ -110,9 +137,14 @@ Tensor MhsaAccelerator::execute(const Tensor& x) {
     }
     last_cycles_ = deadline_.sim_cycles;
     total_cycles_ += last_cycles_;
+    DeviceCounters delta;
+    delta.stall_cycles = deadline_.sim_cycles;
+    account(delta);
     static auto& deadlines =
         obs::Registry::instance().counter("rt.mhsa_accel.deadline_exceeded");
     deadlines.add();
+    obs::flight_event(0, obs::FlightKind::kDeadline, deadline_.sim_cycles);
+    obs::FlightRecorder::instance().dump("deadline_exceeded");
     throw fault::DeadlineExceeded(
         "rt.mhsa_accel.deadline",
         "MhsaAccelerator::execute: device did not raise DONE within deadline (wall " +

@@ -50,7 +50,22 @@
 //     cooldown the next batch probes the device (half-open) and a clean run
 //     restores the session's FPGA backend. See circuit_breaker.hpp.
 //
-// Observability: spans serve.submit / serve.batch; metrics serve.requests_*,
+// Observability (v2 — see DESIGN.md):
+//   - request-scoped tracing: submit mints a trace id (SubmitOptions can pin
+//     one) that rides the request through queue, batcher split/merge/carry,
+//     worker, and accelerator. With NODETR_TRACE set, flow events
+//     (submit -> each batch hop -> serve.complete) make one request a single
+//     clickable arrow chain in Perfetto; the always-on flight recorder keeps
+//     the same milestones in lock-free per-thread rings and dumps a merged
+//     timeline on worker crash, breaker open, DeadlineExceeded, or
+//     std::terminate (NODETR_FLIGHT=<path> — see obs/flight_recorder.hpp);
+//   - device counters: stats().devices exposes per-backend DMA bytes in/out,
+//     weight bytes saved by batch residency, stall cycles, and utilization %
+//     (rt::DeviceCounters), drained from each session after every batch;
+//   - SLO watch: stats().slo is a rolling-window goodput / p99 queue-wait /
+//     p99 latency snapshot with breach flags (EngineConfig::slo targets).
+//
+// Spans: serve.submit / serve.batch / serve.complete; metrics serve.requests_*,
 // serve.batches, serve.rows, serve.queue_depth, serve.shed, serve.expired,
 // serve.retries[.<backend>], serve.fallbacks[.<backend>],
 // serve.faults_injected.<backend>, serve.breaker.{open,reopen,half_open,
@@ -61,6 +76,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -71,6 +87,7 @@
 #include "nodetr/serve/admission.hpp"
 #include "nodetr/serve/circuit_breaker.hpp"
 #include "nodetr/serve/micro_batcher.hpp"
+#include "nodetr/serve/slo.hpp"
 #include "nodetr/tensor/parallel.hpp"
 
 namespace nodetr::serve {
@@ -108,6 +125,10 @@ struct SubmitOptions {
   /// already in the past is refused at admission with RequestExpired.
   std::chrono::steady_clock::time_point deadline{};
   Priority priority = Priority::kNormal;
+  /// Request trace id for the flight recorder / Chrome-trace flow chain.
+  /// 0 (the default) mints a fresh id at submit; passing an explicit id lets
+  /// a caller correlate the request with its own telemetry.
+  std::uint64_t trace_id = 0;
 };
 
 struct EngineConfig {
@@ -127,6 +148,7 @@ struct EngineConfig {
   FaultPolicy fault;
   AdmissionConfig admission;  ///< CoDel-style shedding (disabled by default)
   BreakerConfig breaker;      ///< per-session device circuit breaker
+  SloConfig slo;              ///< rolling-window SLO targets (see slo.hpp)
 };
 
 struct EngineStats {
@@ -152,6 +174,13 @@ struct EngineStats {
   double queue_wait_p95_us = 0.0;
   double queue_wait_p99_us = 0.0;
   std::int64_t sim_cycles = 0;   ///< accumulated accelerator cycles (FPGA backends)
+  /// Per-backend device performance counters (DMA bytes, stall cycles,
+  /// utilization %), absorbed from every session of that home backend —
+  /// including sessions since respawned or demoted. Keyed by backend name;
+  /// CPU-only engines have no entries.
+  std::map<std::string, rt::DeviceCounters> devices;
+  /// Rolling-window SLO state (goodput, p99s, breach flags) — see slo.hpp.
+  SloSnapshot slo;
   /// rows / (batches * max_batch); 1.0 means every batch was full.
   [[nodiscard]] double occupancy(index_t max_batch) const {
     return batches == 0 ? 0.0
@@ -192,7 +221,7 @@ class InferenceEngine {
   struct WorkerSession;
 
   [[nodiscard]] static EngineConfig validated(EngineConfig config);
-  [[nodiscard]] std::unique_ptr<WorkerSession> make_session(Backend backend);
+  [[nodiscard]] std::unique_ptr<WorkerSession> make_session(Backend backend, std::size_t worker);
   void worker_loop(std::size_t worker);
   void process_batch(WorkerSession& session, MicroBatch& batch);
   /// Fail slices whose deadline has passed with RequestExpired; returns the
@@ -200,15 +229,22 @@ class InferenceEngine {
   std::size_t shed_expired_slices(MicroBatch& batch);
   void apply_exec_deadline(WorkerSession& session, const MicroBatch& batch);
   [[nodiscard]] Tensor run_attempt(WorkerSession& session, const Tensor& input);
-  [[nodiscard]] Tensor run_with_recovery(WorkerSession& session, const Tensor& input);
+  /// Runs `batch.input` with retry/backoff/breaker recovery; the batch's
+  /// slices are only read to attribute retry/exec flight events per request.
+  [[nodiscard]] Tensor run_with_recovery(WorkerSession& session, const MicroBatch& batch);
   void maybe_probe(WorkerSession& session);
   void demote_to_cpu(WorkerSession& session);
   void note_device_success(WorkerSession& session);
   void isolate_slices(WorkerSession& session, MicroBatch& batch);
   void salvage_requests(const std::vector<RequestPtr>& held, std::exception_ptr error);
+  /// Drain the session accelerator's pending DeviceCounters into the
+  /// per-backend totals stats() reports. Must run on the worker thread that
+  /// owns the session (take_counters is owner-thread-only).
+  void absorb_device_counters(WorkerSession& session);
   void fail_batch(MicroBatch& batch, std::exception_ptr error);
   void finish_rows(const MicroBatch& batch, const Tensor& output);
-  void fail_request(Request& r, std::exception_ptr error);
+  void fail_request(Request& r, std::exception_ptr error,
+                    SloMonitor::Outcome outcome = SloMonitor::Outcome::kFailed);
   void fail_expired(Request& r);
   void fail_shed(Request& r);
 
@@ -216,7 +252,10 @@ class InferenceEngine {
   hls::MhsaWeights weights_;  ///< retained for respawn and CPU fallback
   RequestQueue queue_;
   AdmissionController admission_;
+  SloMonitor slo_;
   obs::Histogram queue_wait_us_;  ///< engine-local; feeds stats() percentiles
+  mutable std::mutex devices_mu_;  ///< guards devices_
+  std::map<std::string, rt::DeviceCounters> devices_;  ///< per home-backend totals
   std::vector<std::unique_ptr<WorkerSession>> sessions_;
   std::unique_ptr<tensor::ThreadPool> pool_;
   std::thread dispatcher_;

@@ -54,12 +54,21 @@ enum class Priority : int {
 /// MicroBatcher keeps split requests on one worker — so it needs no lock.
 struct Request {
   std::uint64_t id = 0;
+  /// Request-scoped trace id (obs::new_trace_id(), minted at submit). Every
+  /// flight-recorder event and Chrome-trace flow point on this request's
+  /// path carries it, so one id names one request across the queue, the
+  /// batcher's split/merge/carry, the workers, and the accelerator.
+  std::uint64_t trace_id = 0;
   Tensor input;
   bool squeeze = false;
   Tensor output;
   index_t rows_done = 0;
   bool failed = false;
   std::promise<Tensor> promise;
+  /// Queue wait observed at pop (µs); -1 until popped. Written by the single
+  /// popping worker (same no-lock rule as the row bookkeeping above) and
+  /// read back at completion for the SLO monitor.
+  std::int64_t queue_wait_us = -1;
   std::chrono::steady_clock::time_point enqueued_at;
   Priority priority = Priority::kNormal;
   /// Absolute completion deadline; the epoch value means "none". Enforced at

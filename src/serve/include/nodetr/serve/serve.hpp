@@ -7,3 +7,4 @@
 #include "nodetr/serve/errors.hpp"
 #include "nodetr/serve/micro_batcher.hpp"
 #include "nodetr/serve/request_queue.hpp"
+#include "nodetr/serve/slo.hpp"

@@ -1,0 +1,92 @@
+// Rolling-window SLO monitor for the serving engine.
+//
+// The engine records one sample per resolved request (outcome + queue wait +
+// end-to-end latency) into a fixed-size ring; snapshot() reduces the window
+// into the three SLO signals the overload bench asserts on:
+//   - goodput: completed / resolved over the window (shed/expired/failed all
+//     count against it — a request the client did not get an answer for is
+//     not good throughput, whatever the reason);
+//   - p99 queue wait and p99 end-to-end latency (µs) over the window's
+//     completed requests;
+//   - breach flags against the configured targets, plus a cumulative breach
+//     counter (a breach is counted at most once per snapshot() transition
+//     into the breached state, not per sample).
+//
+// The window intentionally forgets: a saturation burst ten minutes ago must
+// not poison the current goodput reading. Reads are cheap enough for
+// stats(), which is called from hot monitoring loops.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace nodetr::serve {
+
+struct SloConfig {
+  std::size_t window = 512;  ///< resolved requests remembered
+  /// Minimum acceptable goodput fraction over the window [0, 1]. <= 0
+  /// disables the goodput breach check.
+  double goodput_target = 0.0;
+  /// Maximum acceptable p99 queue wait (µs); <= 0 disables the check.
+  std::int64_t queue_wait_p99_target_us = 0;
+  /// Maximum acceptable p99 end-to-end latency (µs); <= 0 disables.
+  std::int64_t latency_p99_target_us = 0;
+};
+
+struct SloSnapshot {
+  // Window composition (counts over the last `window` resolved requests).
+  std::uint64_t window_completed = 0;
+  std::uint64_t window_failed = 0;
+  std::uint64_t window_shed = 0;
+  std::uint64_t window_expired = 0;
+  /// completed / resolved over the window; 1.0 when the window is empty
+  /// (no evidence of badness is not a breach).
+  double goodput = 1.0;
+  double queue_wait_p99_us = 0.0;
+  double latency_p99_us = 0.0;
+  bool goodput_breached = false;
+  bool queue_wait_breached = false;
+  bool latency_breached = false;
+  /// Cumulative transitions into any breached state since construction.
+  std::uint64_t breaches = 0;
+
+  [[nodiscard]] std::uint64_t window_resolved() const {
+    return window_completed + window_failed + window_shed + window_expired;
+  }
+  [[nodiscard]] bool breached() const {
+    return goodput_breached || queue_wait_breached || latency_breached;
+  }
+};
+
+class SloMonitor {
+ public:
+  enum class Outcome { kCompleted, kFailed, kShed, kExpired };
+
+  explicit SloMonitor(SloConfig config);
+
+  /// Record one resolved request. Waits/latency are only meaningful for
+  /// kCompleted; pass -1 when unknown (they are excluded from percentiles).
+  void record(Outcome outcome, std::int64_t queue_wait_us = -1,
+              std::int64_t latency_us = -1);
+
+  [[nodiscard]] SloSnapshot snapshot() const;
+  [[nodiscard]] const SloConfig& config() const { return config_; }
+
+ private:
+  struct Sample {
+    Outcome outcome = Outcome::kCompleted;
+    std::int64_t queue_wait_us = -1;
+    std::int64_t latency_us = -1;
+  };
+
+  SloConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;      ///< capacity config_.window
+  std::size_t next_ = 0;          ///< ring write cursor
+  std::uint64_t recorded_ = 0;    ///< samples ever recorded
+  mutable bool was_breached_ = false;
+  mutable std::uint64_t breaches_ = 0;
+};
+
+}  // namespace nodetr::serve

@@ -24,6 +24,7 @@ const char* to_string(Backend backend) {
 /// session belongs — the circuit breaker demotes `backend` to kCpuFloat when
 /// the device keeps faulting and restores it after a clean half-open probe.
 struct InferenceEngine::WorkerSession {
+  std::size_t index = 0;  ///< worker slot (stable across respawns)
   Backend home_backend = Backend::kCpuFloat;
   Backend backend = Backend::kCpuFloat;
   MicroBatcher batcher;
@@ -63,12 +64,14 @@ EngineConfig InferenceEngine::validated(EngineConfig config) {
   return config;
 }
 
-std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(Backend backend) {
+std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(
+    Backend backend, std::size_t worker) {
   auto session = std::make_unique<WorkerSession>(queue_, config_.batcher, config_.breaker);
   // Expired requests are failed the moment the batcher sheds them — next()
   // may block on an empty queue right afterwards, so deferring would leave
   // the victim's future hanging until more traffic arrives.
   session->batcher.set_expired_handler([this](RequestPtr r) { fail_expired(*r); });
+  session->index = worker;
   session->home_backend = backend;
   session->backend = backend;
   hls::MhsaDesignPoint point = config_.point;
@@ -92,7 +95,8 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
     : config_(validated(std::move(config))),
       weights_(weights),
       queue_(config_.queue_capacity, config_.policy),
-      admission_(config_.admission) {
+      admission_(config_.admission),
+      slo_(config_.slo) {
   // Every pop reports its queue wait: the engine-local histogram backs the
   // stats() percentiles, the registry one the metrics dump, and the sample
   // stream drives the CoDel admission controller.
@@ -105,7 +109,7 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
   sessions_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     sessions_.push_back(make_session(
-        config_.worker_backends.empty() ? config_.backend : config_.worker_backends[w]));
+        config_.worker_backends.empty() ? config_.backend : config_.worker_backends[w], w));
   }
   // Worker loops ride on a private ThreadPool: the dispatcher thread posts
   // one long-lived chunk per session and participates itself, leaving the
@@ -140,6 +144,7 @@ std::future<Tensor> InferenceEngine::submit(Tensor input, SubmitOptions opts) {
   const auto now = std::chrono::steady_clock::now();
   auto request = std::make_shared<Request>();
   request->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request->trace_id = opts.trace_id != 0 ? opts.trace_id : obs::new_trace_id();
   request->input = std::move(input);
   request->squeeze = squeeze;
   request->enqueued_at = now;
@@ -152,6 +157,12 @@ std::future<Tensor> InferenceEngine::submit(Tensor input, SubmitOptions opts) {
   auto future = request->promise.get_future();
   span.attr("rows", request->input.dim(0));
   span.attr("priority", to_string(opts.priority));
+  span.attr("trace_id", static_cast<std::int64_t>(request->trace_id));
+  // First point of the request's flow chain, bound to this serve.submit span;
+  // first flight-recorder milestone.
+  obs::flow_start(request->trace_id);
+  obs::flight_event(request->trace_id, obs::FlightKind::kSubmit, request->input.dim(0),
+                    static_cast<std::int64_t>(opts.priority));
   if (request->input.dim(0) == 0) {
     // Nothing to compute; resolve immediately without occupying the queue.
     request->promise.set_value(Tensor(request->input.shape()));
@@ -169,6 +180,8 @@ std::future<Tensor> InferenceEngine::submit(Tensor input, SubmitOptions opts) {
   if (request->expired(now)) {
     expired_.fetch_add(1, std::memory_order_relaxed);
     expired.add();
+    obs::flight_event(request->trace_id, obs::FlightKind::kExpired, 0);
+    slo_.record(SloMonitor::Outcome::kExpired);
     throw RequestExpired("InferenceEngine::submit: request " + std::to_string(request->id) +
                          " deadline already passed at admission");
   }
@@ -179,21 +192,28 @@ std::future<Tensor> InferenceEngine::submit(Tensor input, SubmitOptions opts) {
       !admission_.admit(opts.priority, queue_.size())) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     shed.add();
+    obs::flight_event(request->trace_id, obs::FlightKind::kShed, 0);
+    slo_.record(SloMonitor::Outcome::kShed);
     throw RequestShedError("InferenceEngine::submit: shed at admission, priority " +
                            std::string(to_string(opts.priority)) + " (overload level " +
                            std::to_string(admission_.overload_level()) + ")");
   }
+  const std::uint64_t trace_id = request->trace_id;
   RequestPtr victim;  // kShedOldest: the queued request evicted to admit this one
   switch (queue_.push(std::move(request), &victim)) {
     case PushResult::kOk:
       submitted_.fetch_add(1, std::memory_order_relaxed);
       submitted.add();
       depth_gauge.set(static_cast<double>(queue_.size()));
+      obs::flight_event(trace_id, obs::FlightKind::kEnqueued,
+                        static_cast<std::int64_t>(queue_.size()));
       if (victim) fail_shed(*victim);
       return future;
     case PushResult::kFull:
       rejected_.fetch_add(1, std::memory_order_relaxed);
       rejected.add();
+      obs::flight_event(trace_id, obs::FlightKind::kRejected,
+                        static_cast<std::int64_t>(queue_.capacity()));
       throw QueueFullError("InferenceEngine::submit: queue at capacity (" +
                            std::to_string(queue_.capacity()) + ")");
     case PushResult::kClosed:
@@ -229,6 +249,7 @@ void InferenceEngine::worker_loop(std::size_t worker) {
       return;  // closed and drained
     } catch (...) {
       obs::Registry::instance().counter("serve.worker_aborted").add();
+      obs::flight_event(0, obs::FlightKind::kWorkerCrash, static_cast<std::int64_t>(worker));
       // Everything this worker held when it died: the assembled batch (crash
       // between batches), requests a failed next() parked as orphans, and
       // the worker-local carry.
@@ -237,8 +258,13 @@ void InferenceEngine::worker_loop(std::size_t worker) {
       for (RequestPtr& r : session.batcher.take_orphans()) held.push_back(std::move(r));
       if (RequestPtr carry = session.batcher.take_carry()) held.push_back(std::move(carry));
       salvage_requests(held, std::current_exception());
+      // Salvage first, then dump: the crashed requests' requeue/fail events
+      // belong in the artifact. The dying session's device counters must not
+      // vanish with it.
+      absorb_device_counters(session);
+      obs::FlightRecorder::instance().dump("worker_crash");
       try {
-        sessions_[worker] = make_session(session.home_backend);
+        sessions_[worker] = make_session(session.home_backend, worker);
       } catch (...) {
         // Respawn itself failed (e.g. out of memory building the IP). Give
         // up this worker slot; the remaining workers keep draining, and the
@@ -270,6 +296,7 @@ void InferenceEngine::salvage_requests(const std::vector<RequestPtr>& held,
     const bool completed = r->rows_done == r->input.dim(0);
     if (completed || r->failed) continue;
     if (r->rows_done == 0) {
+      obs::flight_event(r->trace_id, obs::FlightKind::kRequeued);
       queue_.requeue(r);
     } else {
       fail_request(*r, error);
@@ -277,10 +304,26 @@ void InferenceEngine::salvage_requests(const std::vector<RequestPtr>& held,
   }
 }
 
-void InferenceEngine::fail_request(Request& r, std::exception_ptr error) {
+void InferenceEngine::fail_request(Request& r, std::exception_ptr error,
+                                   SloMonitor::Outcome outcome) {
   static auto& failures = obs::Registry::instance().counter("serve.requests_failed");
   if (r.failed || r.rows_done == r.input.dim(0)) return;
   r.failed = true;
+  const std::int64_t since_submit_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                           std::chrono::steady_clock::now() - r.enqueued_at)
+                                           .count();
+  switch (outcome) {
+    case SloMonitor::Outcome::kExpired:
+      obs::flight_event(r.trace_id, obs::FlightKind::kExpired, since_submit_us);
+      break;
+    case SloMonitor::Outcome::kShed:
+      obs::flight_event(r.trace_id, obs::FlightKind::kShed, 1);
+      break;
+    default:
+      obs::flight_event(r.trace_id, obs::FlightKind::kFailed, since_submit_us);
+      break;
+  }
+  slo_.record(outcome, r.queue_wait_us);
   // Counters first: a caller woken by the promise must already see this
   // failure in stats().
   failed_.fetch_add(1, std::memory_order_relaxed);
@@ -296,9 +339,11 @@ void InferenceEngine::fail_expired(Request& r) {
   const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - r.enqueued_at)
                           .count();
-  fail_request(r, std::make_exception_ptr(RequestExpired(
-                      "request " + std::to_string(r.id) + " expired after " +
-                      std::to_string(waited) + " us in the serving pipeline")));
+  fail_request(r,
+               std::make_exception_ptr(RequestExpired(
+                   "request " + std::to_string(r.id) + " expired after " +
+                   std::to_string(waited) + " us in the serving pipeline")),
+               SloMonitor::Outcome::kExpired);
 }
 
 void InferenceEngine::fail_shed(Request& r) {
@@ -306,9 +351,11 @@ void InferenceEngine::fail_shed(Request& r) {
   static auto& shed = obs::Registry::instance().counter("serve.shed");
   shed_.fetch_add(1, std::memory_order_relaxed);
   shed.add();
-  fail_request(r, std::make_exception_ptr(RequestShedError(
-                      "request " + std::to_string(r.id) +
-                      " shed: evicted by newer work (kShedOldest backpressure)")));
+  fail_request(r,
+               std::make_exception_ptr(RequestShedError(
+                   "request " + std::to_string(r.id) +
+                   " shed: evicted by newer work (kShedOldest backpressure)")),
+               SloMonitor::Outcome::kShed);
 }
 
 Tensor InferenceEngine::run_attempt(WorkerSession& session, const Tensor& input) {
@@ -335,6 +382,7 @@ void InferenceEngine::demote_to_cpu(WorkerSession& session) {
   // The accelerator and its DDR stay alive: the device may recover, and the
   // breaker's half-open probe will re-drive it without a rebuild.
   session.backend = Backend::kCpuFloat;
+  obs::flight_event(0, obs::FlightKind::kFallback, static_cast<std::int64_t>(session.index));
 }
 
 void InferenceEngine::maybe_probe(WorkerSession& session) {
@@ -347,6 +395,7 @@ void InferenceEngine::maybe_probe(WorkerSession& session) {
   // same recovery loop).
   breaker_probes_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::instance().counter("serve.breaker.half_open").add();
+  obs::flight_event(0, obs::FlightKind::kBreakerProbe, static_cast<std::int64_t>(session.index));
   session.backend = session.home_backend;
 }
 
@@ -355,21 +404,35 @@ void InferenceEngine::note_device_success(WorkerSession& session) {
   if (session.breaker.on_success() == CircuitBreaker::Event::kClosed) {
     breaker_closes_.fetch_add(1, std::memory_order_relaxed);
     obs::Registry::instance().counter("serve.breaker.close").add();
+    obs::flight_event(0, obs::FlightKind::kBreakerClose, static_cast<std::int64_t>(session.index));
     state_gauge.set(static_cast<double>(
         open_breakers_.fetch_sub(1, std::memory_order_relaxed) - 1));
   }
 }
 
-Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const Tensor& input) {
+Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const MicroBatch& batch) {
   static auto& retry_latency = obs::Registry::instance().histogram("serve.retry_latency_us");
   static auto& state_gauge = obs::Registry::instance().gauge("serve.breaker_state");
   maybe_probe(session);
   const auto t0 = std::chrono::steady_clock::now();
   std::int64_t backoff_us = config_.fault.backoff_us;
   int attempt = 0;
+  const auto slice_events = [&](obs::FlightKind kind, std::int64_t a, std::int64_t b) {
+    for (const BatchSlice& slice : batch.slices) {
+      if (!slice.request->failed) obs::flight_event(slice.request->trace_id, kind, a, b);
+    }
+  };
   for (;;) {
+    const auto backend_ix = static_cast<std::int64_t>(session.backend);
+    slice_events(obs::FlightKind::kExecBegin, static_cast<std::int64_t>(session.index),
+                 backend_ix);
     try {
-      Tensor output = run_attempt(session, input);
+      Tensor output = run_attempt(session, batch.input);
+      slice_events(obs::FlightKind::kExecEnd,
+                   session.backend != Backend::kCpuFloat && session.accel
+                       ? session.accel->last_cycles()
+                       : 0,
+                   backend_ix);
       note_device_success(session);
       if (attempt > 0) {
         retry_latency.observe(
@@ -394,12 +457,19 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const Tensor& 
             obs::Registry::instance().counter("serve.breaker.open").add();
             state_gauge.set(static_cast<double>(
                 open_breakers_.fetch_add(1, std::memory_order_relaxed) + 1));
+            obs::flight_event(0, obs::FlightKind::kBreakerOpen,
+                              static_cast<std::int64_t>(session.index));
+            // Breaker-open is a wired dump trigger: the device's fault run-up
+            // is still in the rings.
+            obs::FlightRecorder::instance().dump("breaker_open");
             demote_to_cpu(session);
             continue;
           case CircuitBreaker::Event::kReopened:
             // The half-open probe faulted: back to CPU, longer cooldown.
             breaker_reopens_.fetch_add(1, std::memory_order_relaxed);
             obs::Registry::instance().counter("serve.breaker.reopen").add();
+            obs::flight_event(0, obs::FlightKind::kBreakerOpen,
+                              static_cast<std::int64_t>(session.index));
             demote_to_cpu(session);
             continue;
           default:
@@ -414,6 +484,7 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const Tensor& 
       obs::Registry::instance()
           .counter(std::string("serve.retries.") + to_string(session.backend))
           .add();
+      slice_events(obs::FlightKind::kRetry, attempt, backend_ix);
       if (backoff_us > 0) std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
       backoff_us = std::min<std::int64_t>(
           static_cast<std::int64_t>(static_cast<double>(backoff_us) *
@@ -475,11 +546,22 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
                     static_cast<double>(config_.batcher.max_batch));
   batches_.fetch_add(1, std::memory_order_relaxed);
   rows_.fetch_add(static_cast<std::uint64_t>(batch.rows()), std::memory_order_relaxed);
+  for (const BatchSlice& slice : batch.slices) {
+    if (slice.request->failed) continue;
+    // Flow step bound to the enclosing serve.batch span on this worker's
+    // thread: the request's arrow hops from its submit span to here.
+    obs::flow_step(slice.request->trace_id);
+    obs::flight_event(slice.request->trace_id, obs::FlightKind::kBatchJoin,
+                      static_cast<std::int64_t>(session.index),
+                      slice.row_end - slice.row_begin);
+  }
   apply_exec_deadline(session, batch);
   try {
-    Tensor output = run_with_recovery(session, batch.input);
+    Tensor output = run_with_recovery(session, batch);
     finish_rows(batch, output);
+    absorb_device_counters(session);
   } catch (...) {
+    absorb_device_counters(session);
     // Requests whose deadline ran out while the batch was failing resolve
     // as expired, not as casualties of the device error.
     const std::size_t live = shed_expired_slices(batch);
@@ -513,9 +595,11 @@ void InferenceEngine::isolate_slices(WorkerSession& session, MicroBatch& batch) 
     std::memcpy(one.input.data(), batch.input.data() + slice.batch_row * row_floats,
                 static_cast<std::size_t>(n * row_floats) * sizeof(float));
     one.slices = {BatchSlice{slice.request, slice.row_begin, slice.row_end, 0}};
+    obs::flight_event(slice.request->trace_id, obs::FlightKind::kIsolated,
+                      static_cast<std::int64_t>(session.index));
     apply_exec_deadline(session, one);  // this slice's own remaining budget
     try {
-      Tensor output = run_with_recovery(session, one.input);
+      Tensor output = run_with_recovery(session, one);
       finish_rows(one, output);
     } catch (...) {
       fail_batch(one, std::current_exception());
@@ -543,17 +627,35 @@ void InferenceEngine::finish_rows(const MicroBatch& batch, const Tensor& output)
         r.output.reshape_inplace(
             Shape{r.output.dim(1), r.output.dim(2), r.output.dim(3)});
       }
+      const std::int64_t latency =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - r.enqueued_at)
+              .count();
+      {
+        // Terminal point of the request's flow chain, bound to its own small
+        // span so the arrow lands on a named slice in Perfetto.
+        obs::ScopedSpan done("serve.complete");
+        done.attr("trace_id", static_cast<std::int64_t>(r.trace_id));
+        obs::flow_end(r.trace_id);
+      }
+      obs::flight_event(r.trace_id, obs::FlightKind::kCompleted, latency, r.queue_wait_us);
+      slo_.record(SloMonitor::Outcome::kCompleted, r.queue_wait_us, latency);
       // Counters first: a caller woken by the promise must already see this
       // completion in stats().
       completed_.fetch_add(1, std::memory_order_relaxed);
       completed.add();
-      latency_us.observe(static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             std::chrono::steady_clock::now() - r.enqueued_at)
-                             .count()) /
-                         1e3);
+      latency_us.observe(static_cast<double>(latency));
       r.promise.set_value(std::move(r.output));
     }
   }
+}
+
+void InferenceEngine::absorb_device_counters(WorkerSession& session) {
+  if (!session.accel) return;
+  const rt::DeviceCounters delta = session.accel->take_counters();
+  if (delta.total_cycles() == 0 && delta.starts == 0 && delta.stalls == 0) return;
+  std::lock_guard lk(devices_mu_);
+  devices_[to_string(session.home_backend)] += delta;
 }
 
 void InferenceEngine::fail_batch(MicroBatch& batch, std::exception_ptr error) {
@@ -592,6 +694,13 @@ EngineStats InferenceEngine::stats() const {
   s.queue_wait_p95_us = queue_wait_us_.percentile(95);
   s.queue_wait_p99_us = queue_wait_us_.percentile(99);
   s.sim_cycles = sim_cycles_.load(std::memory_order_relaxed);
+  {
+    // Workers absorb their accelerator's counters after every batch, so this
+    // never touches sessions_ (which respawns mutate concurrently).
+    std::lock_guard lk(devices_mu_);
+    s.devices = devices_;
+  }
+  s.slo = slo_.snapshot();
   return s;
 }
 

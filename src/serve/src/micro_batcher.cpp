@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "nodetr/fault/fault.hpp"
+#include "nodetr/obs/flight_recorder.hpp"
 
 namespace nodetr::serve {
 
@@ -70,6 +71,8 @@ bool MicroBatcher::next(MicroBatch& out) {
       current_row += take;
       if (current_row < current->input.dim(0)) {
         // Batch is full mid-request; the remainder leads this worker's next one.
+        obs::flight_event(current->trace_id, obs::FlightKind::kCarried,
+                          current->input.dim(0) - current_row);
         carry_ = std::move(current);
         carry_row_ = current_row;
         break;

@@ -1,5 +1,7 @@
 #include "nodetr/serve/request_queue.hpp"
 
+#include "nodetr/obs/flight_recorder.hpp"
+
 namespace nodetr::serve {
 
 const char* to_string(Priority priority) {
@@ -17,10 +19,15 @@ RequestQueue::RequestQueue(std::size_t capacity, BackpressurePolicy policy)
 }
 
 void RequestQueue::observe_wait(const RequestPtr& r) const {
-  if (!wait_observer_ || !r) return;
-  wait_observer_(std::chrono::duration_cast<std::chrono::microseconds>(
-                     std::chrono::steady_clock::now() - r->enqueued_at)
-                     .count());
+  if (!r) return;
+  const std::int64_t wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - r->enqueued_at)
+                                   .count();
+  // Stamped here (not in the observer) so the popping worker can read it back
+  // at completion; requeued requests keep their cumulative wait.
+  r->queue_wait_us = wait_us;
+  obs::flight_event(r->trace_id, obs::FlightKind::kDequeued, wait_us);
+  if (wait_observer_) wait_observer_(wait_us);
 }
 
 PushResult RequestQueue::push(RequestPtr r, RequestPtr* shed) {

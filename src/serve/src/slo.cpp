@@ -1,0 +1,74 @@
+#include "nodetr/serve/slo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nodetr::serve {
+
+namespace {
+
+/// p99 of the given values (nearest-rank); 0 for an empty set.
+double p99(std::vector<std::int64_t>& values) {
+  if (values.empty()) return 0.0;
+  const std::size_t rank =
+      std::min(values.size() - 1, static_cast<std::size_t>(0.99 * static_cast<double>(values.size())));
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return static_cast<double>(values[rank]);
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloConfig config) : config_(config) {
+  if (config_.window < 1) throw std::invalid_argument("SloMonitor: window must be >= 1");
+  if (config_.goodput_target > 1.0) {
+    throw std::invalid_argument("SloMonitor: goodput_target must be <= 1");
+  }
+  ring_.resize(config_.window);
+}
+
+void SloMonitor::record(Outcome outcome, std::int64_t queue_wait_us, std::int64_t latency_us) {
+  std::lock_guard lk(mu_);
+  ring_[next_] = Sample{outcome, queue_wait_us, latency_us};
+  next_ = (next_ + 1) % config_.window;
+  ++recorded_;
+}
+
+SloSnapshot SloMonitor::snapshot() const {
+  std::lock_guard lk(mu_);
+  SloSnapshot s;
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(recorded_, config_.window));
+  std::vector<std::int64_t> waits, latencies;
+  waits.reserve(n);
+  latencies.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& sample = ring_[i];
+    switch (sample.outcome) {
+      case Outcome::kCompleted: ++s.window_completed; break;
+      case Outcome::kFailed: ++s.window_failed; break;
+      case Outcome::kShed: ++s.window_shed; break;
+      case Outcome::kExpired: ++s.window_expired; break;
+    }
+    if (sample.queue_wait_us >= 0) waits.push_back(sample.queue_wait_us);
+    if (sample.latency_us >= 0) latencies.push_back(sample.latency_us);
+  }
+  if (n > 0) {
+    s.goodput = static_cast<double>(s.window_completed) / static_cast<double>(n);
+  }
+  s.queue_wait_p99_us = p99(waits);
+  s.latency_p99_us = p99(latencies);
+  s.goodput_breached = config_.goodput_target > 0.0 && n > 0 && s.goodput < config_.goodput_target;
+  s.queue_wait_breached = config_.queue_wait_p99_target_us > 0 &&
+                          s.queue_wait_p99_us > static_cast<double>(config_.queue_wait_p99_target_us);
+  s.latency_breached = config_.latency_p99_target_us > 0 &&
+                       s.latency_p99_us > static_cast<double>(config_.latency_p99_target_us);
+  // Edge-triggered breach accounting: one breach per transition into the
+  // breached state, however many snapshots observe it.
+  if (s.breached() && !was_breached_) ++breaches_;
+  was_breached_ = s.breached();
+  s.breaches = breaches_;
+  return s;
+}
+
+}  // namespace nodetr::serve

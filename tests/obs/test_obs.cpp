@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -428,6 +431,158 @@ TEST(Metrics, JsonDumpParsesBack) {
   EXPECT_DOUBLE_EQ(hist.at("count").num(), 1.0);
   EXPECT_DOUBLE_EQ(hist.at("sum").num(), 5.0);
   EXPECT_GT(hist.at("p99").num(), 0.0);
+}
+
+TEST(Metrics, HistogramDropsNonFiniteAndNegative) {
+  obs::Histogram h(std::vector<double>{1.0, 2.0});
+  h.observe(1.0);
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  h.observe(-std::numeric_limits<double>::infinity());
+  h.observe(-1.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0);
+  EXPECT_EQ(h.dropped(), 4);
+  h.reset();
+  EXPECT_EQ(h.dropped(), 0);
+}
+
+TEST(Metrics, NonFiniteGaugeExportsAsNull) {
+  auto& registry = obs::Registry::instance();
+  registry.gauge("test.json.inf_gauge").set(std::numeric_limits<double>::infinity());
+  // Must stay strict JSON: the parser below has no inf/nan literals.
+  JsonValue root = JsonParser(registry.to_json()).parse();
+  const auto& g = root.obj().at("gauges").obj().at("test.json.inf_gauge");
+  EXPECT_TRUE(std::holds_alternative<std::nullptr_t>(g.v));
+  registry.gauge("test.json.inf_gauge").set(0.0);
+}
+
+TEST(Metrics, OpenMetricsExposition) {
+  auto& registry = obs::Registry::instance();
+  registry.counter("test.om.counter").reset();
+  registry.counter("test.om.counter").add(3);
+  registry.gauge("test.om.gauge").set(1.5);
+  auto& h = registry.histogram("test.om.hist");
+  h.reset();
+  h.observe(5.0);
+  const std::string om = registry.to_openmetrics();
+  EXPECT_NE(om.find("# TYPE nodetr_test_om_counter counter"), std::string::npos);
+  EXPECT_NE(om.find("nodetr_test_om_counter_total 3"), std::string::npos);
+  EXPECT_NE(om.find("# TYPE nodetr_test_om_gauge gauge"), std::string::npos);
+  EXPECT_NE(om.find("nodetr_test_om_gauge 1.5"), std::string::npos);
+  EXPECT_NE(om.find("# TYPE nodetr_test_om_hist summary"), std::string::npos);
+  EXPECT_NE(om.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(om.find("nodetr_test_om_hist_count 1"), std::string::npos);
+  // The exposition must end with the OpenMetrics EOF marker.
+  const std::size_t eof = om.rfind("# EOF");
+  ASSERT_NE(eof, std::string::npos);
+  EXPECT_EQ(om.substr(eof), "# EOF\n");
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(Flight, EventsForReturnsOrderedTimeline) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.set_enabled(true);
+  const std::uint64_t id = obs::new_trace_id();
+  ASSERT_NE(id, 0u);
+  obs::flight_event(id, obs::FlightKind::kSubmit, 1);
+  obs::flight_event(id, obs::FlightKind::kEnqueued, 2);
+  obs::flight_event(id + 1, obs::FlightKind::kSubmit);  // another request
+  obs::flight_event(id, obs::FlightKind::kCompleted, 3);
+  const auto tl = fr.events_for(id);
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].kind, obs::FlightKind::kSubmit);
+  EXPECT_EQ(tl[1].kind, obs::FlightKind::kEnqueued);
+  EXPECT_EQ(tl[2].kind, obs::FlightKind::kCompleted);
+  EXPECT_EQ(tl[2].a, 3);
+  EXPECT_LE(tl[0].ts_ns, tl[1].ts_ns);
+  EXPECT_LE(tl[1].ts_ns, tl[2].ts_ns);
+  fr.clear();
+}
+
+TEST(Flight, RingKeepsLastEventsAfterWrap) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.set_enabled(true);
+  const std::size_t n = obs::FlightRecorder::kRingSize + 100;
+  for (std::size_t i = 0; i < n; ++i) {
+    obs::flight_event(1, obs::FlightKind::kMark, static_cast<std::int64_t>(i));
+  }
+  const auto tl = fr.events_for(1);
+  EXPECT_EQ(tl.size(), obs::FlightRecorder::kRingSize);
+  // The oldest surviving event is exactly n - kRingSize; the newest is n - 1.
+  EXPECT_EQ(tl.front().a, static_cast<std::int64_t>(n - obs::FlightRecorder::kRingSize));
+  EXPECT_EQ(tl.back().a, static_cast<std::int64_t>(n - 1));
+  fr.clear();
+  EXPECT_TRUE(fr.snapshot().empty());
+}
+
+TEST(Flight, DisabledRecorderRecordsNothing) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.set_enabled(false);
+  obs::flight_event(42, obs::FlightKind::kMark);
+  EXPECT_TRUE(fr.events_for(42).empty());
+  fr.set_enabled(true);
+}
+
+TEST(Flight, ThreadedRecordsMergeIntoOneTimeline) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.set_enabled(true);
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        obs::flight_event(static_cast<std::uint64_t>(500 + t), obs::FlightKind::kMark, i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < 4; ++t) {
+    const auto tl = fr.events_for(static_cast<std::uint64_t>(500 + t));
+    EXPECT_EQ(tl.size(), 100u);
+  }
+  // The merged dump table mentions every thread's trace.
+  const std::string dump = fr.dump_string();
+  EXPECT_NE(dump.find("500"), std::string::npos);
+  EXPECT_NE(dump.find("503"), std::string::npos);
+  fr.clear();
+}
+
+TEST(Flight, DumpWritesReasonAndTable) {
+  auto& fr = obs::FlightRecorder::instance();
+  fr.clear();
+  fr.set_enabled(true);
+  const std::string path = ::testing::TempDir() + "nodetr_flight_test.txt";
+  std::remove(path.c_str());
+  fr.set_dump_path(path);
+  obs::flight_event(909, obs::FlightKind::kSubmit);
+  obs::flight_event(909, obs::FlightKind::kCompleted);
+  const std::uint64_t before = fr.dump_count();
+  fr.dump("unit_test");
+  EXPECT_EQ(fr.dump_count(), before + 1);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("unit_test"), std::string::npos);
+  EXPECT_NE(text.find("909"), std::string::npos);
+  std::remove(path.c_str());
+  fr.set_dump_path("");
+  fr.clear();
+}
+
+TEST(Flight, NewTraceIdsAreUniqueAndNonZero) {
+  const std::uint64_t a = obs::new_trace_id();
+  const std::uint64_t b = obs::new_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
 }
 
 // ---------------------------------------------------------------------------
