@@ -2,9 +2,15 @@
 // MHSA accelerator, fire concurrent clients at it, and print the stats the
 // engine exposes (plus the obs metrics the serving path records).
 //
-//   ./serve_demo [requests_per_client]   (default 16)
+//   ./serve_demo [requests_per_client] [--devices N]   (default 16, 0)
+//
+// --devices N stands up a cluster-mode fleet instead of the single shared
+// accelerator: N simulated boards at alternating 200/100 MHz clocks behind
+// the cost-model router, with the per-board routing/breaker stats printed at
+// the end (faster boards absorb proportionally more rows).
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <thread>
 
 #include "nodetr/nn/attention.hpp"
@@ -20,7 +26,15 @@ namespace obs = nodetr::obs;
 using nt::index_t;
 
 int main(int argc, char** argv) {
-  const int per_client = argc > 1 ? std::atoi(argv[1]) : 16;
+  int per_client = 16;
+  std::size_t n_devices = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--devices" && i + 1 < argc) {
+      n_devices = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      per_client = std::atoi(argv[i]);
+    }
+  }
   constexpr int kClients = 4;
 
   // The paper's proposed MHSA geometry (64ch, 6x6, 4 heads), fixed-point.
@@ -40,12 +54,28 @@ int main(int argc, char** argv) {
   config.queue_capacity = 32;
   config.batcher.max_batch = 8;
   config.batcher.max_wait_us = 2000;
+  if (n_devices > 0) {
+    // Fleet mode: one worker per simulated board, alternating clocks so the
+    // router's cost model visibly skews rows toward the faster boards.
+    config.devices.resize(n_devices);
+    for (std::size_t d = 0; d < n_devices; ++d) {
+      config.devices[d].name = "board" + std::to_string(d);
+      config.devices[d].backend = serve::Backend::kFpgaFixed;
+      config.devices[d].clock_mhz = d % 2 == 0 ? 200.0 : 100.0;
+    }
+  }
   serve::InferenceEngine engine(config, hls::MhsaWeights::from_module(mhsa));
-  std::printf("engine: %d workers, backend %s, queue %zu (%s), max_batch %lld\n",
-              static_cast<int>(config.workers), serve::to_string(config.backend),
-              config.queue_capacity,
-              config.policy == serve::BackpressurePolicy::kBlock ? "block" : "reject",
-              static_cast<long long>(config.batcher.max_batch));
+  if (n_devices > 0) {
+    std::printf("engine: %zu-board fleet, backend %s, queue %zu per board, max_batch %lld\n",
+                n_devices, serve::to_string(config.devices[0].backend), config.queue_capacity,
+                static_cast<long long>(config.batcher.max_batch));
+  } else {
+    std::printf("engine: %d workers, backend %s, queue %zu (%s), max_batch %lld\n",
+                static_cast<int>(config.workers), serve::to_string(config.backend),
+                config.queue_capacity,
+                config.policy == serve::BackpressurePolicy::kBlock ? "block" : "reject",
+                static_cast<long long>(config.batcher.max_batch));
+  }
 
   std::vector<std::thread> clients;
   std::mutex mu;  // guards rng and stdout
@@ -92,6 +122,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(d.dma_bytes_out),
                 static_cast<unsigned long long>(d.weight_bytes_saved),
                 static_cast<unsigned long long>(d.stall_cycles), d.utilization_pct());
+  }
+  for (const auto& [name, ds] : stats.device_stats) {
+    std::printf("board[%s]: %s @ est %.2f us/row  rows %llu  batches %llu  retries %llu  "
+                "breaker opens %llu closes %llu%s  busy cycles %lld\n",
+                name.c_str(), ds.backend.c_str(), ds.est_us_per_row,
+                static_cast<unsigned long long>(ds.rows),
+                static_cast<unsigned long long>(ds.batches),
+                static_cast<unsigned long long>(ds.retries),
+                static_cast<unsigned long long>(ds.breaker_opens),
+                static_cast<unsigned long long>(ds.breaker_closes),
+                ds.breaker_open ? "  [OPEN]" : "",
+                static_cast<long long>(ds.counters.total_cycles()));
   }
   std::printf("slo window: resolved %llu  goodput %.3f  queue-wait p99 %.0f us  "
               "latency p99 %.0f us  breaches %llu%s\n",

@@ -222,6 +222,21 @@ class Injector {
   return inj.fire(std::string(site));
 }
 
+/// Scoped variant for multi-device hardware models: checks the process-wide
+/// site AND, when `scope` is non-empty, the site "<site>.<scope>" (e.g.
+/// "rt.dma.error.dev3"). Each scoped site draws from its own (seed, name)
+/// PRNG stream, so arming "rt.dma.error.dev3" fault-storms one board while
+/// its siblings keep running clean — and the same seed replays the same
+/// per-device pattern. Both op counters always advance (no short-circuit) so
+/// a schedule on one site never perturbs the other's determinism.
+[[nodiscard]] inline bool fire(const char* site, const std::string& scope) {
+  Injector& inj = Injector::instance();
+  if (!inj.armed()) return false;
+  const bool base = inj.fire(std::string(site));
+  const bool scoped = !scope.empty() && inj.fire(std::string(site) + '.' + scope);
+  return base || scoped;
+}
+
 /// Classify an in-flight exception: true iff it is a FaultError marked
 /// transient, or a DeadlineExceeded. Recovery policy (retry/backoff) keys on
 /// this; unknown exceptions are permanent by definition.

@@ -44,6 +44,7 @@ namespace nodetr::obs {
 enum class FlightKind : std::uint8_t {
   kSubmit,        ///< a: rows, b: priority
   kEnqueued,      ///< a: queue depth after push
+  kRouted,        ///< a: device index, b: rows (cluster router dispatch)
   kRejected,      ///< a: queue capacity (kReject backpressure)
   kShed,          ///< a: 0 = admission control, 1 = kShedOldest eviction
   kExpired,       ///< a: µs spent in the pipeline

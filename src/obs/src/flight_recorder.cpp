@@ -34,6 +34,7 @@ const char* to_string(FlightKind kind) {
   switch (kind) {
     case FlightKind::kSubmit: return "submit";
     case FlightKind::kEnqueued: return "enqueued";
+    case FlightKind::kRouted: return "routed";
     case FlightKind::kRejected: return "rejected";
     case FlightKind::kShed: return "shed";
     case FlightKind::kExpired: return "expired";

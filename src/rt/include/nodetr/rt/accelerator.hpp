@@ -87,19 +87,36 @@ struct DeviceCounters {
   }
 };
 
+/// Per-board physical parameters: the PL clock the cycle counts are paid at,
+/// the DMA port geometry, and the fault scope (board name) whose scoped
+/// sites — "rt.dma.error.<scope>", "rt.ddr.bitflip.<scope>",
+/// "rt.axi.nack.<scope>", "hls.ip.stall.<scope>" — this board's interconnect
+/// checks in addition to the process-wide ones. Defaults reproduce the
+/// paper's single ZCU104 board exactly.
+struct BoardProfile {
+  double clock_mhz = 200.0;
+  index_t dma_beat_bytes = AxiStreamDma::kBeatBytes;
+  std::int64_t dma_setup_cycles = AxiStreamDma::kSetupCycles;
+  std::string fault_scope;  ///< empty = unscoped (single-board behavior)
+};
+
 class MhsaAccelerator {
  public:
-  MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr);
+  MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr,
+                  BoardProfile profile = {});
 
   [[nodiscard]] AxiLiteRegisterFile& regs() { return regs_; }
   [[nodiscard]] const hls::MhsaIpCore& ip() const { return *ip_; }
+  [[nodiscard]] const BoardProfile& profile() const { return profile_; }
 
   /// Cycles consumed by the last START (DMA + compute).
   [[nodiscard]] std::int64_t last_cycles() const { return last_cycles_; }
   /// Total cycles over the accelerator's lifetime.
   [[nodiscard]] std::int64_t total_cycles() const { return total_cycles_; }
-  /// Simulated milliseconds at the 200 MHz PL clock.
-  [[nodiscard]] double last_ms() const { return last_cycles_ * hls::CycleModel::kClockNs * 1e-6; }
+  /// Simulated milliseconds at this board's PL clock.
+  [[nodiscard]] double last_ms() const {
+    return static_cast<double>(last_cycles_) / profile_.clock_mhz * 1e-3;
+  }
 
   /// Convenience driver: stages `x` (B, D, H, W), runs the register
   /// sequence, and returns the output read back from DDR. Throws
@@ -134,6 +151,7 @@ class MhsaAccelerator {
 
   std::unique_ptr<hls::MhsaIpCore> ip_;
   DdrMemory& ddr_;
+  BoardProfile profile_;
   AxiLiteRegisterFile regs_;
   AxiStreamDma dma_;
   /// Merge `delta` into both counter accumulators and mirror it to the obs

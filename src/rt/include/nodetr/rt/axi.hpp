@@ -7,12 +7,18 @@
 // "rt.dma.error" makes a DMA transfer fail with DmaTransferError, and
 // "rt.axi.nack" makes a register access fail with AxiNackError. All three
 // are transient: re-issuing the operation retransfers clean data.
+//
+// Multi-board: each component can carry a fault *scope* (the board name), in
+// which case it also checks the scoped site — "rt.dma.error.<scope>" etc. —
+// so a fleet test can storm one board's interconnect while its siblings stay
+// clean, deterministically (see fault::fire(site, scope)).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "nodetr/fault/fault.hpp"
@@ -39,37 +45,64 @@ class DdrMemory {
   /// Read `shape.numel()` floats from `addr`.
   [[nodiscard]] Tensor read_tensor(std::uint64_t addr, Shape shape) const;
 
+  /// Board name whose scoped bitflip site ("rt.ddr.bitflip.<scope>") this
+  /// memory also checks; empty (the default) keeps the process-wide site only.
+  void set_fault_scope(std::string scope) { fault_scope_ = std::move(scope); }
+  [[nodiscard]] const std::string& fault_scope() const { return fault_scope_; }
+
  private:
   void check(std::uint64_t addr, std::size_t bytes) const;
   std::vector<std::uint8_t> mem_;
+  std::string fault_scope_;
 };
 
-/// DMA transfer cost model for the 32-bit high-performance (HP0) port:
-/// a fixed descriptor-setup latency plus one beat (4 bytes) per PL cycle.
+/// DMA transfer cost model for a high-performance AXI port: a fixed
+/// descriptor-setup latency plus one beat per PL cycle. Defaults model the
+/// paper's 32-bit HP0 port; a DevicePool board can widen the beat or change
+/// the setup cost to give each simulated board its own DMA bandwidth.
 class AxiStreamDma {
  public:
   static constexpr std::int64_t kSetupCycles = 120;  ///< descriptor + trigger
   static constexpr index_t kBeatBytes = 4;           ///< 32-bit data width
 
-  /// Cycles to move `bytes` in one direction.
+  AxiStreamDma() = default;
+  AxiStreamDma(index_t beat_bytes, std::int64_t setup_cycles, std::string fault_scope = {})
+      : beat_bytes_(beat_bytes), setup_cycles_(setup_cycles),
+        fault_scope_(std::move(fault_scope)) {
+    if (beat_bytes_ < 1 || setup_cycles_ < 0) {
+      throw std::invalid_argument("AxiStreamDma: beat_bytes must be >= 1, setup_cycles >= 0");
+    }
+  }
+
+  /// Cycles to move `bytes` in one direction over the default HP0 port.
   [[nodiscard]] static std::int64_t transfer_cycles(std::int64_t bytes) {
     return kSetupCycles + (bytes + kBeatBytes - 1) / kBeatBytes;
   }
+  /// Cycles to move `bytes` over *this* port's beat width.
+  [[nodiscard]] std::int64_t cycles_for(std::int64_t bytes) const {
+    return setup_cycles_ + (bytes + beat_bytes_ - 1) / beat_bytes_;
+  }
+  [[nodiscard]] index_t beat_bytes() const { return beat_bytes_; }
 
   /// Accumulated cycles of all transfers issued through this engine. Throws
-  /// fault::DmaTransferError when the "rt.dma.error" site fires; the setup
-  /// cycles are still accounted (the descriptor was issued before it failed).
+  /// fault::DmaTransferError when the "rt.dma.error" site (or its scoped
+  /// variant) fires; the setup cycles are still accounted (the descriptor
+  /// was issued before it failed).
   void transfer(std::int64_t bytes) {
-    if (fault::fire("rt.dma.error")) {
-      total_cycles_ += kSetupCycles;
-      throw fault::DmaTransferError("rt.dma.error");
+    if (fault::fire("rt.dma.error", fault_scope_)) {
+      total_cycles_ += setup_cycles_;
+      throw fault::DmaTransferError(fault_scope_.empty() ? "rt.dma.error"
+                                                         : "rt.dma.error." + fault_scope_);
     }
-    total_cycles_ += transfer_cycles(bytes);
+    total_cycles_ += cycles_for(bytes);
   }
   [[nodiscard]] std::int64_t total_cycles() const { return total_cycles_; }
   void reset() { total_cycles_ = 0; }
 
  private:
+  index_t beat_bytes_ = kBeatBytes;
+  std::int64_t setup_cycles_ = kSetupCycles;
+  std::string fault_scope_;
   std::int64_t total_cycles_ = 0;
 };
 
@@ -83,9 +116,14 @@ class AxiLiteRegisterFile {
   using WriteHook = std::function<void(std::uint32_t value)>;
   void on_write(std::uint32_t offset, WriteHook hook) { hooks_[offset] = std::move(hook); }
 
+  /// Board name whose scoped NACK site ("rt.axi.nack.<scope>") this register
+  /// file also checks.
+  void set_fault_scope(std::string scope) { fault_scope_ = std::move(scope); }
+
  private:
   std::map<std::uint32_t, std::uint32_t> regs_;
   std::map<std::uint32_t, WriteHook> hooks_;
+  std::string fault_scope_;
 };
 
 }  // namespace nodetr::rt

@@ -15,9 +15,17 @@ std::uint64_t addr64(const AxiLiteRegisterFile& regs, std::uint32_t lo, std::uin
 }
 }  // namespace
 
-MhsaAccelerator::MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr)
-    : ip_(std::move(ip)), ddr_(ddr) {
+MhsaAccelerator::MhsaAccelerator(std::unique_ptr<hls::MhsaIpCore> ip, DdrMemory& ddr,
+                                 BoardProfile profile)
+    : ip_(std::move(ip)),
+      ddr_(ddr),
+      profile_(std::move(profile)),
+      dma_(profile_.dma_beat_bytes, profile_.dma_setup_cycles, profile_.fault_scope) {
   if (!ip_) throw std::invalid_argument("MhsaAccelerator: null IP core");
+  if (profile_.clock_mhz <= 0.0) {
+    throw std::invalid_argument("MhsaAccelerator: clock_mhz must be > 0");
+  }
+  regs_.set_fault_scope(profile_.fault_scope);
   regs_.on_write(MhsaRegs::kCtrl, [this](std::uint32_t v) {
     if (v & 1u) start();
   });
@@ -59,6 +67,12 @@ void MhsaAccelerator::start() {
   Tensor x = ddr_.read_tensor(in_addr, shape);
   Tensor y;
   try {
+    // The IP model checks the process-wide "hls.ip.stall" site itself; the
+    // board-scoped variant lets a fleet test hang exactly one device.
+    if (!profile_.fault_scope.empty() &&
+        fault::fire(("hls.ip.stall." + profile_.fault_scope).c_str())) {
+      throw fault::IpStallFault("hls.ip.stall." + profile_.fault_scope);
+    }
     y = ip_->run(x);
   } catch (const fault::IpStallFault&) {
     // The IP hung mid-run: DONE is never raised for this START. Latch the

@@ -1,0 +1,54 @@
+#include "nodetr/rt/device_pool.hpp"
+
+#include <stdexcept>
+
+namespace nodetr::rt {
+
+SimulatedDevice::SimulatedDevice(BoardConfig config, std::unique_ptr<hls::MhsaIpCore> ip)
+    : config_(std::move(config)), clock_mhz_(config_.clock_mhz) {
+  if (config_.name.empty()) {
+    throw std::invalid_argument("SimulatedDevice: board name must be non-empty");
+  }
+  if (config_.clock_mhz <= 0.0) {
+    throw std::invalid_argument("SimulatedDevice: clock_mhz must be > 0");
+  }
+  if (ip) {
+    ddr_ = std::make_unique<DdrMemory>(config_.ddr_bytes);
+    ddr_->set_fault_scope(config_.name);
+    accel_ = std::make_unique<MhsaAccelerator>(std::move(ip), *ddr_, config_.profile());
+  }
+}
+
+void SimulatedDevice::set_clock_mhz(double mhz) {
+  if (mhz <= 0.0) throw std::invalid_argument("SimulatedDevice: clock_mhz must be > 0");
+  clock_mhz_.store(mhz, std::memory_order_relaxed);
+}
+
+DevicePool::DevicePool(std::vector<BoardConfig> boards, IpFactory factory)
+    : boards_(std::move(boards)), factory_(std::move(factory)) {
+  if (boards_.empty()) throw std::invalid_argument("DevicePool: need at least one board");
+  if (!factory_) throw std::invalid_argument("DevicePool: null IP factory");
+  for (std::size_t i = 0; i < boards_.size(); ++i) {
+    for (std::size_t j = i + 1; j < boards_.size(); ++j) {
+      if (boards_[i].name == boards_[j].name) {
+        throw std::invalid_argument("DevicePool: duplicate board name \"" + boards_[i].name +
+                                    "\" (names key metrics and fault scopes)");
+      }
+    }
+  }
+  devices_.resize(boards_.size());
+}
+
+SimulatedDevice& DevicePool::device(std::size_t i) {
+  if (i >= devices_.size()) throw std::out_of_range("DevicePool::device: bad index");
+  if (!devices_[i]) return rebuild(i);
+  return *devices_[i];
+}
+
+SimulatedDevice& DevicePool::rebuild(std::size_t i) {
+  if (i >= devices_.size()) throw std::out_of_range("DevicePool::rebuild: bad index");
+  devices_[i] = std::make_unique<SimulatedDevice>(boards_[i], factory_(i, boards_[i]));
+  return *devices_[i];
+}
+
+}  // namespace nodetr::rt

@@ -65,11 +65,38 @@
 //   - SLO watch: stats().slo is a rolling-window goodput / p99 queue-wait /
 //     p99 latency snapshot with breach flags (EngineConfig::slo targets).
 //
-// Spans: serve.submit / serve.batch / serve.complete; metrics serve.requests_*,
-// serve.batches, serve.rows, serve.queue_depth, serve.shed, serve.expired,
-// serve.retries[.<backend>], serve.fallbacks[.<backend>],
+// Cluster mode (EngineConfig::devices non-empty): the engine generalizes to
+// a fleet of simulated boards behind a cluster router —
+//
+//   producers ──► central RequestQueue (FIFO)
+//                     │  single router thread, strict pop order
+//                ClusterRouter (cost-model dispatch, breaker-aware;
+//                     │         see router.hpp)
+//        ┌────────────┼────────────┐
+//        ▼            ▼            ▼
+//   device queue  device queue  device queue     (one per board, FIFO)
+//        │            │            │
+//   worker+board  worker+board  worker+board     (rt::DevicePool boards,
+//                                                 per-board fault scopes)
+//
+// Each DeviceConfig names one rt::SimulatedDevice (own clock, DMA beat
+// width, DDR, DeviceCounters, deterministic per-board fault stream) driven
+// by exactly one worker, so the PR 5 per-session circuit breaker *is* that
+// device's breaker; its transitions feed both the router (which steers
+// traffic away while the cooldown runs) and the per-device metrics
+// serve.device.<name>.breaker_{opens,probes,reopens,closes}. FIFO is
+// preserved per device: the router dispatches in submit order and each
+// device queue is FIFO, so two requests routed to the same device always
+// execute in submission order (and the flow-event chain gains one
+// serve.route hop between submit and batch). stats() keeps the legacy
+// per-backend `devices` aggregation and adds per-board `device_stats`.
+//
+// Spans: serve.submit / serve.route / serve.batch / serve.complete; metrics
+// serve.requests_*, serve.batches, serve.rows, serve.queue_depth, serve.shed,
+// serve.expired, serve.retries[.<backend>], serve.fallbacks[.<backend>],
 // serve.faults_injected.<backend>, serve.breaker.{open,reopen,half_open,
 // close} with the serve.breaker_state gauge (currently demoted sessions),
+// serve.device.<name>.{routed,batches,rows,breaker_*} in cluster mode,
 // serve.worker_aborted / serve.worker_respawns / serve.isolation_runs, and
 // the histograms serve.batch_occupancy_pct, serve.queue_wait_us,
 // serve.request_latency_us and serve.retry_latency_us (p50/p95/p99).
@@ -84,9 +111,11 @@
 #include "nodetr/hls/mhsa_ip.hpp"
 #include "nodetr/obs/obs.hpp"
 #include "nodetr/rt/accelerator.hpp"
+#include "nodetr/rt/device_pool.hpp"
 #include "nodetr/serve/admission.hpp"
 #include "nodetr/serve/circuit_breaker.hpp"
 #include "nodetr/serve/micro_batcher.hpp"
+#include "nodetr/serve/router.hpp"
 #include "nodetr/serve/slo.hpp"
 #include "nodetr/tensor/parallel.hpp"
 
@@ -131,6 +160,20 @@ struct SubmitOptions {
   std::uint64_t trace_id = 0;
 };
 
+/// One simulated board of a cluster-mode engine. Each device gets its own
+/// rt::SimulatedDevice (DDR, DMA port, cycle clock, DeviceCounters, and the
+/// per-board fault scope `name`), one dedicated worker, and one per-device
+/// circuit breaker. Heterogeneous fleets are fine: CPU-float, FPGA-float and
+/// FPGA-fixed boards can mix, with the usual numerics caveat that fixed
+/// results then depend on placement.
+struct DeviceConfig {
+  std::string name;  ///< metrics label + fault scope; "" = "dev<index>"
+  Backend backend = Backend::kFpgaFloat;
+  double clock_mhz = 200.0;
+  index_t dma_beat_bytes = rt::AxiStreamDma::kBeatBytes;
+  std::size_t ddr_bytes = 64u << 20;
+};
+
 struct EngineConfig {
   /// MHSA geometry (and the quantization scheme for kFpgaFixed). The dtype
   /// and weight residency fields are overridden per backend: FPGA sessions
@@ -149,6 +192,33 @@ struct EngineConfig {
   AdmissionConfig admission;  ///< CoDel-style shedding (disabled by default)
   BreakerConfig breaker;      ///< per-session device circuit breaker
   SloConfig slo;              ///< rolling-window SLO targets (see slo.hpp)
+  /// Cluster mode: non-empty turns the engine into an N-board fleet — one
+  /// worker per device, a router thread between the central queue and the
+  /// per-device queues. `workers` / `worker_backends` are then ignored
+  /// (derived from this list). Note the fleet buffers up to
+  /// (devices + 1) × queue_capacity requests across its queues.
+  std::vector<DeviceConfig> devices;
+  RouterConfig router;  ///< cost-model dispatch knobs (cluster mode only)
+};
+
+/// Per-board view of a cluster-mode engine (EngineStats::device_stats).
+/// Counter fields accumulate over the engine's lifetime (surviving worker
+/// respawns); `breaker_open` / `pending_rows` / `est_us_per_row` are live
+/// router state at the stats() call.
+struct DeviceStats {
+  std::string backend;           ///< home backend name ("fpga_float", ...)
+  std::uint64_t batches = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t breaker_probes = 0;
+  std::uint64_t breaker_reopens = 0;
+  std::uint64_t breaker_closes = 0;
+  bool breaker_open = false;     ///< router view: open (incl. cooldown wait)
+  bool lost = false;             ///< worker respawn failed; never routed again
+  std::int64_t pending_rows = 0; ///< rows routed but not yet resolved
+  double est_us_per_row = 0.0;   ///< router's EWMA cost estimate
+  rt::DeviceCounters counters;   ///< this board's simulated-time counters
 };
 
 struct EngineStats {
@@ -177,8 +247,12 @@ struct EngineStats {
   /// Per-backend device performance counters (DMA bytes, stall cycles,
   /// utilization %), absorbed from every session of that home backend —
   /// including sessions since respawned or demoted. Keyed by backend name;
-  /// CPU-only engines have no entries.
+  /// CPU-only engines have no entries. In cluster mode this aggregates all
+  /// boards of the same backend (see device_stats for the per-board split).
   std::map<std::string, rt::DeviceCounters> devices;
+  /// Cluster mode: per-board stats keyed by DeviceConfig::name (empty for
+  /// single-device engines).
+  std::map<std::string, DeviceStats> device_stats;
   /// Rolling-window SLO state (goodput, p99s, breach flags) — see slo.hpp.
   SloSnapshot slo;
   /// rows / (batches * max_batch); 1.0 means every batch was full.
@@ -219,10 +293,31 @@ class InferenceEngine {
 
  private:
   struct WorkerSession;
+  /// Cached obs handles for one device's namespaced metrics — resolved once
+  /// at construction so the per-request/per-batch hot paths skip the
+  /// registry's name lookup.
+  struct DeviceMetrics {
+    obs::Counter* routed = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* rows = nullptr;
+    obs::Counter* breaker_opens = nullptr;
+    obs::Counter* breaker_probes = nullptr;
+    obs::Counter* breaker_reopens = nullptr;
+    obs::Counter* breaker_closes = nullptr;
+    obs::Gauge* breaker_open = nullptr;
+  };
 
   [[nodiscard]] static EngineConfig validated(EngineConfig config);
+  [[nodiscard]] bool cluster() const { return router_ != nullptr; }
   [[nodiscard]] std::unique_ptr<WorkerSession> make_session(Backend backend, std::size_t worker);
   void worker_loop(std::size_t worker);
+  /// Cluster mode: drain the central queue in FIFO order, cost-route each
+  /// request to a device queue. Closes the device queues on exit so the
+  /// workers drain and stop.
+  void router_loop();
+  /// Cluster mode: the worker slot is gone for good — fail everything still
+  /// queued on its device so no future hangs.
+  void abandon_device(std::size_t worker);
   void process_batch(WorkerSession& session, MicroBatch& batch);
   /// Fail slices whose deadline has passed with RequestExpired; returns the
   /// number of live (non-failed) slices remaining.
@@ -236,7 +331,11 @@ class InferenceEngine {
   void demote_to_cpu(WorkerSession& session);
   void note_device_success(WorkerSession& session);
   void isolate_slices(WorkerSession& session, MicroBatch& batch);
-  void salvage_requests(const std::vector<RequestPtr>& held, std::exception_ptr error);
+  void salvage_requests(RequestQueue& queue, const std::vector<RequestPtr>& held,
+                       std::exception_ptr error);
+  /// Cluster mode: a routed request reached a terminal state — release its
+  /// load from the router's pending accounting (exactly once per request).
+  void note_resolved(const Request& r);
   /// Drain the session accelerator's pending DeviceCounters into the
   /// per-backend totals stats() reports. Must run on the worker thread that
   /// owns the session (take_counters is owner-thread-only).
@@ -254,8 +353,15 @@ class InferenceEngine {
   AdmissionController admission_;
   SloMonitor slo_;
   obs::Histogram queue_wait_us_;  ///< engine-local; feeds stats() percentiles
-  mutable std::mutex devices_mu_;  ///< guards devices_
+  mutable std::mutex devices_mu_;  ///< guards devices_ and device_stats_
   std::map<std::string, rt::DeviceCounters> devices_;  ///< per home-backend totals
+  std::vector<DeviceStats> device_stats_;  ///< cluster mode, indexed by device
+  // Cluster mode (all null/empty for single-device engines):
+  std::unique_ptr<ClusterRouter> router_;
+  std::unique_ptr<rt::DevicePool> device_pool_;
+  std::vector<std::unique_ptr<RequestQueue>> device_queues_;
+  std::vector<DeviceMetrics> device_metrics_;
+  std::thread router_thread_;
   std::vector<std::unique_ptr<WorkerSession>> sessions_;
   std::unique_ptr<tensor::ThreadPool> pool_;
   std::thread dispatcher_;

@@ -7,4 +7,5 @@
 #include "nodetr/serve/errors.hpp"
 #include "nodetr/serve/micro_batcher.hpp"
 #include "nodetr/serve/request_queue.hpp"
+#include "nodetr/serve/router.hpp"
 #include "nodetr/serve/slo.hpp"

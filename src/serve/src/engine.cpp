@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "nodetr/fault/fault.hpp"
+#include "nodetr/hls/cycle_model.hpp"
 
 namespace nodetr::serve {
 
@@ -23,22 +24,50 @@ const char* to_string(Backend backend) {
 /// `backend` is where traffic runs right now; `home_backend` is where the
 /// session belongs — the circuit breaker demotes `backend` to kCpuFloat when
 /// the device keeps faulting and restores it after a clean half-open probe.
+/// In cluster mode the worker drains its own device queue and drives a
+/// pool-owned rt::SimulatedDevice instead of session-owned DDR/accelerator;
+/// `accel` points at whichever of the two applies.
 struct InferenceEngine::WorkerSession {
   std::size_t index = 0;  ///< worker slot (stable across respawns)
   Backend home_backend = Backend::kCpuFloat;
   Backend backend = Backend::kCpuFloat;
+  RequestQueue* source = nullptr;  ///< queue this session drains
   MicroBatcher batcher;
   std::unique_ptr<hls::MhsaIpCore> cpu_ip;    ///< kCpuFloat (built on demand)
-  std::unique_ptr<rt::DdrMemory> ddr;         ///< kFpga*
-  std::unique_ptr<rt::MhsaAccelerator> accel; ///< kFpga* (kept alive while open
-                                              ///  so the probe can reuse it)
+  std::unique_ptr<rt::DdrMemory> ddr;               ///< single-device kFpga*
+  std::unique_ptr<rt::MhsaAccelerator> accel_owned; ///< single-device kFpga*
+  rt::SimulatedDevice* device = nullptr;  ///< cluster mode (owned by the pool)
+  rt::MhsaAccelerator* accel = nullptr;   ///< kFpga* (kept alive while open
+                                          ///  so the probe can reuse it)
   CircuitBreaker breaker;
 
   WorkerSession(RequestQueue& queue, const BatcherConfig& cfg, const BreakerConfig& breaker_cfg)
-      : batcher(queue, cfg), breaker(breaker_cfg) {}
+      : source(&queue), batcher(queue, cfg), breaker(breaker_cfg) {}
 };
 
 EngineConfig InferenceEngine::validated(EngineConfig config) {
+  if (!config.devices.empty()) {
+    // Cluster mode: one worker per device; the flat worker knobs must not
+    // contradict the device list.
+    if (!config.worker_backends.empty()) {
+      throw std::invalid_argument(
+          "InferenceEngine: worker_backends and devices are mutually exclusive "
+          "(cluster mode derives one worker per device)");
+    }
+    config.workers = config.devices.size();
+    for (std::size_t i = 0; i < config.devices.size(); ++i) {
+      DeviceConfig& d = config.devices[i];
+      if (d.name.empty()) d.name = "dev" + std::to_string(i);
+      if (d.clock_mhz <= 0.0) {
+        throw std::invalid_argument("InferenceEngine: device \"" + d.name +
+                                    "\": clock_mhz must be > 0");
+      }
+      if (d.dma_beat_bytes < 1) {
+        throw std::invalid_argument("InferenceEngine: device \"" + d.name +
+                                    "\": dma_beat_bytes must be >= 1");
+      }
+    }
+  }
   if (config.workers < 1) {
     throw std::invalid_argument("InferenceEngine: workers must be >= 1");
   }
@@ -66,7 +95,11 @@ EngineConfig InferenceEngine::validated(EngineConfig config) {
 
 std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(
     Backend backend, std::size_t worker) {
-  auto session = std::make_unique<WorkerSession>(queue_, config_.batcher, config_.breaker);
+  // Cluster mode: the session drains its own device queue and drives the
+  // pool board in its slot; a respawn rebuilds the board from scratch (fresh
+  // DDR, counters at zero) exactly like the initial bring-up.
+  RequestQueue& source = cluster() ? *device_queues_[worker] : queue_;
+  auto session = std::make_unique<WorkerSession>(source, config_.batcher, config_.breaker);
   // Expired requests are failed the moment the batcher sheds them — next()
   // may block on an empty queue right afterwards, so deferring would leave
   // the victim's future hanging until more traffic arrives.
@@ -77,15 +110,23 @@ std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(
   hls::MhsaDesignPoint point = config_.point;
   point.dtype = backend == Backend::kFpgaFixed ? hls::DataType::kFixed
                                                : hls::DataType::kFloat32;
+  if (cluster()) {
+    session->device = &device_pool_->rebuild(worker);
+    if (session->device->has_accelerator()) {
+      session->accel = &session->device->accelerator();
+      session->accel->set_deadline(config_.fault.deadline);
+    }
+  }
   if (backend == Backend::kCpuFloat) {
     session->cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
-  } else {
+  } else if (!cluster()) {
     // The batched START keeps weights resident across the programmed batch —
     // the amortization the micro-batcher exists to exploit.
     point.residency = hls::WeightResidency::kBatchResident;
     session->ddr = std::make_unique<rt::DdrMemory>();
-    session->accel = std::make_unique<rt::MhsaAccelerator>(
+    session->accel_owned = std::make_unique<rt::MhsaAccelerator>(
         std::make_unique<hls::MhsaIpCore>(point, weights_), *session->ddr);
+    session->accel = session->accel_owned.get();
     session->accel->set_deadline(config_.fault.deadline);
   }
   return session;
@@ -100,16 +141,82 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
   // Every pop reports its queue wait: the engine-local histogram backs the
   // stats() percentiles, the registry one the metrics dump, and the sample
   // stream drives the CoDel admission controller.
-  queue_.set_wait_observer([this](std::int64_t wait_us) {
+  auto wait_observer = [this](std::int64_t wait_us) {
     static auto& wait_hist = obs::Registry::instance().histogram("serve.queue_wait_us");
     queue_wait_us_.observe(static_cast<double>(wait_us));
     wait_hist.observe(static_cast<double>(wait_us));
     admission_.record_wait(wait_us);
-  });
+  };
+  if (config_.devices.empty()) {
+    queue_.set_wait_observer(wait_observer);
+  } else {
+    // Cluster mode: only the device-queue pops feed the observer. Their wait
+    // is still measured from submit (the device pop overwrites the router's
+    // central-pop stamp), so CoDel keys on the full standing delay — wiring
+    // the central queue too would flood it with the router's near-zero
+    // drain latency and mask real overload.
+    const std::size_t device_cap = config_.router.device_queue_capacity > 0
+                                       ? config_.router.device_queue_capacity
+                                       : config_.queue_capacity;
+    std::vector<ClusterRouter::DeviceSeed> seeds;
+    std::vector<rt::BoardConfig> boards;
+    const hls::CycleModel cycle_model;
+    for (const DeviceConfig& d : config_.devices) {
+      auto q = std::make_unique<RequestQueue>(device_cap, BackpressurePolicy::kBlock);
+      q->set_wait_observer(wait_observer);
+      device_queues_.push_back(std::move(q));
+      // Seed the router's cost model with the analytic cycle estimate paid at
+      // this board's clock (µs = cycles ÷ MHz). CPU boards start from the
+      // same figure and converge to wall time through the EWMA.
+      hls::MhsaDesignPoint point = config_.point;
+      point.dtype = d.backend == Backend::kFpgaFixed ? hls::DataType::kFixed
+                                                     : hls::DataType::kFloat32;
+      const double est_us_per_row =
+          static_cast<double>(cycle_model.estimate(point).total()) / d.clock_mhz;
+      seeds.push_back(ClusterRouter::DeviceSeed{d.name, est_us_per_row});
+      rt::BoardConfig board;
+      board.name = d.name;
+      board.clock_mhz = d.clock_mhz;
+      board.dma_beat_bytes = d.dma_beat_bytes;
+      board.ddr_bytes = d.ddr_bytes;
+      boards.push_back(std::move(board));
+    }
+    router_ = std::make_unique<ClusterRouter>(std::move(seeds), config_.router);
+    device_pool_ = std::make_unique<rt::DevicePool>(
+        std::move(boards),
+        [this](std::size_t i, const rt::BoardConfig&) -> std::unique_ptr<hls::MhsaIpCore> {
+          const Backend backend = config_.devices[i].backend;
+          if (backend == Backend::kCpuFloat) return nullptr;  // host-only board
+          hls::MhsaDesignPoint point = config_.point;
+          point.dtype = backend == Backend::kFpgaFixed ? hls::DataType::kFixed
+                                                       : hls::DataType::kFloat32;
+          point.residency = hls::WeightResidency::kBatchResident;
+          return std::make_unique<hls::MhsaIpCore>(point, weights_);
+        });
+    device_stats_.resize(config_.devices.size());
+    device_metrics_.reserve(config_.devices.size());
+    auto& reg = obs::Registry::instance();
+    for (std::size_t i = 0; i < config_.devices.size(); ++i) {
+      device_stats_[i].backend = to_string(config_.devices[i].backend);
+      const std::string prefix = "serve.device." + config_.devices[i].name + ".";
+      DeviceMetrics m;
+      m.routed = &reg.counter(prefix + "routed");
+      m.batches = &reg.counter(prefix + "batches");
+      m.rows = &reg.counter(prefix + "rows");
+      m.breaker_opens = &reg.counter(prefix + "breaker_opens");
+      m.breaker_probes = &reg.counter(prefix + "breaker_probes");
+      m.breaker_reopens = &reg.counter(prefix + "breaker_reopens");
+      m.breaker_closes = &reg.counter(prefix + "breaker_closes");
+      m.breaker_open = &reg.gauge(prefix + "breaker_open");
+      device_metrics_.push_back(m);
+    }
+  }
   sessions_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
-    sessions_.push_back(make_session(
-        config_.worker_backends.empty() ? config_.backend : config_.worker_backends[w], w));
+    const Backend backend = cluster() ? config_.devices[w].backend
+                            : config_.worker_backends.empty() ? config_.backend
+                                                              : config_.worker_backends[w];
+    sessions_.push_back(make_session(backend, w));
   }
   // Worker loops ride on a private ThreadPool: the dispatcher thread posts
   // one long-lived chunk per session and participates itself, leaving the
@@ -118,6 +225,7 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
   dispatcher_ = std::thread([this] {
     pool_->run_chunks(config_.workers, [this](std::size_t w) { worker_loop(w); });
   });
+  if (cluster()) router_thread_ = std::thread([this] { router_loop(); });
 }
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
@@ -188,8 +296,13 @@ std::future<Tensor> InferenceEngine::submit(Tensor input, SubmitOptions opts) {
   // Admission control: when the standing queue delay is past target, shed
   // lowest-priority first instead of queueing work that will expire anyway.
   // The "serve.overload.shed" site forces this on a deterministic schedule.
+  // In cluster mode the standing queue is the central queue PLUS everything
+  // routed but not yet resolved, so buffered device queues can't hide depth.
+  const std::size_t standing_depth =
+      queue_.size() +
+      (router_ ? static_cast<std::size_t>(router_->pending_requests_total()) : 0);
   if (fault::fire("serve.overload.shed") ||
-      !admission_.admit(opts.priority, queue_.size())) {
+      !admission_.admit(opts.priority, standing_depth)) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     shed.add();
     obs::flight_event(request->trace_id, obs::FlightKind::kShed, 0);
@@ -219,6 +332,61 @@ std::future<Tensor> InferenceEngine::submit(Tensor input, SubmitOptions opts) {
     case PushResult::kClosed:
     default:
       throw EngineStoppedError("InferenceEngine::submit: engine is shut down");
+  }
+}
+
+void InferenceEngine::router_loop() {
+  // Single consumer of the central queue: strict FIFO pops here plus FIFO
+  // device queues is what makes per-client ordering hold per device — two
+  // requests routed to the same board always execute in submission order.
+  while (RequestPtr r = queue_.pop()) {
+    const index_t rows = r->input.dim(0);
+    const std::size_t d = router_->pick(rows);
+    r->routed_device = static_cast<int>(d);
+    router_->on_dispatch(d, rows);
+    {
+      // One flow hop between serve.submit and serve.batch: the request's
+      // Perfetto arrow chain gains a named routing slice.
+      obs::ScopedSpan span("serve.route");
+      span.attr("device", static_cast<std::int64_t>(d));
+      span.attr("rows", rows);
+      span.attr("trace_id", static_cast<std::int64_t>(r->trace_id));
+      obs::flow_step(r->trace_id);
+    }
+    obs::flight_event(r->trace_id, obs::FlightKind::kRouted, static_cast<std::int64_t>(d),
+                      rows);
+    device_metrics_[d].routed->add();
+    // push() consumes the pointer; keep a reference so the shutdown race
+    // (device queue closed between pick and push) still resolves the future.
+    RequestPtr kept = r;
+    if (device_queues_[d]->push(std::move(r)) == PushResult::kClosed) {
+      fail_request(*kept, std::make_exception_ptr(EngineStoppedError(
+                              "request " + std::to_string(kept->id) +
+                              " dropped: device queue closed during shutdown")));
+    }
+  }
+  // Central queue closed and drained: close the device queues so the workers
+  // drain what's left and exit.
+  for (auto& q : device_queues_) q->close();
+}
+
+void InferenceEngine::abandon_device(std::size_t worker) {
+  // The worker slot could not be respawned: mark the device permanently
+  // unroutable, then fail everything still queued on it — no other worker
+  // will ever drain this queue, and accepted futures must not hang.
+  router_->on_device_lost(worker);
+  RequestQueue& q = *device_queues_[worker];
+  q.close();
+  const auto error = std::make_exception_ptr(EngineStoppedError(
+      "device " + router_->name(worker) + " lost: worker respawn failed"));
+  while (RequestPtr r = q.try_pop()) {
+    fail_request(*r, error);
+  }
+}
+
+void InferenceEngine::note_resolved(const Request& r) {
+  if (router_ && r.routed_device >= 0) {
+    router_->on_resolved(static_cast<std::size_t>(r.routed_device), r.input.dim(0));
   }
 }
 
@@ -257,7 +425,7 @@ void InferenceEngine::worker_loop(std::size_t worker) {
       for (const BatchSlice& slice : batch.slices) held.push_back(slice.request);
       for (RequestPtr& r : session.batcher.take_orphans()) held.push_back(std::move(r));
       if (RequestPtr carry = session.batcher.take_carry()) held.push_back(std::move(carry));
-      salvage_requests(held, std::current_exception());
+      salvage_requests(*session.source, held, std::current_exception());
       // Salvage first, then dump: the crashed requests' requeue/fail events
       // belong in the artifact. The dying session's device counters must not
       // vanish with it.
@@ -268,8 +436,11 @@ void InferenceEngine::worker_loop(std::size_t worker) {
       } catch (...) {
         // Respawn itself failed (e.g. out of memory building the IP). Give
         // up this worker slot; the remaining workers keep draining, and the
-        // salvage above already resolved everything this worker held.
+        // salvage above already resolved everything this worker held. In
+        // cluster mode nobody else drains this device's queue, so the device
+        // is marked lost and its queued requests are failed explicitly.
         obs::Registry::instance().counter("serve.worker_lost").add();
+        if (cluster()) abandon_device(worker);
         return;
       }
       respawns_.fetch_add(1, std::memory_order_relaxed);
@@ -278,7 +449,7 @@ void InferenceEngine::worker_loop(std::size_t worker) {
   }
 }
 
-void InferenceEngine::salvage_requests(const std::vector<RequestPtr>& held,
+void InferenceEngine::salvage_requests(RequestQueue& queue, const std::vector<RequestPtr>& held,
                                        std::exception_ptr error) {
   // Dedupe while preserving pop order (a carry is usually also the last
   // batch slice's request).
@@ -297,7 +468,7 @@ void InferenceEngine::salvage_requests(const std::vector<RequestPtr>& held,
     if (completed || r->failed) continue;
     if (r->rows_done == 0) {
       obs::flight_event(r->trace_id, obs::FlightKind::kRequeued);
-      queue_.requeue(r);
+      queue.requeue(r);
     } else {
       fail_request(*r, error);
     }
@@ -309,6 +480,7 @@ void InferenceEngine::fail_request(Request& r, std::exception_ptr error,
   static auto& failures = obs::Registry::instance().counter("serve.requests_failed");
   if (r.failed || r.rows_done == r.input.dim(0)) return;
   r.failed = true;
+  note_resolved(r);  // exactly once: guarded by the terminal-state check above
   const std::int64_t since_submit_us = std::chrono::duration_cast<std::chrono::microseconds>(
                                            std::chrono::steady_clock::now() - r.enqueued_at)
                                            .count();
@@ -396,6 +568,11 @@ void InferenceEngine::maybe_probe(WorkerSession& session) {
   breaker_probes_.fetch_add(1, std::memory_order_relaxed);
   obs::Registry::instance().counter("serve.breaker.half_open").add();
   obs::flight_event(0, obs::FlightKind::kBreakerProbe, static_cast<std::int64_t>(session.index));
+  if (cluster()) {
+    device_metrics_[session.index].breaker_probes->add();
+    std::lock_guard lk(devices_mu_);
+    device_stats_[session.index].breaker_probes += 1;
+  }
   session.backend = session.home_backend;
 }
 
@@ -407,6 +584,13 @@ void InferenceEngine::note_device_success(WorkerSession& session) {
     obs::flight_event(0, obs::FlightKind::kBreakerClose, static_cast<std::int64_t>(session.index));
     state_gauge.set(static_cast<double>(
         open_breakers_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    if (cluster()) {
+      router_->on_breaker_close(session.index);
+      device_metrics_[session.index].breaker_closes->add();
+      device_metrics_[session.index].breaker_open->set(0.0);
+      std::lock_guard lk(devices_mu_);
+      device_stats_[session.index].breaker_closes += 1;
+    }
   }
 }
 
@@ -459,6 +643,17 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const MicroBat
                 open_breakers_.fetch_add(1, std::memory_order_relaxed) + 1));
             obs::flight_event(0, obs::FlightKind::kBreakerOpen,
                               static_cast<std::int64_t>(session.index));
+            if (cluster()) {
+              // Steer the router away for the cooldown the breaker just
+              // entered; pick() readmits the device when it elapses so the
+              // half-open probe gets traffic.
+              router_->on_breaker_open(session.index,
+                                       session.breaker.current_cooldown_us());
+              device_metrics_[session.index].breaker_opens->add();
+              device_metrics_[session.index].breaker_open->set(1.0);
+              std::lock_guard lk(devices_mu_);
+              device_stats_[session.index].breaker_opens += 1;
+            }
             // Breaker-open is a wired dump trigger: the device's fault run-up
             // is still in the rings.
             obs::FlightRecorder::instance().dump("breaker_open");
@@ -470,6 +665,14 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const MicroBat
             obs::Registry::instance().counter("serve.breaker.reopen").add();
             obs::flight_event(0, obs::FlightKind::kBreakerOpen,
                               static_cast<std::int64_t>(session.index));
+            if (cluster()) {
+              router_->on_breaker_open(session.index,
+                                       session.breaker.current_cooldown_us());
+              device_metrics_[session.index].breaker_reopens->add();
+              device_metrics_[session.index].breaker_open->set(1.0);
+              std::lock_guard lk(devices_mu_);
+              device_stats_[session.index].breaker_reopens += 1;
+            }
             demote_to_cpu(session);
             continue;
           default:
@@ -481,6 +684,10 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const MicroBat
       retries_.fetch_add(1, std::memory_order_relaxed);
       static auto& retries = obs::Registry::instance().counter("serve.retries");
       retries.add();
+      if (cluster()) {
+        std::lock_guard lk(devices_mu_);
+        device_stats_[session.index].retries += 1;
+      }
       obs::Registry::instance()
           .counter(std::string("serve.retries.") + to_string(session.backend))
           .add();
@@ -556,8 +763,32 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
                       slice.row_end - slice.row_begin);
   }
   apply_exec_deadline(session, batch);
+  const auto exec_t0 = std::chrono::steady_clock::now();
   try {
     Tensor output = run_with_recovery(session, batch);
+    if (cluster()) {
+      // Feed the router's EWMA what this device actually delivered:
+      // simulated board time for accelerator batches (cycles at the board's
+      // current clock), wall time for CPU(-fallback) batches — so a
+      // throttled or demoted device drifts expensive and traffic rebalances.
+      double us_per_row;
+      if (session.backend != Backend::kCpuFloat && session.accel) {
+        us_per_row = session.device->cycles_to_us(session.accel->last_cycles()) /
+                     static_cast<double>(batch.rows());
+      } else {
+        us_per_row = static_cast<double>(
+                         std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - exec_t0)
+                             .count()) /
+                     static_cast<double>(batch.rows());
+      }
+      router_->observe(session.index, us_per_row);
+      device_metrics_[session.index].batches->add();
+      device_metrics_[session.index].rows->add(batch.rows());
+      std::lock_guard lk(devices_mu_);
+      device_stats_[session.index].batches += 1;
+      device_stats_[session.index].rows += static_cast<std::uint64_t>(batch.rows());
+    }
     finish_rows(batch, output);
     absorb_device_counters(session);
   } catch (...) {
@@ -640,6 +871,7 @@ void InferenceEngine::finish_rows(const MicroBatch& batch, const Tensor& output)
       }
       obs::flight_event(r.trace_id, obs::FlightKind::kCompleted, latency, r.queue_wait_us);
       slo_.record(SloMonitor::Outcome::kCompleted, r.queue_wait_us, latency);
+      note_resolved(r);  // rows_done just hit the total — first and only time
       // Counters first: a caller woken by the promise must already see this
       // completion in stats().
       completed_.fetch_add(1, std::memory_order_relaxed);
@@ -656,6 +888,7 @@ void InferenceEngine::absorb_device_counters(WorkerSession& session) {
   if (delta.total_cycles() == 0 && delta.starts == 0 && delta.stalls == 0) return;
   std::lock_guard lk(devices_mu_);
   devices_[to_string(session.home_backend)] += delta;
+  if (cluster()) device_stats_[session.index].counters += delta;
 }
 
 void InferenceEngine::fail_batch(MicroBatch& batch, std::exception_ptr error) {
@@ -668,6 +901,10 @@ void InferenceEngine::shutdown() {
   std::lock_guard lk(shutdown_mu_);
   stopped_.store(true, std::memory_order_relaxed);
   queue_.close();
+  // Cluster: the router drains the central queue, then closes the device
+  // queues itself — joining it first guarantees the workers see closed
+  // queues and drain everything already routed.
+  if (router_thread_.joinable()) router_thread_.join();
   if (dispatcher_.joinable()) dispatcher_.join();
   pool_.reset();
 }
@@ -699,6 +936,16 @@ EngineStats InferenceEngine::stats() const {
     // never touches sessions_ (which respawns mutate concurrently).
     std::lock_guard lk(devices_mu_);
     s.devices = devices_;
+    if (router_) {
+      for (std::size_t d = 0; d < device_stats_.size(); ++d) {
+        DeviceStats ds = device_stats_[d];
+        ds.breaker_open = router_->breaker_open(d);
+        ds.lost = router_->lost(d);
+        ds.pending_rows = router_->pending_rows(d);
+        ds.est_us_per_row = router_->us_per_row(d);
+        s.device_stats.emplace(router_->name(d), std::move(ds));
+      }
+    }
   }
   s.slo = slo_.snapshot();
   return s;

@@ -19,6 +19,7 @@
 namespace serve = nodetr::serve;
 namespace fault = nodetr::fault;
 namespace hls = nodetr::hls;
+namespace rt = nodetr::rt;
 namespace nn = nodetr::nn;
 namespace nt = nodetr::tensor;
 namespace fx = nodetr::fx;
@@ -177,4 +178,155 @@ TEST(Soak, FaultStormNeverHangsAFutureAndMemoryStaysBounded) {
             << " sheds=" << stats.shed << " expired=" << stats.expired
             << " breaker_opens=" << stats.breaker_opens << " closes=" << stats.breaker_closes
             << " respawns=" << stats.respawns << " rss_growth_kb=" << growth_kb << std::endl;
+}
+
+// Multi-device soak: a routed 4-board fleet runs three phases —
+//   A: clean traffic (baseline goodput);
+//   B: one board is "killed" mid-soak (its scoped DMA site fault-storms on
+//      every transfer), so its breaker opens and the router reroutes;
+//   C: the board is restored (storm disarmed); the next half-open probe
+//      heals it and goodput recovers.
+// Asserts zero hung futures across all phases, the kill/heal breaker cycle
+// on exactly the stormed board, recovery of goodput after the restore, and
+// per-board DeviceCounters consistency: each board's counters are drained
+// exactly once (the per-backend aggregate equals the per-board sum) with no
+// negative fields.
+TEST(Soak, ClusterKillAndRestoreDeviceRecoversGoodputAndCounters) {
+  const std::int64_t seconds = env_int("NODETR_SOAK_SECONDS", 2);
+  const std::int64_t phase_ms = std::max<std::int64_t>(seconds * 1000 / 3, 300);
+  auto& inj = fault::Injector::instance();
+  inj.reset();
+  inj.seed(static_cast<std::uint64_t>(env_int("NODETR_FAULT_SEED", 0x50a7'5eed)));
+
+  nt::Rng rng{11};
+  nn::MhsaConfig mc;
+  mc.dim = 16;
+  mc.heads = 2;
+  mc.height = 4;
+  mc.width = 4;
+  nn::MultiHeadSelfAttention mhsa(mc, rng);
+  mhsa.train(false);
+
+  serve::EngineConfig cfg;
+  cfg.point.dim = mc.dim;
+  cfg.point.height = mc.height;
+  cfg.point.width = mc.width;
+  cfg.point.heads = mc.heads;
+  cfg.point.scheme = fx::scheme_32_24();
+  cfg.queue_capacity = 128;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.max_wait_us = 200;
+  cfg.fault.max_retries = 4;
+  cfg.fault.backoff_us = 10;
+  cfg.fault.max_backoff_us = 100;
+  // Trip fast and probe often, so the kill is detected within a batch or two
+  // and the restore heals within phase C even after repeated reopens.
+  cfg.breaker.open_after = 2;
+  cfg.breaker.cooldown_us = 5'000;
+  cfg.breaker.max_cooldown_us = 50'000;
+  cfg.devices.resize(4);
+  for (std::size_t i = 0; i < cfg.devices.size(); ++i) {
+    cfg.devices[i].name = "soak" + std::to_string(i);
+    cfg.devices[i].backend = serve::Backend::kFpgaFloat;
+  }
+  serve::InferenceEngine engine(cfg, hls::MhsaWeights::from_module(mhsa));
+
+  std::uint64_t accepted = 0, values = 0, typed_errors = 0;
+  std::uint64_t i = 0;
+  std::vector<std::future<nt::Tensor>> pending;
+  const auto reap = [&] {
+    for (auto& f : pending) {
+      try {
+        (void)f.get();
+        ++values;
+      } catch (const fault::FaultError&) {
+        ++typed_errors;
+      } catch (const serve::RequestExpired&) {
+        ++typed_errors;
+      } catch (const serve::RequestShedError&) {
+        ++typed_errors;
+      }
+    }
+    pending.clear();
+  };
+  const auto drive_for = [&](std::int64_t ms) {
+    const std::uint64_t before = engine.stats().completed;
+    const auto until = Clock::now() + std::chrono::milliseconds(ms);
+    while (Clock::now() < until) {
+      const nt::index_t rows = 1 + static_cast<nt::index_t>(i % 10);
+      pending.push_back(engine.submit(rng.rand(nt::Shape{rows, mc.dim, mc.height, mc.width})));
+      ++accepted;
+      ++i;
+      if (pending.size() >= 48) reap();
+    }
+    reap();
+    return engine.stats().completed - before;
+  };
+
+  // Phase A: healthy fleet baseline.
+  const std::uint64_t phase_a = drive_for(phase_ms);
+  // Phase B: kill soak2 — every DMA transfer on that board faults.
+  inj.arm("rt.dma.error.soak2", fault::Schedule::always());
+  const std::uint64_t phase_b = drive_for(phase_ms);
+  const serve::EngineStats mid = engine.stats();
+  EXPECT_GE(mid.device_stats.at("soak2").breaker_opens, 1u)
+      << "killed board's breaker never opened";
+  EXPECT_EQ(mid.device_stats.at("soak0").breaker_opens, 0u);
+  // Phase C: restore the board; drive until its breaker closes (a half-open
+  // probe on the clean device), bounded by a generous deadline.
+  inj.disarm("rt.dma.error.soak2");
+  const std::uint64_t phase_c = drive_for(phase_ms);
+  const auto heal_deadline = Clock::now() + std::chrono::seconds(20);
+  while (engine.stats().device_stats.at("soak2").breaker_closes < 1 &&
+         Clock::now() < heal_deadline) {
+    (void)drive_for(50);
+  }
+  engine.shutdown();
+  reap();
+
+  const serve::EngineStats fin = engine.stats();
+  // Every accepted request resolved exactly once, value or typed error.
+  EXPECT_EQ(values + typed_errors, accepted);
+  EXPECT_EQ(fin.completed + fin.failed, fin.submitted);
+  // The kill was survived and the restore healed the board.
+  EXPECT_GE(fin.device_stats.at("soak2").breaker_closes, 1u)
+      << "restored board never healed (no successful half-open probe)";
+  EXPECT_FALSE(fin.device_stats.at("soak2").breaker_open);
+  // Goodput survived the storm and recovered after the restore. The host is
+  // shared, so the bars are deliberately loose — they catch collapse (a
+  // stalled router, a dead fleet), not percentage regressions.
+  EXPECT_GT(phase_b, phase_a / 4) << "goodput collapsed during the device kill";
+  EXPECT_GT(phase_c, phase_a / 2) << "goodput did not recover after the restore";
+  // Per-board counters: drained exactly once into both views — the
+  // per-backend aggregate must equal the per-board sum, all fields >= 0.
+  rt::DeviceCounters sum;
+  for (const auto& [name, ds] : fin.device_stats) {
+    EXPECT_GE(ds.counters.starts, 0) << name;
+    EXPECT_GE(ds.counters.stalls, 0) << name;
+    EXPECT_GE(ds.counters.dma_bytes_in, 0) << name;
+    EXPECT_GE(ds.counters.dma_bytes_out, 0) << name;
+    EXPECT_GE(ds.counters.weight_bytes, 0) << name;
+    EXPECT_GE(ds.counters.weight_bytes_saved, 0) << name;
+    EXPECT_GE(ds.counters.dma_cycles, 0) << name;
+    EXPECT_GE(ds.counters.compute_cycles, 0) << name;
+    EXPECT_GE(ds.counters.stall_cycles, 0) << name;
+    sum += ds.counters;
+  }
+  ASSERT_EQ(fin.devices.count("fpga_float"), 1u);
+  const rt::DeviceCounters& agg = fin.devices.at("fpga_float");
+  EXPECT_EQ(agg.starts, sum.starts);
+  EXPECT_EQ(agg.stalls, sum.stalls);
+  EXPECT_EQ(agg.dma_bytes_in, sum.dma_bytes_in);
+  EXPECT_EQ(agg.dma_bytes_out, sum.dma_bytes_out);
+  EXPECT_EQ(agg.weight_bytes, sum.weight_bytes);
+  EXPECT_EQ(agg.weight_bytes_saved, sum.weight_bytes_saved);
+  EXPECT_EQ(agg.dma_cycles, sum.dma_cycles);
+  EXPECT_EQ(agg.compute_cycles, sum.compute_cycles);
+  EXPECT_EQ(agg.stall_cycles, sum.stall_cycles);
+
+  inj.reset();
+  std::cerr << "[soak.cluster] phases A/B/C completed=" << phase_a << "/" << phase_b << "/"
+            << phase_c << " breaker_opens(soak2)=" << fin.device_stats.at("soak2").breaker_opens
+            << " closes=" << fin.device_stats.at("soak2").breaker_closes
+            << " respawns=" << fin.respawns << std::endl;
 }
