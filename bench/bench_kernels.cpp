@@ -22,6 +22,7 @@
 #include "nodetr/tensor/conv.hpp"
 #include "nodetr/tensor/gemm.hpp"
 #include "nodetr/tensor/rng.hpp"
+#include "nodetr/tensor/tune.hpp"
 
 namespace nt = nodetr::tensor;
 namespace fx = nodetr::fx;
@@ -56,7 +57,22 @@ static void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
   set_flops(state, "BM_Gemm/" + std::to_string(n), 2.0 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+/// The skinny QK^T score product of one attention head at the paper's
+/// proposed geometry: m = n = seq (6x6 spatial), k = head_dim (64ch / 4
+/// heads). Small enough that packing overhead and tile-loop parallelism —
+/// not FMA throughput — dominate, which is exactly what square benches hide.
+static void BM_GemmAttention(benchmark::State& state) {
+  const nt::index_t seq = state.range(0), hd = state.range(1);
+  nt::Rng rng(8);
+  auto q = rng.randn(nt::Shape{seq, hd});
+  auto k = rng.randn(nt::Shape{seq, hd});
+  for (auto _ : state) benchmark::DoNotOptimize(nt::matmul_nt(q, k));
+  set_flops(state, "BM_GemmAttention/" + std::to_string(seq) + "/" + std::to_string(hd),
+            2.0 * seq * seq * hd);
+}
+BENCHMARK(BM_GemmAttention)->Args({36, 16});
 
 static void BM_Conv2d(benchmark::State& state) {
   const nt::index_t c = state.range(0);
@@ -164,6 +180,10 @@ constexpr SeedBaseline kSeedBaselines[] = {
     {"BM_Gemm/64", 0.133},   {"BM_Gemm/128", 0.906},     {"BM_Gemm/256", 8.10},
     {"BM_Conv2d/16", 0.170}, {"BM_Conv2d/64", 2.386},    {"BM_MhsaFixedIp/64", 0.985},
     {"BM_QMatmul/64", 0.242}, {"BM_QMatmul/128", 2.387},
+    // Shapes added after the seed kernels were replaced; extrapolated from
+    // the measured naive BM_Gemm/256 rate (~4.1 GFLOP/s) so the before/after
+    // pair stays available for them too.
+    {"BM_Gemm/512", 64.8},   {"BM_GemmAttention/36/16", 0.0101},
 };
 
 }  // namespace
@@ -171,10 +191,25 @@ constexpr SeedBaseline kSeedBaselines[] = {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Resolve the tuned config (running the autotuner if needed) BEFORE any
+  // benchmark is timed, and print it so every reported GFLOP/s number is
+  // attributable to a specific microkernel + blocking.
+  const auto& kcfg = nt::tune::gemm_config();
+  std::printf("%s\n", nt::tune::describe(kcfg).c_str());
   CapturingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
 
   nodetr::bench::JsonReport report("kernels");
+  const auto& caches = nt::tune::host_caches();
+  report.set("gemm_kernel_id", static_cast<std::int64_t>(kcfg.kernel->id));
+  report.set("gemm_mr", kcfg.kernel->mr);
+  report.set("gemm_nr", kcfg.kernel->nr);
+  report.set("gemm_mc", kcfg.mc);
+  report.set("gemm_kc", kcfg.kc);
+  report.set("gemm_nc", kcfg.nc);
+  report.set("cpu_l1d_bytes", static_cast<std::int64_t>(caches.l1d));
+  report.set("cpu_l2_bytes", static_cast<std::int64_t>(caches.l2));
+  report.set("cpu_l3_bytes", static_cast<std::int64_t>(caches.l3));
   for (const auto& seed : kSeedBaselines) {
     report.set(std::string("seed_") + seed.name + "_cpu_ms", seed.cpu_ms);
     const auto it = flops_registry().find(seed.name);

@@ -17,6 +17,7 @@
 #include "nodetr/obs/obs.hpp"
 #include "nodetr/serve/serve.hpp"
 #include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/tune.hpp"
 
 namespace serve = nodetr::serve;
 namespace hls = nodetr::hls;
@@ -65,6 +66,9 @@ int main(int argc, char** argv) {
     }
   }
   serve::InferenceEngine engine(config, hls::MhsaWeights::from_module(mhsa));
+  // Which GEMM kernel/blocking this process serves with — perf regressions
+  // in the CPU backend are attributable only if this is in the log.
+  std::printf("%s\n", nt::tune::describe(nt::tune::gemm_config()).c_str());
   if (n_devices > 0) {
     std::printf("engine: %zu-board fleet, backend %s, queue %zu per board, max_batch %lld\n",
                 n_devices, serve::to_string(config.devices[0].backend), config.queue_capacity,

@@ -221,6 +221,17 @@ struct DeviceStats {
   rt::DeviceCounters counters;   ///< this board's simulated-time counters
 };
 
+/// The process-wide GEMM kernel plan (tensor::tune) at the stats() call —
+/// every CPU-backend batch and the float reference side of the differential
+/// tests run through it, so perf regressions need this to be attributable.
+struct KernelConfigStats {
+  std::string microkernel;  ///< selected microkernel name ("avx2_6x16", ...)
+  index_t mr = 0, nr = 0;   ///< register-tile shape
+  index_t mc = 0, kc = 0, nc = 0;  ///< cache-blocking parameters
+  std::size_t l1d_bytes = 0, l2_bytes = 0, l3_bytes = 0;  ///< detected caches
+  std::string source;  ///< how it was chosen: "env" | "cache" | "tuned" | "default"
+};
+
 struct EngineStats {
   std::uint64_t submitted = 0;   ///< accepted into the queue
   std::uint64_t rejected = 0;    ///< refused under kReject backpressure
@@ -255,6 +266,8 @@ struct EngineStats {
   std::map<std::string, DeviceStats> device_stats;
   /// Rolling-window SLO state (goodput, p99s, breach flags) — see slo.hpp.
   SloSnapshot slo;
+  /// Selected GEMM microkernel / blocking / detected caches (see tune.hpp).
+  KernelConfigStats kernel;
   /// rows / (batches * max_batch); 1.0 means every batch was full.
   [[nodiscard]] double occupancy(index_t max_batch) const {
     return batches == 0 ? 0.0

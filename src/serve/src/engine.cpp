@@ -5,6 +5,7 @@
 
 #include "nodetr/fault/fault.hpp"
 #include "nodetr/hls/cycle_model.hpp"
+#include "nodetr/tensor/tune.hpp"
 
 namespace nodetr::serve {
 
@@ -138,6 +139,10 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
       queue_(config_.queue_capacity, config_.policy),
       admission_(config_.admission),
       slo_(config_.slo) {
+  // Resolve the GEMM kernel/blocking now: first use runs the autotuner
+  // (tens of ms), which must be charged to engine startup, never to the
+  // first request's deadline.
+  (void)tensor::tune::gemm_config();
   // Every pop reports its queue wait: the engine-local histogram backs the
   // stats() percentiles, the registry one the metrics dump, and the sample
   // stream drives the CoDel admission controller.
@@ -948,6 +953,20 @@ EngineStats InferenceEngine::stats() const {
     }
   }
   s.slo = slo_.snapshot();
+  {
+    const auto& kcfg = tensor::tune::gemm_config();
+    const auto& caches = tensor::tune::host_caches();
+    s.kernel.microkernel = kcfg.kernel->name;
+    s.kernel.mr = kcfg.kernel->mr;
+    s.kernel.nr = kcfg.kernel->nr;
+    s.kernel.mc = kcfg.mc;
+    s.kernel.kc = kcfg.kc;
+    s.kernel.nc = kcfg.nc;
+    s.kernel.l1d_bytes = caches.l1d;
+    s.kernel.l2_bytes = caches.l2;
+    s.kernel.l3_bytes = caches.l3;
+    s.kernel.source = kcfg.source;
+  }
   return s;
 }
 

@@ -55,6 +55,12 @@ class ScratchArena {
 
   /// 64-byte-aligned uninitialized storage for `count` elements of T.
   /// Valid until the innermost open Scope closes. T must be trivial.
+  ///
+  /// The 64-byte alignment is a contract, not an accident: every allocation
+  /// size is rounded up to a cache line and every chunk base is allocated
+  /// with std::align_val_t{64}, so consecutive allocations all start on a
+  /// cache line. The SIMD GEMM microkernels and the im2col packing rely on
+  /// this for legal aligned/split-free vector loads from any call site.
   template <typename T>
   [[nodiscard]] T* alloc(std::size_t count) {
     return static_cast<T*>(allocate(count * sizeof(T)));

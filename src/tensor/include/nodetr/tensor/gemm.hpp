@@ -2,19 +2,26 @@
 //
 // Everything routes through one cache-blocked, register-tiled kernel
 // (`gemm_blocked`): A and B panels are packed into contiguous buffers sized
-// to L1/L2, and a small MR x NR microkernel the compiler auto-vectorizes does
-// the arithmetic. Operands are described by views (pointer + leading
-// dimension + transpose flag), so the transposed product variants and the
-// per-head strided sub-matrices in attention run through the same kernel
-// without materializing copies.
+// to the cache hierarchy, and an MR x NR microkernel — selected at runtime
+// from the SIMD dispatch table (simd.hpp) by the cache-aware autotuner
+// (tune.hpp) — does the arithmetic. Operands are described by views
+// (pointer + leading dimension + transpose flag), so the transposed product
+// variants and the per-head strided sub-matrices in attention run through
+// the same kernel without materializing copies. The jr/ir tile loops of each
+// macro-kernel block are partitioned across the thread pool BLIS-style, so
+// skinny shapes (few rows, many columns) parallelize as well as square ones.
 //
 // Every output element accumulates its k-products in ascending-k order
-// regardless of blocking, operand views, or how the M dimension is split
-// across threads — results are bitwise-reproducible across batch sizes,
-// which the serving engine's differential tests rely on.
+// regardless of blocking, operand views, or how tiles are split across
+// threads — for a fixed selected microkernel, results are
+// bitwise-reproducible across batch sizes and thread counts, which the
+// serving engine's differential tests rely on. Results DO differ between
+// microkernels (FMA contraction), so reproducible pipelines pin the kernel
+// via NODETR_GEMM_CONFIG.
 #pragma once
 
 #include "nodetr/tensor/tensor.hpp"
+#include "nodetr/tensor/tune.hpp"
 
 namespace nodetr::tensor {
 
@@ -47,9 +54,16 @@ struct GemmEpilogue {
 /// C(m x n) = op(A)(m x k) * op(B)(k x n) with an optional fused epilogue.
 /// C is row-major with row stride `ldc`; views may alias neither C nor the
 /// residual. Zero-extent problems are handled (k == 0 stores zeros, then the
-/// epilogue).
+/// epilogue). Runs the process-wide tuned config (tune::gemm_config()).
 void gemm_blocked(index_t m, index_t k, index_t n, GemmView a, GemmView b, float* c, index_t ldc,
                   const GemmEpilogue& epilogue = {});
+
+/// Same kernel with an explicit (microkernel, MC, KC, NC) plan — the
+/// autotuner's probe path and the per-variant differential tests. `cfg` must
+/// carry a non-null kernel and positive blocking.
+void gemm_blocked_cfg(index_t m, index_t k, index_t n, GemmView a, GemmView b, float* c,
+                      index_t ldc, const tune::GemmConfig& cfg,
+                      const GemmEpilogue& epilogue = {});
 
 /// C = A(MxK) * B(KxN).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);

@@ -1,0 +1,64 @@
+// SIMD microkernel registry for the blocked GEMM.
+//
+// Each entry is one MR x NR register-tiled inner kernel over packed A/B
+// micro-panels. Besides the portable scalar 4x8 kernel (the one the compiler
+// auto-vectorizes at -O3), explicit AVX2/FMA kernels in several shapes are
+// compiled with per-function target attributes, so they exist — and are
+// runtime-dispatched via CPUID — even in the default build without
+// `-DNODETR_NATIVE=ON`. On aarch64 a NEON kernel takes their place.
+//
+// Contract every kernel obeys (the autotuner may pick any of them):
+//   - ap is a packed A micro-panel: element (i, p) at ap[p * mr_max + i],
+//     zero-padded rows when the tile is short; bp likewise with nr_max
+//     columns. Panels come from ScratchArena, so their base addresses are
+//     64-byte aligned.
+//   - Each output element's k-products are accumulated in ascending-k order
+//     in a single dependency chain (one FMA chain per element for the vector
+//     kernels). A partial tile (mr < mr_max or nr < nr_max) runs the same
+//     arithmetic over the zero-padded panel and writes back only the live
+//     mr x nr region. Together these make float results bitwise identical
+//     across batch sizes and thread counts *for a fixed kernel* — results do
+//     differ between kernels (FMA contracts the rounding the scalar kernel
+//     performs), which is why CI pins the kernel via NODETR_GEMM_CONFIG.
+//   - `first` stores (overwrites) the tile; otherwise it accumulates into C.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nodetr/tensor/shape.hpp"
+
+namespace nodetr::tensor::simd {
+
+/// One MR x NR inner kernel over packed panels. `kc` is the panel depth,
+/// `c` the top-left of the output tile with row stride `ldc`, `mr`/`nr` the
+/// live tile extents (<= the kernel's shape).
+using MicroKernelFn = void (*)(int kc, const float* ap, const float* bp, float* c,
+                               index_t ldc, index_t mr, index_t nr, bool first);
+
+struct MicroKernel {
+  const char* name;  ///< stable id, e.g. "scalar_4x8", "avx2_6x16"
+  int id;            ///< stable numeric id for gauges / JSON (strings don't fit)
+  index_t mr, nr;    ///< register-tile shape; nr is a multiple of 8 on x86
+  MicroKernelFn fn;
+};
+
+/// Kernels runnable on this host, best-first; the portable scalar kernel is
+/// always present and always last. The list is probed once (CPUID on x86)
+/// and cached for the process lifetime.
+[[nodiscard]] const std::vector<MicroKernel>& available_kernels();
+
+/// Lookup by name among *available* kernels; nullptr when unknown or not
+/// runnable on this host (an AVX2 cache file read on a pre-AVX2 box).
+[[nodiscard]] const MicroKernel* find_kernel(std::string_view name);
+
+/// The portable fallback (also the float reference the differential tests
+/// compare every other variant against).
+[[nodiscard]] const MicroKernel& scalar_kernel();
+
+/// Human-readable ISA summary for startup banners, e.g. "avx2+fma" or
+/// "portable-scalar".
+[[nodiscard]] std::string cpu_features();
+
+}  // namespace nodetr::tensor::simd

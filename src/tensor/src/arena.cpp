@@ -1,6 +1,7 @@
 #include "nodetr/tensor/arena.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <new>
 
 #include "nodetr/obs/obs.hpp"
@@ -15,6 +16,13 @@ constexpr std::size_t kMinChunk = std::size_t{1} << 16;
 
 std::size_t round_up(std::size_t v, std::size_t a) { return (v + a - 1) / a * a; }
 }  // namespace
+
+#ifdef NDEBUG
+#define NODETR_ARENA_ASSERT_ALIGNED(p) (void)(p)
+#else
+#define NODETR_ARENA_ASSERT_ALIGNED(p) \
+  (void)(reinterpret_cast<std::uintptr_t>(p) % kAlign == 0 ? 0 : (std::abort(), 0))
+#endif
 
 ScratchArena::~ScratchArena() {
   for (auto& c : chunks_) ::operator delete[](c.data, std::align_val_t{kAlign});
@@ -59,6 +67,9 @@ void* ScratchArena::allocate(std::size_t bytes) {
   void* p = chunks_[current_chunk_].data + offset_;
   offset_ += bytes;
   high_water_ = std::max(high_water_, live_bytes());
+  // Documented contract (arena.hpp): every pointer handed out is cache-line
+  // aligned — the SIMD GEMM packing and im2col buffers depend on it.
+  NODETR_ARENA_ASSERT_ALIGNED(p);
   return p;
 }
 

@@ -6,6 +6,8 @@
 #include "nodetr/obs/obs.hpp"
 #include "nodetr/tensor/arena.hpp"
 #include "nodetr/tensor/parallel.hpp"
+#include "nodetr/tensor/simd.hpp"
+#include "nodetr/tensor/tune.hpp"
 
 namespace nodetr::tensor {
 
@@ -13,114 +15,52 @@ namespace obs = nodetr::obs;
 
 namespace {
 
-// Blocking geometry (float32, tuned for the baseline -O3 build without
-// -march=native; see DESIGN.md "Kernel layer"):
-//  - kMr x kNr microkernel: 32 accumulators fit the baseline SSE2 register
-//    budget, and the 8-wide inner loop auto-vectorizes.
-//  - kKc-deep panels: an A micro-panel (kMr * kKc = 4 KB) plus a B micro-panel
-//    (kNr * kKc = 8 KB) stay resident in a 32 KB L1.
-//  - A pack (kMc * kKc = 256 KB) and B pack (kKc * kNc = 128 KB) target L2.
-constexpr index_t kMr = 4;
-constexpr index_t kNr = 8;
-constexpr index_t kKc = 256;
-constexpr index_t kMc = 256;
-constexpr index_t kNc = 128;
-
 constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
 constexpr index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
 
-/// Pack A(ic:ic+mc, pc:pc+kc) into kMr-row micro-panels, k-major within each
-/// panel (element (i, p) at panel[p * kMr + i]), zero-padded to full kMr.
-void pack_a(const GemmView& a, index_t ic, index_t pc, index_t mc, index_t kc, float* out) {
-  for (index_t i0 = 0; i0 < mc; i0 += kMr) {
-    const index_t mr = std::min(kMr, mc - i0);
-    float* dst = out + i0 * kc;
-    if (!a.trans) {
-      for (index_t i = 0; i < mr; ++i) {
-        const float* src = a.data + (ic + i0 + i) * a.ld + pc;
-        for (index_t p = 0; p < kc; ++p) dst[p * kMr + i] = src[p];
-      }
-      for (index_t i = mr; i < kMr; ++i) {
-        for (index_t p = 0; p < kc; ++p) dst[p * kMr + i] = 0.0f;
-      }
-    } else {
-      for (index_t p = 0; p < kc; ++p) {
-        const float* src = a.data + (pc + p) * a.ld + ic + i0;
-        float* d = dst + p * kMr;
-        for (index_t i = 0; i < mr; ++i) d[i] = src[i];
-        for (index_t i = mr; i < kMr; ++i) d[i] = 0.0f;
-      }
+/// Pack one A micro-panel: rows [row0, row0 + mr) of op(A), depth [pc,
+/// pc + kc), k-major (element (i, p) at dst[p * mr_max + i]), zero-padded to
+/// the kernel's full mr_max rows. Panel content depends only on (row0, pc,
+/// mr, kc), never on which thread packs it.
+void pack_a_panel(const GemmView& a, index_t row0, index_t pc, index_t mr, index_t kc,
+                  index_t mr_max, float* dst) {
+  if (!a.trans) {
+    for (index_t i = 0; i < mr; ++i) {
+      const float* src = a.data + (row0 + i) * a.ld + pc;
+      for (index_t p = 0; p < kc; ++p) dst[p * mr_max + i] = src[p];
+    }
+    for (index_t i = mr; i < mr_max; ++i) {
+      for (index_t p = 0; p < kc; ++p) dst[p * mr_max + i] = 0.0f;
+    }
+  } else {
+    for (index_t p = 0; p < kc; ++p) {
+      const float* src = a.data + (pc + p) * a.ld + row0;
+      float* d = dst + p * mr_max;
+      for (index_t i = 0; i < mr; ++i) d[i] = src[i];
+      for (index_t i = mr; i < mr_max; ++i) d[i] = 0.0f;
     }
   }
 }
 
-/// Pack B(pc:pc+kc, jc:jc+nc) into kNr-column micro-panels, k-major within
-/// each panel (element (p, j) at panel[p * kNr + j]), zero-padded to full kNr.
-void pack_b(const GemmView& b, index_t pc, index_t jc, index_t kc, index_t nc, float* out) {
-  for (index_t j0 = 0; j0 < nc; j0 += kNr) {
-    const index_t nr = std::min(kNr, nc - j0);
-    float* dst = out + j0 * kc;
-    if (!b.trans) {
-      for (index_t p = 0; p < kc; ++p) {
-        const float* src = b.data + (pc + p) * b.ld + jc + j0;
-        float* d = dst + p * kNr;
-        for (index_t j = 0; j < nr; ++j) d[j] = src[j];
-        for (index_t j = nr; j < kNr; ++j) d[j] = 0.0f;
-      }
-    } else {
-      for (index_t j = 0; j < nr; ++j) {
-        const float* src = b.data + (jc + j0 + j) * b.ld + pc;
-        for (index_t p = 0; p < kc; ++p) dst[p * kNr + j] = src[p];
-      }
-      for (index_t j = nr; j < kNr; ++j) {
-        for (index_t p = 0; p < kc; ++p) dst[p * kNr + j] = 0.0f;
-      }
+/// Pack one B micro-panel: columns [col0, col0 + nr) of op(B), depth [pc,
+/// pc + kc), k-major (element (p, j) at dst[p * nr_max + j]), zero-padded to
+/// nr_max columns.
+void pack_b_panel(const GemmView& b, index_t pc, index_t col0, index_t kc, index_t nr,
+                  index_t nr_max, float* dst) {
+  if (!b.trans) {
+    for (index_t p = 0; p < kc; ++p) {
+      const float* src = b.data + (pc + p) * b.ld + col0;
+      float* d = dst + p * nr_max;
+      for (index_t j = 0; j < nr; ++j) d[j] = src[j];
+      for (index_t j = nr; j < nr_max; ++j) d[j] = 0.0f;
     }
-  }
-}
-
-/// kMr x kNr register tile over one A and one B micro-panel. The k loop is
-/// unrolled by 4 and each product lands in its accumulator in ascending-k
-/// order, so results never depend on the surrounding blocking.
-void micro_kernel(int kc, const float* __restrict__ ap, const float* __restrict__ bp,
-                  float* __restrict__ c, index_t ldc, index_t mr, index_t nr, bool first) {
-  float acc[kMr][kNr] = {};
-  int p = 0;
-  for (; p + 4 <= kc; p += 4) {
-    for (int u = 0; u < 4; ++u) {
-      const float* av = ap + (p + u) * kMr;
-      const float* bv = bp + (p + u) * kNr;
-      for (int i = 0; i < kMr; ++i) {
-        for (int j = 0; j < kNr; ++j) acc[i][j] += av[i] * bv[j];
-      }
-    }
-  }
-  for (; p < kc; ++p) {
-    const float* av = ap + p * kMr;
-    const float* bv = bp + p * kNr;
-    for (int i = 0; i < kMr; ++i) {
-      for (int j = 0; j < kNr; ++j) acc[i][j] += av[i] * bv[j];
-    }
-  }
-  if (mr == kMr && nr == kNr) {
-    if (first) {
-      for (int i = 0; i < kMr; ++i) {
-        for (int j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
-      }
-    } else {
-      for (int i = 0; i < kMr; ++i) {
-        for (int j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
-      }
-    }
-    return;
-  }
-  for (index_t i = 0; i < mr; ++i) {
+  } else {
     for (index_t j = 0; j < nr; ++j) {
-      if (first) {
-        c[i * ldc + j] = acc[i][j];
-      } else {
-        c[i * ldc + j] += acc[i][j];
-      }
+      const float* src = b.data + (col0 + j) * b.ld + pc;
+      for (index_t p = 0; p < kc; ++p) dst[p * nr_max + j] = src[p];
+    }
+    for (index_t j = nr; j < nr_max; ++j) {
+      for (index_t p = 0; p < kc; ++p) dst[p * nr_max + j] = 0.0f;
     }
   }
 }
@@ -158,8 +98,8 @@ void check_rank2(const Tensor& t, const char* name) {
 
 }  // namespace
 
-void gemm_blocked(index_t m, index_t k, index_t n, GemmView a, GemmView b, float* c, index_t ldc,
-                  const GemmEpilogue& ep) {
+void gemm_blocked_cfg(index_t m, index_t k, index_t n, GemmView a, GemmView b, float* c,
+                      index_t ldc, const tune::GemmConfig& cfg, const GemmEpilogue& ep) {
   if (m <= 0 || n <= 0) return;
   static auto& calls = obs::Registry::instance().counter("tensor.gemm.calls");
   static auto& flops = obs::Registry::instance().counter("tensor.gemm.flops");
@@ -173,43 +113,66 @@ void gemm_blocked(index_t m, index_t k, index_t n, GemmView a, GemmView b, float
     return;
   }
 
+  const simd::MicroKernel& ker = *cfg.kernel;
+  const index_t kMr = ker.mr, kNr = ker.nr;
+  const index_t kKc = cfg.kc, kMc = cfg.mc, kNc = cfg.nc;
+
+  // Both packs live in the caller's arena and are shared by all workers:
+  // panels are written by exactly one pack task and read only after the
+  // packing parallel_for joins, so the pool's fork/join provides the
+  // happens-before edge. ScratchArena returns 64-byte-aligned storage, which
+  // makes the first row of every pack cacheline-aligned for the SIMD loads.
   auto& arena = ScratchArena::local();
   ScratchArena::Scope scope(arena);
   float* bpack = arena.alloc<float>(
       static_cast<std::size_t>(std::min(k, kKc) * round_up(std::min(n, kNc), kNr)));
-  const index_t apack_elems = std::min(k, kKc) * round_up(std::min(m, kMc), kMr);
-  // M is split across threads in units of microkernel row-panels; each worker
-  // packs its own A sub-blocks, while the B panel is packed once and shared.
-  // The split never changes any output element's k accumulation order.
-  const index_t mpanels = ceil_div(m, kMr);
+  float* apack = arena.alloc<float>(
+      static_cast<std::size_t>(std::min(k, kKc) * round_up(std::min(m, kMc), kMr)));
 
   for (index_t jc = 0; jc < n; jc += kNc) {
     const index_t nc = std::min(kNc, n - jc);
+    const index_t jpanels = ceil_div(nc, kNr);
     for (index_t pc = 0; pc < k; pc += kKc) {
       const index_t kc = std::min(kKc, k - pc);
       const bool first = pc == 0 && !ep.accumulate;
-      pack_b(b, pc, jc, kc, nc, bpack);
-      parallel_for(0, mpanels, [&](index_t p_lo, index_t p_hi) {
-        auto& worker_arena = ScratchArena::local();
-        ScratchArena::Scope worker_scope(worker_arena);
-        float* apack = worker_arena.alloc<float>(static_cast<std::size_t>(apack_elems));
-        const index_t row_hi = std::min(m, p_hi * kMr);
-        for (index_t ic = p_lo * kMr; ic < row_hi; ic += kMc) {
-          const index_t mc = std::min(kMc, row_hi - ic);
-          pack_a(a, ic, pc, mc, kc, apack);
-          for (index_t jr = 0; jr < nc; jr += kNr) {
-            const index_t nr = std::min(kNr, nc - jr);
-            for (index_t ir = 0; ir < mc; ir += kMr) {
-              const index_t mr = std::min(kMr, mc - ir);
-              micro_kernel(static_cast<int>(kc), apack + ir * kc, bpack + jr * kc,
-                           c + (ic + ir) * ldc + jc + jr, ldc, mr, nr, first);
-            }
-          }
+      parallel_for(0, jpanels, [&](index_t lo, index_t hi) {
+        for (index_t jp = lo; jp < hi; ++jp) {
+          pack_b_panel(b, pc, jc + jp * kNr, kc, std::min(kNr, nc - jp * kNr), kNr,
+                       bpack + jp * kNr * kc);
         }
-      }, /*grain=*/4);  // 4 row-panels = 16 rows per chunk, matching the old matmul grain
+      }, /*grain=*/8);
+      for (index_t ic = 0; ic < m; ic += kMc) {
+        const index_t mc = std::min(kMc, m - ic);
+        const index_t ipanels = ceil_div(mc, kMr);
+        parallel_for(0, ipanels, [&](index_t lo, index_t hi) {
+          for (index_t ip = lo; ip < hi; ++ip) {
+            pack_a_panel(a, ic + ip * kMr, pc, std::min(kMr, mc - ip * kMr), kc, kMr,
+                         apack + ip * kMr * kc);
+          }
+        }, /*grain=*/8);
+        // BLIS-style macro kernel: the jr and ir loops around the microkernel
+        // are flattened into one tile index and partitioned across the pool,
+        // jr-major so consecutive tiles in a chunk reuse the same L1-resident
+        // B micro-panel. Tile (jp, ip) is written by exactly one task, and
+        // the split never changes any output element's k accumulation order.
+        parallel_for(0, jpanels * ipanels, [&](index_t lo, index_t hi) {
+          for (index_t t = lo; t < hi; ++t) {
+            const index_t jp = t / ipanels, ip = t % ipanels;
+            const index_t nr = std::min(kNr, nc - jp * kNr);
+            const index_t mr = std::min(kMr, mc - ip * kMr);
+            ker.fn(static_cast<int>(kc), apack + ip * kMr * kc, bpack + jp * kNr * kc,
+                   c + (ic + ip * kMr) * ldc + jc + jp * kNr, ldc, mr, nr, first);
+          }
+        }, /*grain=*/8);
+      }
     }
     if (needs_epilogue(ep)) apply_epilogue(c, ldc, m, n, jc, nc, ep);
   }
+}
+
+void gemm_blocked(index_t m, index_t k, index_t n, GemmView a, GemmView b, float* c, index_t ldc,
+                  const GemmEpilogue& ep) {
+  gemm_blocked_cfg(m, k, n, a, b, c, ldc, tune::gemm_config(), ep);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

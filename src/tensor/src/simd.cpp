@@ -1,0 +1,209 @@
+#include "nodetr/tensor/simd.hpp"
+
+#include <algorithm>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace nodetr::tensor::simd {
+
+namespace {
+
+/// Scalar writeback of a partial tile computed into a full-shape stack
+/// buffer. Shared by every vector kernel's tail path; the arithmetic already
+/// happened in the vector registers, so only the live region is copied.
+void writeback_tail(const float* tile, index_t tile_ld, float* c, index_t ldc, index_t mr,
+                    index_t nr, bool first) {
+  for (index_t i = 0; i < mr; ++i) {
+    const float* src = tile + i * tile_ld;
+    float* dst = c + i * ldc;
+    if (first) {
+      for (index_t j = 0; j < nr; ++j) dst[j] = src[j];
+    } else {
+      for (index_t j = 0; j < nr; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+/// Portable 4x8 kernel: 32 scalar accumulators the compiler auto-vectorizes
+/// at -O3. The k loop is unrolled by 4; each product lands in its accumulator
+/// in ascending-k order.
+void kern_scalar_4x8(int kc, const float* __restrict__ ap, const float* __restrict__ bp,
+                     float* __restrict__ c, index_t ldc, index_t mr, index_t nr, bool first) {
+  constexpr int kMr = 4, kNr = 8;
+  float acc[kMr][kNr] = {};
+  int p = 0;
+  for (; p + 4 <= kc; p += 4) {
+    for (int u = 0; u < 4; ++u) {
+      const float* av = ap + (p + u) * kMr;
+      const float* bv = bp + (p + u) * kNr;
+      for (int i = 0; i < kMr; ++i) {
+        for (int j = 0; j < kNr; ++j) acc[i][j] += av[i] * bv[j];
+      }
+    }
+  }
+  for (; p < kc; ++p) {
+    const float* av = ap + p * kMr;
+    const float* bv = bp + p * kNr;
+    for (int i = 0; i < kMr; ++i) {
+      for (int j = 0; j < kNr; ++j) acc[i][j] += av[i] * bv[j];
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    if (first) {
+      for (int i = 0; i < kMr; ++i) {
+        for (int j = 0; j < kNr; ++j) c[i * ldc + j] = acc[i][j];
+      }
+    } else {
+      for (int i = 0; i < kMr; ++i) {
+        for (int j = 0; j < kNr; ++j) c[i * ldc + j] += acc[i][j];
+      }
+    }
+    return;
+  }
+  writeback_tail(&acc[0][0], kNr, c, ldc, mr, nr, first);
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// Explicit AVX2/FMA kernels, compiled with per-function target attributes so
+// they exist in the default (non -march=native) build; the dispatcher only
+// hands them out after __builtin_cpu_supports says the host can run them.
+// One __m256 FMA chain per (row, 8-column group) keeps each output element's
+// accumulation a single ascending-k dependency chain. B rows are loaded with
+// unaligned loads: the packed panel base is 64-byte aligned, but an odd kc
+// can place later micro-panels off alignment, and loadu on aligned data costs
+// nothing on AVX2 hardware.
+#define NODETR_AVX2_KERNEL(NAME, MR, NV)                                                          \
+  __attribute__((target("avx2,fma"))) void NAME(int kc, const float* __restrict__ ap,             \
+                                                const float* __restrict__ bp,                     \
+                                                float* __restrict__ c, index_t ldc, index_t mr,   \
+                                                index_t nr, bool first) {                         \
+    constexpr int kNr = (NV) * 8;                                                                 \
+    __m256 acc[MR][NV];                                                                           \
+    for (int i = 0; i < (MR); ++i)                                                                \
+      for (int v = 0; v < (NV); ++v) acc[i][v] = _mm256_setzero_ps();                             \
+    for (int p = 0; p < kc; ++p) {                                                                \
+      __m256 b[NV];                                                                               \
+      for (int v = 0; v < (NV); ++v) b[v] = _mm256_loadu_ps(bp + p * kNr + v * 8);                \
+      for (int i = 0; i < (MR); ++i) {                                                            \
+        const __m256 a = _mm256_broadcast_ss(ap + p * (MR) + i);                                  \
+        for (int v = 0; v < (NV); ++v) acc[i][v] = _mm256_fmadd_ps(a, b[v], acc[i][v]);           \
+      }                                                                                           \
+    }                                                                                             \
+    if (mr == (MR) && nr == kNr) {                                                                \
+      if (first) {                                                                                \
+        for (int i = 0; i < (MR); ++i)                                                            \
+          for (int v = 0; v < (NV); ++v) _mm256_storeu_ps(c + i * ldc + v * 8, acc[i][v]);        \
+      } else {                                                                                    \
+        for (int i = 0; i < (MR); ++i)                                                            \
+          for (int v = 0; v < (NV); ++v) {                                                        \
+            float* out = c + i * ldc + v * 8;                                                     \
+            _mm256_storeu_ps(out, _mm256_add_ps(_mm256_loadu_ps(out), acc[i][v]));                \
+          }                                                                                       \
+      }                                                                                           \
+      return;                                                                                     \
+    }                                                                                             \
+    alignas(32) float tile[MR][kNr];                                                              \
+    for (int i = 0; i < (MR); ++i)                                                                \
+      for (int v = 0; v < (NV); ++v) _mm256_store_ps(&tile[i][v * 8], acc[i][v]);                 \
+    writeback_tail(&tile[0][0], kNr, c, ldc, mr, nr, first);                                      \
+  }
+
+NODETR_AVX2_KERNEL(kern_avx2_6x16, 6, 2)  // 12 acc + 2 B + 1 A = 15 of 16 ymm
+NODETR_AVX2_KERNEL(kern_avx2_4x16, 4, 2)  // shallower tile for short-M (attention) shapes
+NODETR_AVX2_KERNEL(kern_avx2_8x8, 8, 1)   // tall tile for skinny-N products
+
+#undef NODETR_AVX2_KERNEL
+
+bool host_has_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#elif defined(__aarch64__)
+
+/// 8x8 NEON kernel: 16 q-register accumulators, one vfmaq chain per
+/// (row, 4-column group).
+void kern_neon_8x8(int kc, const float* __restrict__ ap, const float* __restrict__ bp,
+                   float* __restrict__ c, index_t ldc, index_t mr, index_t nr, bool first) {
+  constexpr int kMr = 8, kNr = 8;
+  float32x4_t acc[kMr][2];
+  for (int i = 0; i < kMr; ++i) acc[i][0] = acc[i][1] = vdupq_n_f32(0.0f);
+  for (int p = 0; p < kc; ++p) {
+    const float32x4_t b0 = vld1q_f32(bp + p * kNr);
+    const float32x4_t b1 = vld1q_f32(bp + p * kNr + 4);
+    for (int i = 0; i < kMr; ++i) {
+      const float32x4_t a = vdupq_n_f32(ap[p * kMr + i]);
+      acc[i][0] = vfmaq_f32(acc[i][0], a, b0);
+      acc[i][1] = vfmaq_f32(acc[i][1], a, b1);
+    }
+  }
+  if (mr == kMr && nr == kNr) {
+    for (int i = 0; i < kMr; ++i) {
+      float* out = c + i * ldc;
+      if (first) {
+        vst1q_f32(out, acc[i][0]);
+        vst1q_f32(out + 4, acc[i][1]);
+      } else {
+        vst1q_f32(out, vaddq_f32(vld1q_f32(out), acc[i][0]));
+        vst1q_f32(out + 4, vaddq_f32(vld1q_f32(out + 4), acc[i][1]));
+      }
+    }
+    return;
+  }
+  alignas(16) float tile[kMr][kNr];
+  for (int i = 0; i < kMr; ++i) {
+    vst1q_f32(&tile[i][0], acc[i][0]);
+    vst1q_f32(&tile[i][4], acc[i][1]);
+  }
+  writeback_tail(&tile[0][0], kNr, c, ldc, mr, nr, first);
+}
+
+#endif
+
+std::vector<MicroKernel> build_kernel_list() {
+  std::vector<MicroKernel> kernels;
+#if defined(__x86_64__) || defined(__i386__)
+  if (host_has_avx2_fma()) {
+    kernels.push_back({"avx2_6x16", 1, 6, 16, kern_avx2_6x16});
+    kernels.push_back({"avx2_4x16", 2, 4, 16, kern_avx2_4x16});
+    kernels.push_back({"avx2_8x8", 3, 8, 8, kern_avx2_8x8});
+  }
+#elif defined(__aarch64__)
+  kernels.push_back({"neon_8x8", 4, 8, 8, kern_neon_8x8});
+#endif
+  kernels.push_back({"scalar_4x8", 0, 4, 8, kern_scalar_4x8});
+  return kernels;
+}
+
+}  // namespace
+
+const std::vector<MicroKernel>& available_kernels() {
+  static const std::vector<MicroKernel> kernels = build_kernel_list();
+  return kernels;
+}
+
+const MicroKernel* find_kernel(std::string_view name) {
+  const auto& kernels = available_kernels();
+  const auto it = std::find_if(kernels.begin(), kernels.end(),
+                               [&](const MicroKernel& k) { return name == k.name; });
+  return it == kernels.end() ? nullptr : &*it;
+}
+
+const MicroKernel& scalar_kernel() { return available_kernels().back(); }
+
+std::string cpu_features() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (host_has_avx2_fma()) return "avx2+fma";
+  return "x86-portable";
+#elif defined(__aarch64__)
+  return "neon";
+#else
+  return "portable-scalar";
+#endif
+}
+
+}  // namespace nodetr::tensor::simd

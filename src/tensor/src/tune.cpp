@@ -1,0 +1,347 @@
+#include "nodetr/tensor/tune.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nodetr/obs/obs.hpp"
+#include "nodetr/tensor/gemm.hpp"
+
+namespace nodetr::tensor::tune {
+
+namespace obs = nodetr::obs;
+
+// Timing-based tuning is meaningless under a sanitizer (instrumentation
+// skews every candidate the same random way and the probe itself runs
+// ~10-20x slow); fall back to the heuristic blocking there.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define NODETR_TUNE_NO_BENCH 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define NODETR_TUNE_NO_BENCH 1
+#endif
+#endif
+
+namespace {
+
+constexpr const char* kCacheMagic = "nodetr-tune v1";
+
+/// Parse a sysfs cache size string ("48K", "2M", "32768").
+std::size_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) return 0;
+  switch (*end) {
+    case 'K': case 'k': return v << 10;
+    case 'M': case 'm': return v << 20;
+    case 'G': case 'g': return v << 30;
+    default: return v;
+  }
+}
+
+std::string read_line(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  if (in) std::getline(in, line);
+  return line;
+}
+
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+long sysconf_or_zero(int name) {
+  const long v = ::sysconf(name);
+  return v > 0 ? v : 0;
+}
+#endif
+
+index_t round_down(index_t v, index_t step) { return std::max(step, v / step * step); }
+
+/// Deterministic fill for the probe operands (no RNG dependency; values only
+/// need to be nonzero and varied so the probe is not a denormal stress test).
+void fill_probe(std::vector<float>& v) {
+  std::uint32_t x = 0x9e3779b9u;
+  for (auto& f : v) {
+    x = x * 1664525u + 1013904223u;
+    f = static_cast<float>(static_cast<std::int32_t>(x >> 8)) * (1.0f / (1 << 23));
+  }
+}
+
+int source_id(const char* source) {
+  const std::string_view s(source);
+  if (s == "tuned") return 1;
+  if (s == "cache") return 2;
+  if (s == "env") return 3;
+  return 0;
+}
+
+void publish_gauges(const GemmConfig& cfg, const CacheInfo& caches) {
+  auto& reg = obs::Registry::instance();
+  reg.gauge("tensor.gemm.kernel_id").set(cfg.kernel->id);
+  reg.gauge("tensor.gemm.mr").set(static_cast<double>(cfg.kernel->mr));
+  reg.gauge("tensor.gemm.nr").set(static_cast<double>(cfg.kernel->nr));
+  reg.gauge("tensor.gemm.mc").set(static_cast<double>(cfg.mc));
+  reg.gauge("tensor.gemm.kc").set(static_cast<double>(cfg.kc));
+  reg.gauge("tensor.gemm.nc").set(static_cast<double>(cfg.nc));
+  reg.gauge("tensor.tune.source").set(source_id(cfg.source));
+  reg.gauge("tensor.cpu.l1d_bytes").set(static_cast<double>(caches.l1d));
+  reg.gauge("tensor.cpu.l2_bytes").set(static_cast<double>(caches.l2));
+  reg.gauge("tensor.cpu.l3_bytes").set(static_cast<double>(caches.l3));
+}
+
+std::string human_bytes(std::size_t b) {
+  char buf[32];
+  if (b >= (std::size_t{1} << 20)) {
+    std::snprintf(buf, sizeof buf, "%.0fM", static_cast<double>(b) / (1 << 20));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0fK", static_cast<double>(b) / (1 << 10));
+  }
+  return buf;
+}
+
+}  // namespace
+
+CacheInfo probe_caches() {
+  CacheInfo info;
+  // Preferred source: sysfs cpu0 cache indexes (exact, per-level, per-type).
+  for (int idx = 0; idx < 10; ++idx) {
+    const std::string base = "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(idx);
+    const std::string type = read_line(base + "/type");
+    if (type.empty()) break;
+    if (type == "Instruction") continue;
+    const int level = std::atoi(read_line(base + "/level").c_str());
+    const std::size_t size = parse_size(read_line(base + "/size"));
+    if (size == 0) continue;
+    if (level == 1) info.l1d = size;
+    if (level == 2) info.l2 = size;
+    if (level == 3) info.l3 = size;
+    info.probed = true;
+  }
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  if (info.l1d == 0) info.l1d = static_cast<std::size_t>(sysconf_or_zero(_SC_LEVEL1_DCACHE_SIZE));
+  if (info.l2 == 0) info.l2 = static_cast<std::size_t>(sysconf_or_zero(_SC_LEVEL2_CACHE_SIZE));
+  if (info.l3 == 0) info.l3 = static_cast<std::size_t>(sysconf_or_zero(_SC_LEVEL3_CACHE_SIZE));
+  info.probed = info.probed || info.l1d != 0 || info.l2 != 0 || info.l3 != 0;
+#endif
+  return info;
+}
+
+const CacheInfo& host_caches() {
+  static const CacheInfo cached = [] {
+    CacheInfo info = probe_caches();
+    // Conservative defaults for levels the OS hides (containers, exotic
+    // kernels): small enough to be safe on any post-2010 core.
+    if (info.l1d == 0) info.l1d = 32 << 10;
+    if (info.l2 == 0) info.l2 = 1 << 20;
+    if (info.l3 == 0) info.l3 = 8 << 20;
+    return info;
+  }();
+  return cached;
+}
+
+GemmConfig default_config(const simd::MicroKernel& kernel, const CacheInfo& caches) {
+  GemmConfig cfg;
+  cfg.kernel = &kernel;
+  // KC: one A (mr x KC) + one B (KC x nr) micro-panel pair resident in L1d,
+  // leaving a quarter for the C tile and stack noise.
+  const index_t kc_budget =
+      static_cast<index_t>(caches.l1d * 3 / 4) / (4 * (kernel.mr + kernel.nr));
+  cfg.kc = std::clamp<index_t>(round_down(kc_budget, 8), 64, 512);
+  // MC: the packed A block (MC x KC) fills at most half of L2.
+  const index_t mc_budget = static_cast<index_t>(caches.l2 / 2) / (4 * cfg.kc);
+  cfg.mc = std::clamp<index_t>(round_down(mc_budget, kernel.mr), kernel.mr * 4, 768);
+  // NC: the packed B block (KC x NC) fills at most a quarter of L3 (shared
+  // with other cores and the streamed C), capped to bound arena growth.
+  const index_t nc_budget = static_cast<index_t>(caches.l3 / 4) / (4 * cfg.kc);
+  cfg.nc = std::clamp<index_t>(round_down(nc_budget, kernel.nr), kernel.nr * 4, 2048);
+  cfg.source = "default";
+  return cfg;
+}
+
+std::vector<GemmConfig> candidate_configs(const CacheInfo& caches) {
+  std::vector<GemmConfig> out;
+  for (const auto& kernel : simd::available_kernels()) {
+    const GemmConfig base = default_config(kernel, caches);
+    out.push_back(base);
+    // Half-depth variant: trades packing overhead for a hotter C tile; wins
+    // on hosts where the derived KC overshoots the effective L1 share.
+    CacheInfo half = caches;
+    half.l1d /= 2;
+    GemmConfig shallow = default_config(kernel, half);
+    if (shallow.kc != base.kc) out.push_back(shallow);
+  }
+  return out;
+}
+
+GemmConfig autotune(const CacheInfo& caches) {
+  static auto& runs = obs::Registry::instance().counter("tensor.tune.runs");
+  runs.add();
+#ifdef NODETR_TUNE_NO_BENCH
+  GemmConfig heuristic = default_config(simd::available_kernels().front(), caches);
+  heuristic.source = "tuned";
+  return heuristic;
+#endif
+  // Probe on the headline square shape; big enough to exercise all three
+  // blocking levels, small enough that the whole tune costs ~tens of ms.
+  constexpr index_t kProbe = 256;
+  std::vector<float> a(kProbe * kProbe), b(kProbe * kProbe), c(kProbe * kProbe);
+  fill_probe(a);
+  fill_probe(b);
+
+  GemmConfig best;
+  double best_ns = 0.0;
+  for (GemmConfig cand : candidate_configs(caches)) {
+    double cand_ns = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      gemm_blocked_cfg(kProbe, kProbe, kProbe, GemmView::plain(a.data(), kProbe),
+                       GemmView::plain(b.data(), kProbe), c.data(), kProbe, cand);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+      // rep 0 is warm-up (packs touch cold pages, the arena grows); keep the
+      // min of the rest.
+      if (rep > 0) cand_ns = cand_ns == 0.0 ? ns : std::min(cand_ns, ns);
+    }
+    if (best.kernel == nullptr || cand_ns < best_ns) {
+      best = cand;
+      best_ns = cand_ns;
+    }
+  }
+  best.source = "tuned";
+  obs::Registry::instance()
+      .gauge("tensor.tune.best_gflops")
+      .set(best_ns > 0.0 ? 2.0 * kProbe * kProbe * kProbe / best_ns : 0.0);
+  return best;
+}
+
+std::string to_spec(const GemmConfig& cfg) {
+  std::ostringstream os;
+  os << cfg.kernel->name << ":" << cfg.mc << ":" << cfg.kc << ":" << cfg.nc;
+  return os.str();
+}
+
+std::optional<GemmConfig> parse_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::string cur;
+  std::istringstream is(spec);
+  while (std::getline(is, cur, ':')) parts.push_back(cur);
+  if (parts.size() != 1 && parts.size() != 4) return std::nullopt;
+  const simd::MicroKernel* kernel = simd::find_kernel(parts[0]);
+  if (kernel == nullptr) return std::nullopt;
+  if (parts.size() == 1) {
+    GemmConfig cfg = default_config(*kernel, host_caches());
+    return cfg;
+  }
+  GemmConfig cfg;
+  cfg.kernel = kernel;
+  index_t* fields[3] = {&cfg.mc, &cfg.kc, &cfg.nc};
+  for (int i = 0; i < 3; ++i) {
+    char* end = nullptr;
+    const long long v = std::strtoll(parts[i + 1].c_str(), &end, 10);
+    if (end == parts[i + 1].c_str() || *end != '\0') return std::nullopt;
+    if (v < 8 || v > (1 << 20)) return std::nullopt;
+    *fields[i] = static_cast<index_t>(v);
+  }
+  return cfg;
+}
+
+std::optional<GemmConfig> load_cache_file(const std::string& path, const CacheInfo& host) {
+  static auto& rejects = obs::Registry::instance().counter("tensor.tune.cache_rejects");
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string magic, host_line, config_line;
+  std::getline(in, magic);
+  std::getline(in, host_line);
+  std::getline(in, config_line);
+  const auto reject = [&]() -> std::optional<GemmConfig> {
+    rejects.add();
+    return std::nullopt;
+  };
+  if (magic != kCacheMagic) return reject();
+  // The cache is per-host: a file written on a different box (or before a
+  // CPU/ISA change) must not leak its blocking here.
+  unsigned long long l1 = 0, l2 = 0, l3 = 0;
+  char isa[64] = {};
+  if (std::sscanf(host_line.c_str(), "host l1d=%llu l2=%llu l3=%llu isa=%63s", &l1, &l2, &l3,
+                  isa) != 4) {
+    return reject();
+  }
+  if (l1 != host.l1d || l2 != host.l2 || l3 != host.l3 || simd::cpu_features() != isa) {
+    return reject();
+  }
+  char spec[128] = {};
+  if (std::sscanf(config_line.c_str(), "config %127s", spec) != 1) return reject();
+  auto cfg = parse_spec(spec);
+  if (!cfg.has_value()) return reject();
+  cfg->source = "cache";
+  return cfg;
+}
+
+bool save_cache_file(const std::string& path, const GemmConfig& cfg, const CacheInfo& host) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "nodetr: cannot write tuning cache %s\n", path.c_str());
+    return false;
+  }
+  out << kCacheMagic << "\n";
+  out << "host l1d=" << host.l1d << " l2=" << host.l2 << " l3=" << host.l3
+      << " isa=" << simd::cpu_features() << "\n";
+  out << "config " << to_spec(cfg) << "\n";
+  return static_cast<bool>(out.flush());
+}
+
+GemmConfig select_config(const SelectOptions& opts) {
+  const CacheInfo& caches = host_caches();
+  auto& reg = obs::Registry::instance();
+  GemmConfig cfg;
+  if (!opts.env_spec.empty()) {
+    if (auto forced = parse_spec(opts.env_spec); forced.has_value()) {
+      forced->source = "env";
+      reg.counter("tensor.tune.env_overrides").add();
+      publish_gauges(*forced, caches);
+      return *forced;
+    }
+    std::fprintf(stderr, "nodetr: ignoring invalid NODETR_GEMM_CONFIG=\"%s\"\n",
+                 opts.env_spec.c_str());
+  }
+  if (!opts.cache_path.empty()) {
+    if (auto cached = load_cache_file(opts.cache_path, caches); cached.has_value()) {
+      reg.counter("tensor.tune.cache_hits").add();
+      publish_gauges(*cached, caches);
+      return *cached;
+    }
+  }
+  cfg = autotune(caches);
+  if (!opts.cache_path.empty()) save_cache_file(opts.cache_path, cfg, caches);
+  publish_gauges(cfg, caches);
+  return cfg;
+}
+
+const GemmConfig& gemm_config() {
+  static const GemmConfig cfg = [] {
+    const char* env_spec = std::getenv("NODETR_GEMM_CONFIG");
+    const char* cache_path = std::getenv("NODETR_TUNE_CACHE");
+    return select_config({env_spec != nullptr ? env_spec : "",
+                          cache_path != nullptr ? cache_path : ""});
+  }();
+  return cfg;
+}
+
+std::string describe(const GemmConfig& cfg) {
+  const CacheInfo& caches = host_caches();
+  std::ostringstream os;
+  os << "gemm: microkernel " << cfg.kernel->name << " (" << cfg.kernel->mr << "x"
+     << cfg.kernel->nr << ", " << simd::cpu_features() << "), blocking MC=" << cfg.mc
+     << " KC=" << cfg.kc << " NC=" << cfg.nc << ", caches L1d=" << human_bytes(caches.l1d)
+     << " L2=" << human_bytes(caches.l2) << " L3=" << human_bytes(caches.l3)
+     << ", source=" << cfg.source;
+  return os.str();
+}
+
+}  // namespace nodetr::tensor::tune

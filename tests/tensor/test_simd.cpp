@@ -1,0 +1,234 @@
+// Differential suite for every runtime-dispatched GEMM microkernel variant.
+//
+// Every kernel the dispatcher could hand out on this host is driven through
+// gemm_blocked_cfg with deliberately tiny blocking (so block edges, partial
+// tiles, and the k-split all trigger on small inputs) and checked against a
+// double-accumulating naive reference, against the scalar kernel, and for
+// the two reproducibility contracts the serving stack relies on:
+//   - bitwise-identical rows across batch splits (same kernel), and
+//   - bitwise-identical output whether the tile loops run on the pool or
+//     serially (what a different thread count changes).
+// This file is part of test_tensor, so it also rides the TSan CI job, which
+// exercises the shared packed-panel buffers across pool workers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "nodetr/tensor/arena.hpp"
+#include "nodetr/tensor/gemm.hpp"
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/parallel.hpp"
+#include "nodetr/tensor/rng.hpp"
+#include "nodetr/tensor/simd.hpp"
+#include "nodetr/tensor/tune.hpp"
+
+namespace nt = nodetr::tensor;
+namespace simd = nodetr::tensor::simd;
+namespace tune = nodetr::tensor::tune;
+
+namespace {
+
+nt::Tensor naive_matmul(const nt::Tensor& a, const nt::Tensor& b) {
+  const auto m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  nt::Tensor c(nt::Shape{m, n});
+  for (nt::index_t i = 0; i < m; ++i)
+    for (nt::index_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (nt::index_t p = 0; p < k; ++p) acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+/// Tiny blocking: MC/NC of two tiles and a KC that splits k on odd shapes,
+/// so every loop in the macro kernel rolls over even for ~30-row problems.
+tune::GemmConfig tiny_config(const simd::MicroKernel& kernel) {
+  tune::GemmConfig cfg;
+  cfg.kernel = &kernel;
+  cfg.mc = kernel.mr * 2;
+  cfg.kc = 24;
+  cfg.nc = kernel.nr * 2;
+  cfg.source = "default";
+  return cfg;
+}
+
+nt::Tensor run_cfg(const nt::Tensor& a, const nt::Tensor& b, const tune::GemmConfig& cfg,
+                   const nt::GemmEpilogue& ep = {}) {
+  nt::Tensor c(nt::Shape{a.dim(0), b.dim(1)});
+  nt::gemm_blocked_cfg(a.dim(0), a.dim(1), b.dim(1), nt::GemmView::plain(a.data(), a.dim(1)),
+                       nt::GemmView::plain(b.data(), b.dim(1)), c.data(), b.dim(1), cfg, ep);
+  return c;
+}
+
+class SimdKernels : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  const simd::MicroKernel& kernel() const { return simd::available_kernels()[GetParam()]; }
+};
+
+}  // namespace
+
+TEST(SimdRegistry, ScalarFallbackAlwaysAvailable) {
+  ASSERT_FALSE(simd::available_kernels().empty());
+  EXPECT_STREQ(simd::scalar_kernel().name, "scalar_4x8");
+  EXPECT_EQ(simd::find_kernel("scalar_4x8"), &simd::scalar_kernel());
+  EXPECT_EQ(simd::find_kernel("no_such_kernel"), nullptr);
+  for (const auto& k : simd::available_kernels()) {
+    EXPECT_GT(k.mr, 0);
+    EXPECT_GT(k.nr, 0);
+    EXPECT_NE(k.fn, nullptr);
+  }
+}
+
+TEST_P(SimdKernels, MatchesNaiveOnOddShapes) {
+  const struct { int m, k, n; } shapes[] = {
+      {1, 1, 1}, {1, 8, 1},  {3, 5, 7},    {17, 23, 9},
+      {33, 7, 19}, {40, 40, 40}, {6, 16, 16}, {65, 29, 33},
+  };
+  for (const auto& s : shapes) {
+    nt::Rng rng(static_cast<std::uint64_t>(s.m * 10000 + s.k * 100 + s.n));
+    auto a = rng.randn(nt::Shape{s.m, s.k});
+    auto b = rng.randn(nt::Shape{s.k, s.n});
+    const auto ref = naive_matmul(a, b);
+    EXPECT_TRUE(nt::allclose(run_cfg(a, b, tiny_config(kernel())), ref, 1e-4f, 1e-4f))
+        << kernel().name << " " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST_P(SimdKernels, MatchesScalarWithinTolerance) {
+  nt::Rng rng(11);
+  auto a = rng.randn(nt::Shape{37, 53});
+  auto b = rng.randn(nt::Shape{53, 29});
+  const auto scalar = run_cfg(a, b, tiny_config(simd::scalar_kernel()));
+  // FMA contracts intermediate roundings, so variants differ in ulps from
+  // the scalar reference — but must stay within float tolerance.
+  EXPECT_TRUE(nt::allclose(run_cfg(a, b, tiny_config(kernel())), scalar, 1e-4f, 1e-4f));
+}
+
+TEST_P(SimdKernels, TransposedViewsMatchPlain) {
+  nt::Rng rng(12);
+  auto a = rng.randn(nt::Shape{19, 21});
+  auto b = rng.randn(nt::Shape{21, 13});
+  const auto cfg = tiny_config(kernel());
+  const auto plain = run_cfg(a, b, cfg);
+  const auto at = a.transposed();  // (21, 19) storing A^T
+  const auto bt = b.transposed();  // (13, 21) storing B^T
+  nt::Tensor c_ta(nt::Shape{19, 13}), c_tb(nt::Shape{19, 13});
+  nt::gemm_blocked_cfg(19, 21, 13, nt::GemmView::transposed(at.data(), 19),
+                       nt::GemmView::plain(b.data(), 13), c_ta.data(), 13, cfg);
+  nt::gemm_blocked_cfg(19, 21, 13, nt::GemmView::plain(a.data(), 21),
+                       nt::GemmView::transposed(bt.data(), 21), c_tb.data(), 13, cfg);
+  // Packing normalizes both views to the same panel layout, so the products
+  // are bitwise equal, not merely close.
+  EXPECT_EQ(std::memcmp(plain.data(), c_ta.data(), sizeof(float) * 19 * 13), 0);
+  EXPECT_EQ(std::memcmp(plain.data(), c_tb.data(), sizeof(float) * 19 * 13), 0);
+}
+
+TEST_P(SimdKernels, EpiloguesMatchManualApplication) {
+  nt::Rng rng(13);
+  auto a = rng.randn(nt::Shape{18, 31});
+  auto b = rng.randn(nt::Shape{31, 22});
+  auto bias_col = rng.randn(nt::Shape{22});
+  auto bias_row = rng.randn(nt::Shape{18});
+  auto residual = rng.randn(nt::Shape{18, 22});
+  const auto cfg = tiny_config(kernel());
+
+  nt::GemmEpilogue ep;
+  ep.alpha = 0.5f;
+  ep.bias_col = bias_col.data();
+  ep.bias_row = bias_row.data();
+  ep.residual = residual.data();
+  ep.relu = true;
+  const auto fused = run_cfg(a, b, cfg, ep);
+
+  auto manual = run_cfg(a, b, cfg);
+  for (nt::index_t i = 0; i < 18; ++i)
+    for (nt::index_t j = 0; j < 22; ++j) {
+      float v = 0.5f * manual.at(i, j) + bias_row[i] + bias_col[j] + residual.at(i, j);
+      manual.at(i, j) = v < 0.0f ? 0.0f : v;
+    }
+  EXPECT_TRUE(nt::allclose(fused, manual, 1e-5f, 1e-6f));
+
+  // accumulate: c += A B on a pre-filled C. The old value seeds the FMA
+  // chain (first=false on the first k block) rather than being added after
+  // the product, so this is tolerance-equal, not bitwise-equal.
+  nt::Tensor acc(nt::Shape{18, 22}, 1.5f);
+  nt::gemm_blocked_cfg(18, 31, 22, nt::GemmView::plain(a.data(), 31),
+                       nt::GemmView::plain(b.data(), 22), acc.data(), 22, cfg,
+                       {.accumulate = true});
+  const auto base = run_cfg(a, b, cfg);
+  for (nt::index_t i = 0; i < 18; ++i)
+    for (nt::index_t j = 0; j < 22; ++j) {
+      EXPECT_NEAR(acc.at(i, j), base.at(i, j) + 1.5f, 1e-4f);
+    }
+}
+
+TEST_P(SimdKernels, BitwiseStableAcrossBatchSplit) {
+  // The serving engine's contract: a request's rows are bitwise identical
+  // whether computed alone or inside a larger batch. Rows are independent in
+  // GEMM, so for a fixed kernel the split must not change a single bit.
+  constexpr nt::index_t kM = 37, kK = 45, kN = 31;
+  nt::Rng rng(14);
+  auto a = rng.randn(nt::Shape{kM, kK});
+  auto b = rng.randn(nt::Shape{kK, kN});
+  const auto cfg = tiny_config(kernel());
+  const auto full = run_cfg(a, b, cfg);
+  for (const nt::index_t split : {1, 6, 17, 36}) {
+    nt::Tensor parts(nt::Shape{kM, kN});
+    nt::gemm_blocked_cfg(split, kK, kN, nt::GemmView::plain(a.data(), kK),
+                         nt::GemmView::plain(b.data(), kN), parts.data(), kN, cfg);
+    nt::gemm_blocked_cfg(kM - split, kK, kN, nt::GemmView::plain(a.data() + split * kK, kK),
+                         nt::GemmView::plain(b.data(), kN), parts.data() + split * kN, kN, cfg);
+    EXPECT_EQ(std::memcmp(full.data(), parts.data(), sizeof(float) * kM * kN), 0)
+        << kernel().name << " split at " << split;
+  }
+}
+
+TEST_P(SimdKernels, BitwiseStableSerialVsPooled) {
+  // Running inside a pool chunk forces every nested parallel_for serial —
+  // the single-thread schedule. The top-level call uses the full pool. Same
+  // kernel, different thread split: the outputs must be bitwise identical.
+  constexpr nt::index_t kM = 64, kK = 52, kN = 48;
+  nt::Rng rng(15);
+  auto a = rng.randn(nt::Shape{kM, kK});
+  auto b = rng.randn(nt::Shape{kK, kN});
+  const auto cfg = tiny_config(kernel());
+  const auto pooled = run_cfg(a, b, cfg);
+  nt::Tensor serial(nt::Shape{kM, kN});
+  nt::ThreadPool::global().run_chunks(2, [&](std::size_t chunk) {
+    if (chunk != 0) return;
+    nt::gemm_blocked_cfg(kM, kK, kN, nt::GemmView::plain(a.data(), kK),
+                         nt::GemmView::plain(b.data(), kN), serial.data(), kN, cfg);
+  });
+  EXPECT_EQ(std::memcmp(pooled.data(), serial.data(), sizeof(float) * kM * kN), 0);
+}
+
+TEST_P(SimdKernels, DefaultBlockingMatchesNaive) {
+  // The real (cache-derived) blocking, not the tiny one: catches bugs that
+  // only appear when a whole matrix fits one block.
+  const auto cfg = tune::default_config(kernel(), tune::host_caches());
+  nt::Rng rng(16);
+  auto a = rng.randn(nt::Shape{70, 65});
+  auto b = rng.randn(nt::Shape{65, 50});
+  EXPECT_TRUE(nt::allclose(run_cfg(a, b, cfg), naive_matmul(a, b), 1e-4f, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, SimdKernels,
+    ::testing::Range(std::size_t{0}, simd::available_kernels().size()),
+    [](const ::testing::TestParamInfo<std::size_t>& info) {
+      return std::string(simd::available_kernels()[info.param].name);
+    });
+
+TEST(ScratchArenaAlignment, EveryAllocationIsCacheLineAligned) {
+  // The SIMD packing contract (arena.hpp): any alloc, any odd size history.
+  auto& arena = nt::ScratchArena::local();
+  nt::ScratchArena::Scope scope(arena);
+  for (const std::size_t count : {1u, 3u, 7u, 63u, 64u, 65u, 1000u, 4097u}) {
+    const float* p = arena.alloc<float>(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << "count " << count;
+    const std::uint8_t* q = arena.alloc<std::uint8_t>(count);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % 64, 0u) << "count " << count;
+  }
+}

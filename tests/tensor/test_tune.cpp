@@ -1,0 +1,270 @@
+// Units for the GEMM autotuner: cache probing, heuristic blocking budgets,
+// spec parsing, the per-host tuning-cache file (round-trip plus every
+// rejection path), and the full selection policy (env override -> cache file
+// -> autotune) via the test-injectable SelectOptions front door.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "nodetr/tensor/simd.hpp"
+#include "nodetr/tensor/tune.hpp"
+
+namespace simd = nodetr::tensor::simd;
+namespace tune = nodetr::tensor::tune;
+using nodetr::tensor::index_t;
+
+namespace {
+
+/// Per-test temp file, removed on teardown; unique per process so parallel
+/// ctest shards never collide.
+class TuneFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = (std::filesystem::temp_directory_path() /
+             ("nodetr_tune_" + std::to_string(::getpid()) + "_" + info->name()))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  void write_file(const std::string& contents) {
+    std::ofstream out(path_, std::ios::trunc);
+    out << contents;
+  }
+
+  std::string path_;
+};
+
+std::string valid_cache_contents() {
+  // Build through the real writer so the format stays in one place.
+  const auto& host = tune::host_caches();
+  tune::GemmConfig cfg = tune::default_config(simd::scalar_kernel(), host);
+  cfg.mc = 48;
+  cfg.kc = 96;
+  cfg.nc = 160;
+  return std::string("nodetr-tune v1\n") + "host l1d=" + std::to_string(host.l1d) +
+         " l2=" + std::to_string(host.l2) + " l3=" + std::to_string(host.l3) +
+         " isa=" + simd::cpu_features() + "\nconfig " + tune::to_spec(cfg) + "\n";
+}
+
+}  // namespace
+
+TEST(TuneCaches, HostCachesAlwaysPositive) {
+  const auto& c = tune::host_caches();
+  EXPECT_GT(c.l1d, 0u);
+  EXPECT_GT(c.l2, 0u);
+  EXPECT_GT(c.l3, 0u);
+  EXPECT_GE(c.l2, c.l1d);
+  // probe_caches() makes no default-filling promise, but whatever it found
+  // must be what host_caches() kept.
+  const auto probed = tune::probe_caches();
+  if (probed.l1d != 0) {
+    EXPECT_EQ(probed.l1d, c.l1d);
+  }
+  if (probed.l2 != 0) {
+    EXPECT_EQ(probed.l2, c.l2);
+  }
+  if (probed.l3 != 0) {
+    EXPECT_EQ(probed.l3, c.l3);
+  }
+}
+
+TEST(TuneHeuristics, DefaultConfigRespectsCacheBudgets) {
+  const auto& caches = tune::host_caches();
+  for (const auto& kernel : simd::available_kernels()) {
+    const auto cfg = tune::default_config(kernel, caches);
+    ASSERT_EQ(cfg.kernel, &kernel);
+    EXPECT_GE(cfg.kc, 64);
+    EXPECT_LE(cfg.kc, 512);
+    EXPECT_EQ(cfg.kc % 8, 0) << kernel.name;
+    EXPECT_EQ(cfg.mc % kernel.mr, 0) << kernel.name;
+    EXPECT_EQ(cfg.nc % kernel.nr, 0) << kernel.name;
+    // The clamps may override the cache budget on tiny caches, but on any
+    // real host the packed A block must not blow past L2.
+    if (caches.l2 >= (1u << 20)) {
+      EXPECT_LE(static_cast<std::size_t>(cfg.mc * cfg.kc) * sizeof(float), caches.l2)
+          << kernel.name;
+    }
+  }
+}
+
+TEST(TuneHeuristics, CandidateConfigsCoverEveryKernel) {
+  const auto cands = tune::candidate_configs(tune::host_caches());
+  for (const auto& kernel : simd::available_kernels()) {
+    const auto hits = std::count_if(cands.begin(), cands.end(),
+                                    [&](const auto& c) { return c.kernel == &kernel; });
+    EXPECT_GE(hits, 1) << kernel.name;
+  }
+}
+
+TEST(TuneSpec, RoundTripsThroughString) {
+  tune::GemmConfig cfg;
+  cfg.kernel = &simd::scalar_kernel();
+  cfg.mc = 40;
+  cfg.kc = 64;
+  cfg.nc = 128;
+  const auto parsed = tune::parse_spec(tune::to_spec(cfg));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kernel, cfg.kernel);
+  EXPECT_EQ(parsed->mc, cfg.mc);
+  EXPECT_EQ(parsed->kc, cfg.kc);
+  EXPECT_EQ(parsed->nc, cfg.nc);
+}
+
+TEST(TuneSpec, KernelOnlySpecGetsHeuristicBlocking) {
+  const auto parsed = tune::parse_spec("scalar_4x8");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kernel, &simd::scalar_kernel());
+  EXPECT_GT(parsed->mc, 0);
+  EXPECT_GT(parsed->kc, 0);
+  EXPECT_GT(parsed->nc, 0);
+}
+
+TEST(TuneSpec, RejectsMalformedSpecs) {
+  EXPECT_FALSE(tune::parse_spec("").has_value());
+  EXPECT_FALSE(tune::parse_spec("no_such_kernel").has_value());
+  EXPECT_FALSE(tune::parse_spec("scalar_4x8:64").has_value());          // wrong arity
+  EXPECT_FALSE(tune::parse_spec("scalar_4x8:64:64").has_value());      // wrong arity
+  EXPECT_FALSE(tune::parse_spec("scalar_4x8:a:64:64").has_value());    // not a number
+  EXPECT_FALSE(tune::parse_spec("scalar_4x8:64:64:64x").has_value());  // trailing junk
+  EXPECT_FALSE(tune::parse_spec("scalar_4x8:4:64:64").has_value());    // below range
+  EXPECT_FALSE(tune::parse_spec("scalar_4x8:64:64:2097152").has_value());  // above range
+}
+
+TEST_F(TuneFile, CacheFileRoundTrips) {
+  const auto& host = tune::host_caches();
+  tune::GemmConfig cfg = tune::default_config(simd::available_kernels().front(), host);
+  cfg.mc = 24;
+  cfg.kc = 72;
+  cfg.nc = 96;
+  ASSERT_TRUE(tune::save_cache_file(path_, cfg, host));
+  const auto loaded = tune::load_cache_file(path_, host);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->kernel, cfg.kernel);
+  EXPECT_EQ(loaded->mc, cfg.mc);
+  EXPECT_EQ(loaded->kc, cfg.kc);
+  EXPECT_EQ(loaded->nc, cfg.nc);
+  EXPECT_STREQ(loaded->source, "cache");
+}
+
+TEST_F(TuneFile, MissingFileIsRejected) {
+  EXPECT_FALSE(tune::load_cache_file(path_, tune::host_caches()).has_value());
+}
+
+TEST_F(TuneFile, GarbageFileIsRejected) {
+  write_file("not a tuning cache at all\nrandom bytes\n");
+  EXPECT_FALSE(tune::load_cache_file(path_, tune::host_caches()).has_value());
+}
+
+TEST_F(TuneFile, WrongMagicIsRejected) {
+  auto contents = valid_cache_contents();
+  contents.replace(0, contents.find('\n'), "nodetr-tune v0");
+  write_file(contents);
+  EXPECT_FALSE(tune::load_cache_file(path_, tune::host_caches()).has_value());
+}
+
+TEST_F(TuneFile, HostMismatchIsRejected) {
+  // A cache written on this host must not load against a host whose L2
+  // differs (new box, CPU swap) — the blocking would be stale.
+  write_file(valid_cache_contents());
+  tune::CacheInfo other = tune::host_caches();
+  other.l2 *= 2;
+  EXPECT_FALSE(tune::load_cache_file(path_, other).has_value());
+  EXPECT_TRUE(tune::load_cache_file(path_, tune::host_caches()).has_value());
+}
+
+TEST_F(TuneFile, UnknownKernelIsRejected) {
+  auto contents = valid_cache_contents();
+  const auto pos = contents.find("config ");
+  contents.replace(pos, contents.size() - pos, "config martian_9x9:64:64:64\n");
+  write_file(contents);
+  EXPECT_FALSE(tune::load_cache_file(path_, tune::host_caches()).has_value());
+}
+
+TEST_F(TuneFile, TruncatedFileIsRejected) {
+  const auto contents = valid_cache_contents();
+  write_file(contents.substr(0, contents.find("config ")));  // header only
+  EXPECT_FALSE(tune::load_cache_file(path_, tune::host_caches()).has_value());
+}
+
+TEST_F(TuneFile, MalformedBlockingIsRejected) {
+  auto contents = valid_cache_contents();
+  const auto pos = contents.find("config ");
+  contents.replace(pos, contents.size() - pos, "config scalar_4x8:64:banana:64\n");
+  write_file(contents);
+  EXPECT_FALSE(tune::load_cache_file(path_, tune::host_caches()).has_value());
+}
+
+TEST_F(TuneFile, SelectHonorsEnvOverrideFirst) {
+  // Even with a valid cache file present, the env spec wins.
+  const auto& host = tune::host_caches();
+  tune::GemmConfig cached = tune::default_config(simd::available_kernels().front(), host);
+  ASSERT_TRUE(tune::save_cache_file(path_, cached, host));
+  const auto cfg =
+      tune::select_config({.env_spec = "scalar_4x8:40:64:80", .cache_path = path_});
+  EXPECT_EQ(cfg.kernel, &simd::scalar_kernel());
+  EXPECT_EQ(cfg.mc, 40);
+  EXPECT_EQ(cfg.kc, 64);
+  EXPECT_EQ(cfg.nc, 80);
+  EXPECT_STREQ(cfg.source, "env");
+}
+
+TEST_F(TuneFile, SelectFallsThroughInvalidEnvToCache) {
+  const auto& host = tune::host_caches();
+  tune::GemmConfig cached = tune::default_config(simd::scalar_kernel(), host);
+  cached.kc = 88;
+  ASSERT_TRUE(tune::save_cache_file(path_, cached, host));
+  const auto cfg = tune::select_config({.env_spec = "bogus!spec", .cache_path = path_});
+  EXPECT_STREQ(cfg.source, "cache");
+  EXPECT_EQ(cfg.kc, 88);
+}
+
+TEST_F(TuneFile, SelectTunesOnceThenHitsCache) {
+  // First select: no file -> autotune runs and persists its winner.
+  const auto tuned = tune::select_config({.env_spec = "", .cache_path = path_});
+  EXPECT_STREQ(tuned.source, "tuned");
+  ASSERT_TRUE(std::filesystem::exists(path_));
+  // Second select: the file round-trips, no re-tune.
+  const auto again = tune::select_config({.env_spec = "", .cache_path = path_});
+  EXPECT_STREQ(again.source, "cache");
+  EXPECT_EQ(again.kernel, tuned.kernel);
+  EXPECT_EQ(again.mc, tuned.mc);
+  EXPECT_EQ(again.kc, tuned.kc);
+  EXPECT_EQ(again.nc, tuned.nc);
+}
+
+TEST_F(TuneFile, SelectRetunesAfterCorruption) {
+  const auto tuned = tune::select_config({.env_spec = "", .cache_path = path_});
+  write_file("corrupted\n");
+  const auto cfg = tune::select_config({.env_spec = "", .cache_path = path_});
+  EXPECT_STREQ(cfg.source, "tuned");
+  // The corrupt file was rewritten with the fresh winner.
+  const auto reloaded = tune::load_cache_file(path_, tune::host_caches());
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->kernel, cfg.kernel);
+  (void)tuned;
+}
+
+TEST(TuneAutotune, ReturnsRunnableConfig) {
+  const auto cfg = tune::autotune(tune::host_caches());
+  ASSERT_NE(cfg.kernel, nullptr);
+  EXPECT_STREQ(cfg.source, "tuned");
+  EXPECT_GT(cfg.mc, 0);
+  EXPECT_GT(cfg.kc, 0);
+  EXPECT_GT(cfg.nc, 0);
+  EXPECT_NE(simd::find_kernel(cfg.kernel->name), nullptr);
+}
+
+TEST(TuneDescribe, MentionsKernelBlockingAndSource) {
+  const auto cfg = tune::default_config(simd::scalar_kernel(), tune::host_caches());
+  const auto line = tune::describe(cfg);
+  EXPECT_NE(line.find("scalar_4x8"), std::string::npos);
+  EXPECT_NE(line.find("MC="), std::string::npos);
+  EXPECT_NE(line.find("KC="), std::string::npos);
+  EXPECT_NE(line.find("NC="), std::string::npos);
+  EXPECT_NE(line.find("source=default"), std::string::npos);
+}
