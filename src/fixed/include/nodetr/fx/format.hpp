@@ -61,7 +61,9 @@ const std::vector<QuantizationScheme>& table8_schemes();
 
 // ---- scalar conversions -------------------------------------------------------
 
-/// Quantize a float to raw fixed-point: round-to-nearest, saturating.
+/// Quantize a float to raw fixed-point: round half away from zero, then
+/// saturate symmetrically to [-raw_max(), raw_max()] (the raw_min() code
+/// point is never produced, so a quantized magnitude is always negatable).
 [[nodiscard]] std::int64_t quantize(float v, const FixedFormat& f);
 /// Dequantize raw fixed-point back to float.
 [[nodiscard]] float dequantize(std::int64_t raw, const FixedFormat& f);

@@ -39,7 +39,9 @@ namespace nodetr::fx {
                                           const FixedTensor& beta, float eps = 1e-5f);
 
 /// Linear layer y = x * W^T + b with x in feature format, W/b in parameter
-/// format, result in feature format.
+/// format, result in feature format. The bias joins the wide accumulator at
+/// the product scale, so each output is rounded exactly once (matching a
+/// single-pass ap_fixed MAC chain — no double rounding at the boundary).
 [[nodiscard]] FixedTensor qlinear(const FixedTensor& x, const FixedTensor& weight_t,
                                   const FixedTensor& bias, FixedFormat out_format);
 

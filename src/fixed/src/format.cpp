@@ -43,10 +43,17 @@ std::int64_t saturate(std::int64_t raw, const FixedFormat& f) {
 std::int64_t quantize(float v, const FixedFormat& f) {
   if (std::isnan(v)) return 0;
   const double scaled = static_cast<double>(v) * std::ldexp(1.0, f.frac_bits());
-  // llrint would overflow for huge v; clamp in double space first.
-  const double lo = static_cast<double>(f.raw_min());
+  // Round half away from zero: +ties and -ties move symmetrically, so the
+  // rounding error has zero mean on the symmetric weight distributions the
+  // quantization sweeps feed through here (nearbyint's half-even broke the
+  // sign symmetry for exact half-LSB values).
+  const double rounded = scaled >= 0.0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5);
+  // Saturate symmetrically to +/- raw_max: the raw_min() code point stays
+  // unused so |q| is always negatable without overflowing the format's width
+  // (the INT*_MIN edge), and the dequantized grid is sign-symmetric. Clamp in
+  // double space; llrint would overflow for huge v.
   const double hi = static_cast<double>(f.raw_max());
-  const double clamped = std::fmin(std::fmax(std::nearbyint(scaled), lo), hi);
+  const double clamped = std::fmin(std::fmax(rounded, -hi), hi);
   return static_cast<std::int64_t>(clamped);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "nodetr/tensor/arena.hpp"
 #include "nodetr/tensor/ops.hpp"
@@ -38,9 +39,14 @@ void check_rank2(const FixedTensor& t, const char* who) {
 /// every inner product runs over two unit-stride spans. Fixed-point
 /// accumulation is exact integer arithmetic — the result is bitwise identical
 /// to any other accumulation order, so packing/blocking never perturbs the
-/// bit-accurate datapath.
+/// bit-accurate datapath. When `bias` is non-null it holds n per-column
+/// offsets already expressed at `prod_frac` fractional bits; they seed the
+/// accumulators so the whole affine sum is rounded exactly once at the
+/// output boundary (ap_fixed semantics — rounding the matmul and the bias
+/// separately double-rounds).
 void qgemm_nt(const std::int64_t* a, const std::int64_t* bt, std::int64_t* out, index_t m,
-              index_t k, index_t n, int prod_frac, const FixedFormat& out_format) {
+              index_t k, index_t n, int prod_frac, const FixedFormat& out_format,
+              const wide_t* bias = nullptr) {
   nodetr::tensor::parallel_for(0, m, [&](index_t lo, index_t hi) {
     for (index_t i = lo; i < hi; ++i) {
       const std::int64_t* arow = a + i * k;
@@ -50,7 +56,7 @@ void qgemm_nt(const std::int64_t* a, const std::int64_t* bt, std::int64_t* out, 
       for (; j + 2 <= n; j += 2) {
         const std::int64_t* b0 = bt + j * k;
         const std::int64_t* b1 = b0 + k;
-        wide_t acc0 = 0, acc1 = 0;
+        wide_t acc0 = bias ? bias[j] : 0, acc1 = bias ? bias[j + 1] : 0;
         for (index_t p = 0; p < k; ++p) {
           const wide_t av = arow[p];
           acc0 += av * b0[p];
@@ -61,7 +67,7 @@ void qgemm_nt(const std::int64_t* a, const std::int64_t* bt, std::int64_t* out, 
       }
       for (; j < n; ++j) {
         const std::int64_t* brow = bt + j * k;
-        wide_t acc = 0;
+        wide_t acc = bias ? bias[j] : 0;
         for (index_t p = 0; p < k; ++p) acc += static_cast<wide_t>(arow[p]) * brow[p];
         crow[j] = narrow(acc, prod_frac, out_format);
       }
@@ -173,17 +179,31 @@ FixedTensor qlayernorm_rows(const FixedTensor& x, const FixedTensor& gamma,
 
 FixedTensor qlinear(const FixedTensor& x, const FixedTensor& weight_t, const FixedTensor& bias,
                     FixedFormat out_format) {
-  FixedTensor y = qmatmul_nt(x, weight_t, out_format);
-  if (!bias.empty()) {
-    const index_t rows = y.shape().dim(0), cols = y.shape().dim(1);
-    if (bias.numel() != cols) throw std::invalid_argument("qlinear: bias size mismatch");
-    for (index_t r = 0; r < rows; ++r) {
-      for (index_t c = 0; c < cols; ++c) {
-        const std::int64_t b = convert_raw(bias[c], bias.format(), out_format);
-        y[r * cols + c] = saturate(y[r * cols + c] + b, out_format);
-      }
-    }
+  if (bias.empty()) return qmatmul_nt(x, weight_t, out_format);
+  check_rank2(x, "qlinear: x");
+  check_rank2(weight_t, "qlinear: weight_t");
+  const index_t m = x.shape().dim(0), k = x.shape().dim(1), n = weight_t.shape().dim(0);
+  if (weight_t.shape().dim(1) != k) throw std::invalid_argument("qlinear: inner dimension mismatch");
+  if (bias.numel() != n) throw std::invalid_argument("qlinear: bias size mismatch");
+  const int prod_frac = x.format().frac_bits() + weight_t.format().frac_bits();
+  // Raise the bias exactly to the accumulator's scale and let it seed the
+  // dot products, so x*W^T + b is rounded once into out_format — rounding
+  // the matmul first and the bias separately gave each output two roundings
+  // and a bitwise mismatch against the single-pass HLS accumulator. The
+  // widening shift is exact for every scheme (prod_frac >= bias frac_bits
+  // whenever the feature format has any fractional bits); a hypothetically
+  // coarser accumulator would round the bias constant once here instead.
+  const int bshift = prod_frac - bias.format().frac_bits();
+  std::vector<wide_t> wide_bias(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const wide_t b = bias[j];
+    wide_bias[static_cast<std::size_t>(j)] =
+        bshift >= 0 ? b << bshift
+                    : (b + (b >= 0 ? (wide_t{1} << (-bshift - 1))
+                                   : (wide_t{1} << (-bshift - 1)) - 1)) >> -bshift;
   }
+  FixedTensor y(Shape{m, n}, out_format);
+  qgemm_nt(x.raw(), weight_t.raw(), y.raw(), m, k, n, prod_frac, out_format, wide_bias.data());
   return y;
 }
 

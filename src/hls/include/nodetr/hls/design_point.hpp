@@ -29,6 +29,20 @@ enum class WeightResidency {
                      ///< whole programmed batch (the serving path)
 };
 
+/// Wire format of the DDR-resident weight images the DMA streams into the
+/// PL. Block formats carry per-block float scales (fx::BlockQuantTensor);
+/// the IP dequantizes into its on-chip parameter buffers as the beats land,
+/// so a quantized wire degrades the weights exactly once, at rest. The
+/// LayerNorm gain/bias (2·D values) stay at 32-bit words on every wire —
+/// they are tiny and the mixed-precision escape hatch keeps them exact.
+enum class WeightWire {
+  kWord32,     ///< full-width 32-bit words (the pre-quantization wire)
+  kBlockInt8,  ///< int8 codes + per-block scales (~3.6x fewer weight bytes)
+  kBlockInt4,  ///< packed int4 codes + per-block scales (~6.4x fewer)
+};
+
+[[nodiscard]] const char* to_string(WeightWire wire);
+
 struct ParallelPlan {
   index_t partition = 64;  ///< sub-buffers for X and W (array partitioning)
   index_t unroll = 128;    ///< innermost-loop unroll factor
@@ -49,6 +63,8 @@ struct MhsaDesignPoint {
   BufferPlan buffers = BufferPlan::kShared5;
   ParallelPlan parallel = ParallelPlan::paper();
   WeightResidency residency = WeightResidency::kStreamPerImage;
+  WeightWire wire = WeightWire::kWord32;
+  index_t wire_block = 32;  ///< block size of the quantized wire (32 or 64)
 
   [[nodiscard]] index_t tokens() const { return height * width; }
   [[nodiscard]] index_t head_dim() const { return dim / heads; }

@@ -50,8 +50,15 @@ class MhsaIpCore {
 
   /// The parameter share of the DMA traffic (Wq/Wk/Wv, relative tables,
   /// LayerNorm params) — paid once per START when the design point is
-  /// WeightResidency::kBatchResident.
+  /// WeightResidency::kBatchResident. This is the *streamed* byte count of
+  /// the design point's WeightWire: a block-quantized wire moves the packed
+  /// codes + per-block scales, not the logical 32-bit words.
   [[nodiscard]] std::int64_t weight_dma_bytes() const;
+  /// The logical float32 size of the same parameters — what a word32 wire
+  /// would stream. weight_dma_bytes() == weight_float_bytes() iff the wire
+  /// is WeightWire::kWord32; the gap is the DMA saving the quantized wire
+  /// buys (DeviceCounters::weight_bytes_float reports it per board).
+  [[nodiscard]] std::int64_t weight_float_bytes() const;
   /// The per-image share of the DMA traffic (input + output feature maps).
   [[nodiscard]] std::int64_t io_dma_bytes_per_image() const;
   /// Host -> device share of the per-image traffic (input feature map).

@@ -4,11 +4,24 @@
 
 namespace nodetr::hls {
 
+const char* to_string(WeightWire wire) {
+  switch (wire) {
+    case WeightWire::kWord32: return "word32";
+    case WeightWire::kBlockInt8: return "block_int8";
+    case WeightWire::kBlockInt4: return "block_int4";
+  }
+  return "?";
+}
+
 std::string MhsaDesignPoint::to_string() const {
   std::string s = std::to_string(dim) + "ch, " + std::to_string(height) + "x" +
                   std::to_string(width) + " (";
   s += (dtype == DataType::kFloat32) ? "floating point" : "fixed point " + scheme.to_string();
   s += buffers == BufferPlan::kNaive7 ? ", naive buffers" : ", shared buffer";
+  if (wire != WeightWire::kWord32) {
+    s += std::string(", ") + nodetr::hls::to_string(wire) + "/" + std::to_string(wire_block) +
+         " weight wire";
+  }
   s += ")";
   return s;
 }
@@ -59,11 +72,24 @@ constexpr double kFloatMacFactor = 2.0;
 constexpr double kLnCyclesPerElem = 3.0;
 constexpr double kLnCyclesPerRow = 40.0;  // mean/var finalize + rsqrt
 
+/// Weight-wire compression: 32-bit words a quantized wire moves per logical
+/// weight word (1.0 for word32; int8 at block 32 moves ~0.28 words/word).
+double wire_words_per_weight(const MhsaDesignPoint& point) {
+  const double bs = static_cast<double>(point.wire_block);
+  switch (point.wire) {
+    case WeightWire::kBlockInt8: return (bs + 4.0) / (4.0 * bs);
+    case WeightWire::kBlockInt4: return (bs / 2.0 + 4.0) / (4.0 * bs);
+    case WeightWire::kWord32: break;
+  }
+  return 1.0;
+}
+
 }  // namespace
 
 std::int64_t CycleModel::weight_stream_cycles(const MhsaDesignPoint& point) const {
   const double d = static_cast<double>(point.dim);
-  return static_cast<std::int64_t>(3.0 * d * d * kStreamCyclesPerWord);
+  return static_cast<std::int64_t>(3.0 * d * d * wire_words_per_weight(point) *
+                                   kStreamCyclesPerWord);
 }
 
 CycleBreakdown CycleModel::estimate(const MhsaDesignPoint& point, bool include_layer_norm) const {
@@ -86,7 +112,9 @@ CycleBreakdown CycleModel::estimate(const MhsaDesignPoint& point, bool include_l
   } else {
     b.projection_each = static_cast<std::int64_t>(proj_macs * kProjCyclesPerMac * f);
   }
-  b.streaming = static_cast<std::int64_t>((3.0 * d * d + 2.0 * n * d) * kStreamCyclesPerWord);
+  // Feature maps always move at full width; the weight share rides the wire.
+  b.streaming = static_cast<std::int64_t>(
+      (3.0 * d * d * wire_words_per_weight(point) + 2.0 * n * d) * kStreamCyclesPerWord);
   b.qr = static_cast<std::int64_t>(attn_macs * kQrCyclesPerMac * f);
   b.qk = static_cast<std::int64_t>(attn_macs * kQkCyclesPerMac * f);
   b.relu = static_cast<std::int64_t>(attn_elems * kReluCyclesPerElem);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nodetr/fault/fault.hpp"
+#include "nodetr/fx/block_quant.hpp"
 #include "nodetr/obs/obs.hpp"
 #include "nodetr/tensor/gemm.hpp"
 #include "nodetr/tensor/ops.hpp"
@@ -44,6 +45,27 @@ MhsaIpCore::MhsaIpCore(MhsaDesignPoint point, MhsaWeights weights)
       throw std::invalid_argument("MhsaIpCore: relative-position shape mismatch");
     }
   }
+  if (point_.wire_block < 1) {
+    throw std::invalid_argument("MhsaIpCore: wire_block must be >= 1");
+  }
+  if (point_.wire != WeightWire::kWord32) {
+    // The DDR-resident copy of the projection weights and relative tables is
+    // block-quantized; the IP dequantizes into its on-chip buffers as the
+    // beats land. Round-tripping here makes both datapaths (float and fixed)
+    // compute on exactly the weights the wire can carry — the accuracy cost
+    // of the quantized wire is real, not just an accounting trick. The
+    // LayerNorm gain/bias stay full-width (see WeightWire).
+    const fx::BlockType bt = point_.wire == WeightWire::kBlockInt8 ? fx::BlockType::kInt8
+                                                                   : fx::BlockType::kInt4;
+    const index_t bs = point_.wire_block;
+    weights_.wq = fx::block_roundtrip(weights_.wq, bt, bs);
+    weights_.wk = fx::block_roundtrip(weights_.wk, bt, bs);
+    weights_.wv = fx::block_roundtrip(weights_.wv, bt, bs);
+    if (!weights_.rel_h.empty()) {
+      weights_.rel_h = fx::block_roundtrip(weights_.rel_h, bt, bs);
+      weights_.rel_w = fx::block_roundtrip(weights_.rel_w, bt, bs);
+    }
+  }
   const auto pf = point_.scheme.param;
   qwq_ = fx::FixedTensor::from_float(weights_.wq, pf);
   qwk_ = fx::FixedTensor::from_float(weights_.wk, pf);
@@ -62,7 +84,7 @@ std::int64_t MhsaIpCore::dma_bytes_per_image() const {
   return weight_dma_bytes() + io_dma_bytes_per_image();
 }
 
-std::int64_t MhsaIpCore::weight_dma_bytes() const {
+std::int64_t MhsaIpCore::weight_float_bytes() const {
   const std::int64_t d = point_.dim;
   std::int64_t words = 3 * d * d;      // Wq, Wk, Wv (reloaded into the shared buffer)
   if (!weights_.rel_h.empty()) {
@@ -70,6 +92,23 @@ std::int64_t MhsaIpCore::weight_dma_bytes() const {
   }
   if (!weights_.ln_gamma.empty()) words += 2 * d;
   return words * 4;                    // 32-bit HP0 beats
+}
+
+std::int64_t MhsaIpCore::weight_dma_bytes() const {
+  if (point_.wire == WeightWire::kWord32) return weight_float_bytes();
+  const fx::BlockType bt = point_.wire == WeightWire::kBlockInt8 ? fx::BlockType::kInt8
+                                                                 : fx::BlockType::kInt4;
+  const index_t bs = point_.wire_block;
+  const std::int64_t d = point_.dim;
+  std::int64_t bytes = 3 * fx::BlockQuantTensor::payload_bytes_for(d * d, bt, bs);
+  if (!weights_.rel_h.empty()) {
+    const index_t dh = point_.head_dim();
+    bytes += fx::BlockQuantTensor::payload_bytes_for(point_.heads * point_.height * dh, bt, bs);
+    bytes += fx::BlockQuantTensor::payload_bytes_for(point_.heads * point_.width * dh, bt, bs);
+  }
+  // LayerNorm gain/bias ride the wire at full width (see WeightWire).
+  if (!weights_.ln_gamma.empty()) bytes += 2 * d * 4;
+  return bytes;
 }
 
 std::int64_t MhsaIpCore::io_dma_bytes_per_image() const {

@@ -57,8 +57,12 @@ struct DeviceCounters {
   std::int64_t stalls = 0;              ///< STARTs that hung (injected IP stall)
   std::int64_t dma_bytes_in = 0;        ///< host -> device (weights + input maps)
   std::int64_t dma_bytes_out = 0;       ///< device -> host (output maps)
-  std::int64_t weight_bytes = 0;        ///< parameter share of dma_bytes_in
-  std::int64_t weight_bytes_saved = 0;  ///< weight re-streams avoided by batch residency
+  std::int64_t weight_bytes = 0;        ///< parameter share of dma_bytes_in, as streamed
+                                        ///< (quantized wire payload, not logical words)
+  std::int64_t weight_bytes_float = 0;  ///< the same parameters at float32 width — the
+                                        ///< word32-wire cost the quantized wire avoided
+  std::int64_t weight_bytes_saved = 0;  ///< weight re-streams avoided by batch residency,
+                                        ///< in streamed (wire) bytes
   std::int64_t dma_cycles = 0;          ///< HP-port transfer time
   std::int64_t compute_cycles = 0;      ///< IP datapath time
   std::int64_t stall_cycles = 0;        ///< deadline budget burnt polling a hung device
@@ -79,6 +83,7 @@ struct DeviceCounters {
     dma_bytes_in += o.dma_bytes_in;
     dma_bytes_out += o.dma_bytes_out;
     weight_bytes += o.weight_bytes;
+    weight_bytes_float += o.weight_bytes_float;
     weight_bytes_saved += o.weight_bytes_saved;
     dma_cycles += o.dma_cycles;
     compute_cycles += o.compute_cycles;

@@ -50,17 +50,24 @@ void MhsaAccelerator::start() {
 
   dma_.reset();
   DeviceCounters delta;
+  // Weight accounting is in *streamed* bytes: weight_dma_bytes() is already
+  // the wire-actual payload (block-quantized codes + scales on a quantized
+  // wire), so batch residency and wire compression compose — bytes_saved is
+  // the re-streams residency avoided at the wire's width, and the gap to
+  // weight_bytes_float is what the quantized wire itself saved.
   if (p.residency == hls::WeightResidency::kBatchResident) {
     // Weights in one descriptor for the whole batch, features per image.
     dma_.transfer(ip_->weight_dma_bytes());
     dma_.transfer(ip_->io_dma_bytes_per_image() * batch);
     delta.weight_bytes = ip_->weight_dma_bytes();
+    delta.weight_bytes_float = ip_->weight_float_bytes();
     // The non-resident design would re-stream the parameters per image.
     delta.weight_bytes_saved = ip_->weight_dma_bytes() * (batch - 1);
   } else {
     // Weights + input stream in, output stream back (per image).
     dma_.transfer(ip_->dma_bytes_per_image() * batch);
     delta.weight_bytes = ip_->weight_dma_bytes() * batch;
+    delta.weight_bytes_float = ip_->weight_float_bytes() * batch;
   }
   delta.dma_bytes_in = delta.weight_bytes + ip_->input_dma_bytes_per_image() * batch;
   delta.dma_bytes_out = ip_->output_dma_bytes_per_image() * batch;

@@ -11,6 +11,8 @@
 //                    ▼
 //      worker 0..N-1 ── warm MhsaIpCore replica per session
 //          ├─ kCpuFloat:  float32 datapath run in-process
+//          ├─ kCpuQuant:  fixed datapath on block-quantized (int8-wire)
+//          │              weights run in-process
 //          └─ kFpga*:     own DdrMemory + MhsaAccelerator; batched START with
 //                         batch-resident weights; per-session circuit
 //                         breaker (closed → open → half-open probe → closed)
@@ -123,11 +125,22 @@ namespace nodetr::serve {
 
 enum class Backend {
   kCpuFloat,   ///< float32 IP datapath in-process (no DMA / driver model)
+  kCpuQuant,   ///< fixed-point IP datapath in-process on block-quantized
+               ///< weights (int8 wire round-trip + fx::qmatmul packed-B^T)
   kFpgaFloat,  ///< float32 IP behind the simulated accelerator driver
   kFpgaFixed,  ///< fixed-point IP behind the simulated accelerator driver
 };
 
 [[nodiscard]] const char* to_string(Backend backend);
+
+/// Both CPU backends run the IP replica in-process: no DMA/driver model, no
+/// accelerator, no circuit breaker (there is no device to presume broken —
+/// a fault-injected CPU run is retried, never demoted). Note the breaker's
+/// *fallback* target is always kCpuFloat specifically, so a demoted session
+/// is recognizable by `backend == kCpuFloat && home_backend != kCpuFloat`.
+[[nodiscard]] constexpr bool is_cpu(Backend backend) {
+  return backend == Backend::kCpuFloat || backend == Backend::kCpuQuant;
+}
 
 /// Recovery policy for faulted batches. A fault classified transient
 /// (fault::is_transient — DMA error, ECC event, AXI NACK, deadline, overflow

@@ -14,6 +14,7 @@ namespace obs = nodetr::obs;
 const char* to_string(Backend backend) {
   switch (backend) {
     case Backend::kCpuFloat: return "cpu_float";
+    case Backend::kCpuQuant: return "cpu_quant";
     case Backend::kFpgaFloat: return "fpga_float";
     case Backend::kFpgaFixed: return "fpga_fixed";
   }
@@ -109,8 +110,16 @@ std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(
   session->home_backend = backend;
   session->backend = backend;
   hls::MhsaDesignPoint point = config_.point;
-  point.dtype = backend == Backend::kFpgaFixed ? hls::DataType::kFixed
-                                               : hls::DataType::kFloat32;
+  point.dtype = backend == Backend::kFpgaFixed || backend == Backend::kCpuQuant
+                    ? hls::DataType::kFixed
+                    : hls::DataType::kFloat32;
+  if (backend == Backend::kCpuQuant && point.wire == hls::WeightWire::kWord32) {
+    // Quantized serving means quantized weights: default the wire to int8
+    // blocks so the replica computes on exactly the block-degraded weights a
+    // quantized checkpoint (or DDR image) would carry. A config that already
+    // picked a wire (int4, other block size) is respected.
+    point.wire = hls::WeightWire::kBlockInt8;
+  }
   if (cluster()) {
     session->device = &device_pool_->rebuild(worker);
     if (session->device->has_accelerator()) {
@@ -118,7 +127,7 @@ std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(
       session->accel->set_deadline(config_.fault.deadline);
     }
   }
-  if (backend == Backend::kCpuFloat) {
+  if (is_cpu(backend)) {
     session->cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
   } else if (!cluster()) {
     // The batched START keeps weights resident across the programmed batch —
@@ -174,8 +183,9 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
       // this board's clock (µs = cycles ÷ MHz). CPU boards start from the
       // same figure and converge to wall time through the EWMA.
       hls::MhsaDesignPoint point = config_.point;
-      point.dtype = d.backend == Backend::kFpgaFixed ? hls::DataType::kFixed
-                                                     : hls::DataType::kFloat32;
+      point.dtype = d.backend == Backend::kFpgaFixed || d.backend == Backend::kCpuQuant
+                        ? hls::DataType::kFixed
+                        : hls::DataType::kFloat32;
       const double est_us_per_row =
           static_cast<double>(cycle_model.estimate(point).total()) / d.clock_mhz;
       seeds.push_back(ClusterRouter::DeviceSeed{d.name, est_us_per_row});
@@ -191,7 +201,7 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
         std::move(boards),
         [this](std::size_t i, const rt::BoardConfig&) -> std::unique_ptr<hls::MhsaIpCore> {
           const Backend backend = config_.devices[i].backend;
-          if (backend == Backend::kCpuFloat) return nullptr;  // host-only board
+          if (is_cpu(backend)) return nullptr;  // host-only board
           hls::MhsaDesignPoint point = config_.point;
           point.dtype = backend == Backend::kFpgaFixed ? hls::DataType::kFixed
                                                        : hls::DataType::kFloat32;
@@ -536,7 +546,7 @@ void InferenceEngine::fail_shed(Request& r) {
 }
 
 Tensor InferenceEngine::run_attempt(WorkerSession& session, const Tensor& input) {
-  if (session.backend == Backend::kCpuFloat) {
+  if (is_cpu(session.backend)) {
     return session.cpu_ip->run(input);
   }
   Tensor output = session.accel->execute(input);
@@ -563,7 +573,7 @@ void InferenceEngine::demote_to_cpu(WorkerSession& session) {
 }
 
 void InferenceEngine::maybe_probe(WorkerSession& session) {
-  if (session.home_backend == Backend::kCpuFloat) return;
+  if (is_cpu(session.home_backend)) return;  // no device to probe
   if (session.backend != Backend::kCpuFloat) return;  // not demoted
   if (!session.breaker.probe_due()) return;
   // Half-open: this batch runs on the real device. Success closes the
@@ -618,7 +628,7 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const MicroBat
     try {
       Tensor output = run_attempt(session, batch.input);
       slice_events(obs::FlightKind::kExecEnd,
-                   session.backend != Backend::kCpuFloat && session.accel
+                   !is_cpu(session.backend) && session.accel
                        ? session.accel->last_cycles()
                        : 0,
                    backend_ix);
@@ -635,7 +645,9 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const MicroBat
       obs::Registry::instance()
           .counter(std::string("serve.faults_injected.") + to_string(session.backend))
           .add();
-      if (session.backend != Backend::kCpuFloat && e.transient()) {
+      // CPU backends (incl. a quantized replica) have no device to presume
+      // broken: transient faults there are retried below, never demoted.
+      if (!is_cpu(session.backend) && e.transient()) {
         // Circuit breaker: a device faulting this persistently is presumed
         // broken. Open the breaker and demote to the CPU datapath; the
         // demoted session retries immediately (no attempt consumed — the
@@ -777,7 +789,7 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
       // current clock), wall time for CPU(-fallback) batches — so a
       // throttled or demoted device drifts expensive and traffic rebalances.
       double us_per_row;
-      if (session.backend != Backend::kCpuFloat && session.accel) {
+      if (!is_cpu(session.backend) && session.accel) {
         us_per_row = session.device->cycles_to_us(session.accel->last_cycles()) /
                      static_cast<double>(batch.rows());
       } else {

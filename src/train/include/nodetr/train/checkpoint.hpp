@@ -10,13 +10,21 @@
 //     half-loaded.
 //
 // Container layout (little-endian):
-//   u32 magic "NDCK" | u32 version | u64 pcount | u64 bcount |
-//   pcount + bcount tensor records (see nodetr::tensor::write_tensor)
+//   v1: u32 magic "NDCK" | u32 version=1 | u64 pcount | u64 bcount |
+//       pcount + bcount float tensor records (nodetr::tensor::write_tensor)
+//   v2: u32 magic "NDCK" | u32 version=2 | u64 pcount | u64 bcount |
+//       pcount parameter records, each prefixed by a u8 precision tag
+//       (fx::LayerPrecision: 0 = float NDT1 record, 1/2 = int8/int4
+//       fx::BlockQuantTensor NBQ1 record) | bcount float tensor records.
+// load_checkpoint reads both: v1 is the pre-quantization float format, v2 is
+// what save_checkpoint_quantized emits. Buffers (running stats, ODE state)
+// are never quantized.
 #pragma once
 
 #include <stdexcept>
 #include <string>
 
+#include "nodetr/fx/block_quant.hpp"
 #include "nodetr/nn/module.hpp"
 
 namespace nodetr::train {
@@ -33,9 +41,19 @@ class CheckpointError : public std::runtime_error {
 /// checkpoint or the complete new one, never a torn write.
 void save_checkpoint(const std::string& path, nodetr::nn::Module& model);
 
-/// Load a checkpoint saved by save_checkpoint into an identically
-/// structured model. Throws CheckpointError on bad magic/version,
-/// count/shape mismatch, truncation, or trailing bytes — and in every
+/// Save a v2 checkpoint with block-quantized parameters: each parameter is
+/// stored at the precision `policy` assigns to its name (float32 / int8 /
+/// int4 block records), buffers stay float. Same transactional temp+rename
+/// contract as save_checkpoint. A quantized record stores the *degraded*
+/// weights — loading it reproduces exactly what the quantized wire serves.
+void save_checkpoint_quantized(const std::string& path, nodetr::nn::Module& model,
+                               const nodetr::fx::MixedPrecisionPolicy& policy);
+
+/// Load a checkpoint saved by save_checkpoint (v1) or
+/// save_checkpoint_quantized (v2) into an identically structured model —
+/// quantized records are dequantized into the float parameters. Throws
+/// CheckpointError on bad magic/version, count/shape mismatch, truncation,
+/// corrupted block records (bad checksum), or trailing bytes — and in every
 /// failure case the model is left exactly as it was.
 void load_checkpoint(const std::string& path, nodetr::nn::Module& model);
 

@@ -10,31 +10,36 @@
 
 namespace nodetr::train {
 
+namespace fx = nodetr::fx;
+
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4b43444e;  // "NDCK"
-constexpr std::uint32_t kCheckpointVersion = 1;
-}  // namespace
+constexpr std::uint32_t kVersionFloat = 1;
+constexpr std::uint32_t kVersionQuant = 2;
 
-void save_checkpoint(const std::string& path, nodetr::nn::Module& model) {
-  // Write the whole container to a sibling temp file and rename it into
-  // place only once it is complete: a crash (or injected fault) mid-save
-  // must leave any previous checkpoint at `path` loadable.
+void write_header(std::ostream& os, std::uint32_t version, std::uint64_t pcount,
+                  std::uint64_t bcount) {
+  const std::uint32_t magic = kCheckpointMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  os.write(reinterpret_cast<const char*>(&version), sizeof version);
+  os.write(reinterpret_cast<const char*>(&pcount), sizeof pcount);
+  os.write(reinterpret_cast<const char*>(&bcount), sizeof bcount);
+}
+
+/// Temp+rename transactional container write; `body` emits the records.
+template <typename Body>
+void save_container(const std::string& path, Body&& body) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) throw CheckpointError("save_checkpoint: cannot open " + tmp);
-    const auto params = model.parameters();
-    const auto buffers = model.buffers();
-    const std::uint32_t magic = kCheckpointMagic;
-    const std::uint32_t version = kCheckpointVersion;
-    const std::uint64_t pcount = params.size();
-    const std::uint64_t bcount = buffers.size();
-    os.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-    os.write(reinterpret_cast<const char*>(&version), sizeof version);
-    os.write(reinterpret_cast<const char*>(&pcount), sizeof pcount);
-    os.write(reinterpret_cast<const char*>(&bcount), sizeof bcount);
-    for (const auto* p : params) nodetr::tensor::write_tensor(os, p->value);
-    for (const auto* b : buffers) nodetr::tensor::write_tensor(os, *b);
+    try {
+      body(os);
+    } catch (const std::exception& e) {
+      os.close();
+      std::remove(tmp.c_str());
+      throw CheckpointError(std::string("save_checkpoint: ") + e.what());
+    }
     os.flush();
     if (!os) {
       os.close();
@@ -48,6 +53,43 @@ void save_checkpoint(const std::string& path, nodetr::nn::Module& model) {
   }
 }
 
+}  // namespace
+
+void save_checkpoint(const std::string& path, nodetr::nn::Module& model) {
+  // Write the whole container to a sibling temp file and rename it into
+  // place only once it is complete: a crash (or injected fault) mid-save
+  // must leave any previous checkpoint at `path` loadable.
+  const auto params = model.parameters();
+  const auto buffers = model.buffers();
+  save_container(path, [&](std::ostream& os) {
+    write_header(os, kVersionFloat, params.size(), buffers.size());
+    for (const auto* p : params) nodetr::tensor::write_tensor(os, p->value);
+    for (const auto* b : buffers) nodetr::tensor::write_tensor(os, *b);
+  });
+}
+
+void save_checkpoint_quantized(const std::string& path, nodetr::nn::Module& model,
+                               const fx::MixedPrecisionPolicy& policy) {
+  const auto params = model.parameters();
+  const auto buffers = model.buffers();
+  save_container(path, [&](std::ostream& os) {
+    write_header(os, kVersionQuant, params.size(), buffers.size());
+    for (const auto* p : params) {
+      const fx::LayerPrecision prec = policy.precision_for(p->name);
+      const std::uint8_t tag = static_cast<std::uint8_t>(prec);
+      os.write(reinterpret_cast<const char*>(&tag), sizeof tag);
+      if (prec == fx::LayerPrecision::kFloat32) {
+        nodetr::tensor::write_tensor(os, p->value);
+      } else {
+        const fx::BlockType bt =
+            prec == fx::LayerPrecision::kInt8 ? fx::BlockType::kInt8 : fx::BlockType::kInt4;
+        fx::block_quantize(p->value, bt, policy.block_size).write(os);
+      }
+    }
+    for (const auto* b : buffers) nodetr::tensor::write_tensor(os, *b);
+  });
+}
+
 void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw CheckpointError("load_checkpoint: cannot open " + path);
@@ -57,7 +99,7 @@ void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
     throw CheckpointError("load_checkpoint: bad magic in " + path);
   }
   is.read(reinterpret_cast<char*>(&version), sizeof version);
-  if (!is || version != kCheckpointVersion) {
+  if (!is || (version != kVersionFloat && version != kVersionQuant)) {
     throw CheckpointError("load_checkpoint: unsupported version " + std::to_string(version));
   }
   std::uint64_t pcount = 0, bcount = 0;
@@ -80,7 +122,26 @@ void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
   staged_buffers.reserve(buffers.size());
   try {
     for (auto* p : params) {
-      nodetr::tensor::Tensor t = nodetr::tensor::read_tensor(is);
+      nodetr::tensor::Tensor t;
+      if (version == kVersionQuant) {
+        std::uint8_t tag = 0;
+        is.read(reinterpret_cast<char*>(&tag), sizeof tag);
+        if (!is) throw CheckpointError("load_checkpoint: truncated precision tag in " + path);
+        switch (static_cast<fx::LayerPrecision>(tag)) {
+          case fx::LayerPrecision::kFloat32:
+            t = nodetr::tensor::read_tensor(is);
+            break;
+          case fx::LayerPrecision::kInt8:
+          case fx::LayerPrecision::kInt4:
+            t = fx::BlockQuantTensor::read(is).dequantize();
+            break;
+          default:
+            throw CheckpointError("load_checkpoint: unknown precision tag " +
+                                  std::to_string(tag) + " for " + p->name);
+        }
+      } else {
+        t = nodetr::tensor::read_tensor(is);
+      }
       if (!(t.shape() == p->value.shape())) {
         throw CheckpointError("load_checkpoint: shape mismatch for " + p->name);
       }
@@ -96,8 +157,8 @@ void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
   } catch (const CheckpointError&) {
     throw;
   } catch (const std::exception& e) {
-    // read_tensor throws std::runtime_error; re-type it so callers see one
-    // error family for every corruption mode.
+    // read_tensor / BlockQuantTensor::read throw std::runtime_error; re-type
+    // so callers see one error family for every corruption mode.
     throw CheckpointError(std::string("load_checkpoint: ") + e.what());
   }
   if (is.peek() != std::char_traits<char>::eof()) {

@@ -1,0 +1,187 @@
+#include "nodetr/fx/block_quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nodetr/tensor/ops.hpp"
+#include "nodetr/tensor/rng.hpp"
+
+namespace fx = nodetr::fx;
+namespace nt = nodetr::tensor;
+
+namespace {
+
+/// Largest |x - dequant(x)| permitted by one block: half the block's step
+/// size (absmax / qmax), plus float slack.
+float block_error_bound(const nt::Tensor& t, fx::BlockType type, nt::index_t block_size) {
+  const float qmax = type == fx::BlockType::kInt8 ? 127.0f : 7.0f;
+  float worst = 0.0f;
+  for (nt::index_t b0 = 0; b0 < t.numel(); b0 += block_size) {
+    float absmax = 0.0f;
+    for (nt::index_t i = b0; i < std::min(t.numel(), b0 + block_size); ++i) {
+      absmax = std::max(absmax, std::abs(t[i]));
+    }
+    worst = std::max(worst, 0.5f * absmax / qmax);
+  }
+  return worst * 1.001f + 1e-7f;
+}
+
+}  // namespace
+
+TEST(BlockQuant, RoundTripErrorBoundedPerBlockSize) {
+  nt::Rng rng(41);
+  for (const nt::index_t bs : {32, 64}) {
+    for (const auto type : {fx::BlockType::kInt8, fx::BlockType::kInt4}) {
+      auto t = rng.randn(nt::Shape{4, 96}, 0.0f, 2.0f);
+      auto q = fx::block_quantize(t, type, bs);
+      EXPECT_EQ(q.shape(), t.shape());
+      EXPECT_EQ(q.block_size(), bs);
+      auto back = q.dequantize();
+      EXPECT_EQ(back.shape(), t.shape());
+      EXPECT_LE(nt::max_abs_diff(back, t), block_error_bound(t, type, bs))
+          << to_string(type) << "/" << bs;
+    }
+  }
+}
+
+TEST(BlockQuant, Int8IsTighterThanInt4) {
+  nt::Rng rng(42);
+  auto t = rng.randn(nt::Shape{256});
+  const float e8 = nt::max_abs_diff(fx::block_roundtrip(t, fx::BlockType::kInt8), t);
+  const float e4 = nt::max_abs_diff(fx::block_roundtrip(t, fx::BlockType::kInt4), t);
+  EXPECT_LT(e8, e4);
+}
+
+TEST(BlockQuant, BlockAbsmaxIsReconstructedExactly) {
+  // The block's absmax element maps to exactly +/- qmax and decodes back
+  // bit-equal (scale * qmax == absmax up to float rounding).
+  nt::Tensor t(nt::Shape{32});
+  for (nt::index_t i = 0; i < 32; ++i) t[i] = 0.01f * static_cast<float>(i);
+  t[7] = -3.5f;  // the absmax, negative on purpose
+  auto q = fx::block_quantize(t, fx::BlockType::kInt8, 32);
+  EXPECT_FLOAT_EQ(q.at(7), -3.5f);
+}
+
+TEST(BlockQuant, AllZeroBlockDecodesToZeros) {
+  nt::Tensor t = nt::Tensor::zeros(nt::Shape{64});
+  for (const auto type : {fx::BlockType::kInt8, fx::BlockType::kInt4}) {
+    auto back = fx::block_roundtrip(t, type, 32);
+    for (nt::index_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], 0.0f);
+  }
+}
+
+TEST(BlockQuant, Int4PackingHandlesOddLengthsAndSign) {
+  // Odd numel: the last nibble pair is half-used; signs must survive the
+  // biased-nibble packing in both the low and high nibble positions.
+  for (const nt::index_t n : {1, 3, 31, 33, 65}) {
+    nt::Tensor t(nt::Shape{n});
+    for (nt::index_t i = 0; i < n; ++i) {
+      t[i] = (i % 2 == 0 ? 1.0f : -1.0f) * (1.0f + static_cast<float>(i % 7));
+    }
+    auto q = fx::block_quantize(t, fx::BlockType::kInt4, 32);
+    auto back = q.dequantize();
+    ASSERT_EQ(back.numel(), n);
+    for (nt::index_t i = 0; i < n; ++i) {
+      EXPECT_EQ(std::signbit(back[i]), std::signbit(t[i])) << "n=" << n << " i=" << i;
+    }
+    EXPECT_LE(nt::max_abs_diff(back, t), block_error_bound(t, fx::BlockType::kInt4, 32));
+  }
+}
+
+TEST(BlockQuant, PayloadBytesMatchStaticFormula) {
+  nt::Rng rng(43);
+  for (const nt::index_t n : {1, 31, 32, 33, 64, 100}) {
+    for (const auto type : {fx::BlockType::kInt8, fx::BlockType::kInt4}) {
+      auto q = fx::block_quantize(rng.randn(nt::Shape{n}), type, 32);
+      EXPECT_EQ(q.payload_bytes(), fx::BlockQuantTensor::payload_bytes_for(n, type, 32));
+      EXPECT_EQ(q.float_bytes(), n * 4);
+    }
+  }
+}
+
+TEST(BlockQuant, CompressionRatioClearsStreamingGate) {
+  // The DMA-shrink acceptance bar: int8 at block 32 must compress >= 3.5x
+  // on block-aligned tensors (exactly 32/(32+4) * 4 = 3.56x).
+  nt::Rng rng(44);
+  auto q8 = fx::block_quantize(rng.randn(nt::Shape{64, 64}), fx::BlockType::kInt8, 32);
+  EXPECT_GE(q8.compression_ratio(), 3.5);
+  auto q4 = fx::block_quantize(rng.randn(nt::Shape{64, 64}), fx::BlockType::kInt4, 32);
+  EXPECT_GE(q4.compression_ratio(), 6.0);
+}
+
+TEST(BlockQuant, InvalidArgumentsRejected) {
+  nt::Rng rng(45);
+  auto t = rng.randn(nt::Shape{8});
+  EXPECT_THROW(fx::block_quantize(t, fx::BlockType::kInt8, 0), std::invalid_argument);
+  EXPECT_THROW(fx::block_quantize(t, fx::BlockType::kInt8, -4), std::invalid_argument);
+}
+
+TEST(BlockQuant, SerializationRoundTrips) {
+  nt::Rng rng(46);
+  for (const auto type : {fx::BlockType::kInt8, fx::BlockType::kInt4}) {
+    auto t = rng.randn(nt::Shape{3, 40});
+    auto q = fx::block_quantize(t, type, 32);
+    std::stringstream ss;
+    q.write(ss);
+    auto r = fx::BlockQuantTensor::read(ss);
+    EXPECT_EQ(r.shape(), q.shape());
+    EXPECT_EQ(r.type(), q.type());
+    EXPECT_EQ(r.block_size(), q.block_size());
+    EXPECT_EQ(r.scales(), q.scales());
+    EXPECT_EQ(r.data(), q.data());
+    EXPECT_TRUE(nt::allclose(r.dequantize(), q.dequantize(), 0.0f, 0.0f));
+    // The record is self-delimiting: nothing left in the stream.
+    EXPECT_EQ(ss.peek(), std::char_traits<char>::eof());
+  }
+}
+
+TEST(BlockQuant, CorruptedRecordsRejected) {
+  nt::Rng rng(47);
+  auto q = fx::block_quantize(rng.randn(nt::Shape{70}), fx::BlockType::kInt8, 32);
+  std::stringstream ss;
+  q.write(ss);
+  const std::string good = ss.str();
+
+  // Truncation at every interesting boundary: header, dims, scales, data,
+  // checksum. All must throw, never return garbage.
+  for (const std::size_t len : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                                std::size_t{17}, good.size() / 2, good.size() - 1}) {
+    std::stringstream t(good.substr(0, len));
+    EXPECT_THROW((void)fx::BlockQuantTensor::read(t), std::runtime_error) << "len=" << len;
+  }
+  // Bad magic.
+  {
+    std::string bad = good;
+    bad[0] ^= 0xff;
+    std::stringstream t(bad);
+    EXPECT_THROW((void)fx::BlockQuantTensor::read(t), std::runtime_error);
+  }
+  // A flipped payload byte (scale or code region) fails the checksum.
+  for (const std::size_t off : {good.size() - 8, good.size() - 20}) {
+    std::string bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x40);
+    std::stringstream t(bad);
+    EXPECT_THROW((void)fx::BlockQuantTensor::read(t), std::runtime_error) << "off=" << off;
+  }
+}
+
+TEST(MixedPrecision, FirstMatchingRuleWins) {
+  fx::MixedPrecisionPolicy policy;
+  policy.fallback = fx::LayerPrecision::kInt4;
+  policy.rules = {{"attention", fx::LayerPrecision::kFloat32},
+                  {"atte", fx::LayerPrecision::kInt8},  // shadowed for "attention"
+                  {"stem", fx::LayerPrecision::kInt8}};
+  EXPECT_EQ(policy.precision_for("block1.attention.wq"), fx::LayerPrecision::kFloat32);
+  EXPECT_EQ(policy.precision_for("attempt"), fx::LayerPrecision::kInt8);
+  EXPECT_EQ(policy.precision_for("stem.conv.weight"), fx::LayerPrecision::kInt8);
+  EXPECT_EQ(policy.precision_for("classifier.bias"), fx::LayerPrecision::kInt4);
+}
+
+TEST(MixedPrecision, UniformPolicyHasNoRules) {
+  auto policy = fx::MixedPrecisionPolicy::uniform(fx::LayerPrecision::kInt8, 64);
+  EXPECT_TRUE(policy.rules.empty());
+  EXPECT_EQ(policy.block_size, 64);
+  EXPECT_EQ(policy.precision_for("anything"), fx::LayerPrecision::kInt8);
+}

@@ -34,22 +34,50 @@ TEST(Quantize, ExactValuesRoundTrip) {
   EXPECT_FLOAT_EQ(fx::quantize_dequantize(-1.0f, f), -1.0f);
 }
 
-TEST(Quantize, RoundsToNearest) {
+TEST(Quantize, RoundsHalfAwayFromZero) {
   fx::FixedFormat f{16, 8};
-  // One LSB = 1/256; 1/512 rounds away from zero with nearbyint's default
-  // (banker's rounding rounds 0.5 LSB to even).
-  const float half_lsb = 1.0f / 512.0f;
-  const auto q = fx::quantize(half_lsb, f);
-  EXPECT_TRUE(q == 0 || q == 1);
+  // One LSB = 1/256; an exact half-LSB tie rounds away from zero on both
+  // sides (deterministic, not banker's rounding).
+  EXPECT_EQ(fx::quantize(1.0f / 512.0f, f), 1);
+  EXPECT_EQ(fx::quantize(-1.0f / 512.0f, f), -1);
+  EXPECT_EQ(fx::quantize(3.0f / 512.0f, f), 2);
+  EXPECT_EQ(fx::quantize(-3.0f / 512.0f, f), -2);
   EXPECT_EQ(fx::quantize(3.0f / 256.0f + 0.4f / 256.0f, f), 3);
+  EXPECT_EQ(fx::quantize(-3.0f / 256.0f - 0.4f / 256.0f, f), -3);
+}
+
+TEST(Quantize, TieRoundingIsSignSymmetric) {
+  // The pre-fix nearbyint path rounded +0.5 LSB and -0.5 LSB to the same
+  // even neighbour, biasing negatives one LSB relative to positives.
+  fx::FixedFormat f{16, 8};
+  for (int k = 1; k < 32; ++k) {
+    const float tie = static_cast<float>(2 * k - 1) / 512.0f;  // (k - 0.5) LSBs
+    EXPECT_EQ(fx::quantize(tie, f), -fx::quantize(-tie, f)) << "tie " << tie;
+  }
 }
 
 TEST(Quantize, SaturatesAtRangeEdges) {
-  fx::FixedFormat f{8, 4};  // range [-8, 7.9375]
+  fx::FixedFormat f{8, 4};  // storage range [-8, 7.9375]
   EXPECT_EQ(fx::quantize(100.0f, f), f.raw_max());
-  EXPECT_EQ(fx::quantize(-100.0f, f), f.raw_min());
+  // Symmetric saturation: the most negative code point (raw_min) is never
+  // produced, so |quantized| always fits the format when negated.
+  EXPECT_EQ(fx::quantize(-100.0f, f), -f.raw_max());
+  EXPECT_EQ(fx::quantize(-8.0f, f), -f.raw_max());
   EXPECT_FLOAT_EQ(fx::dequantize(f.raw_max(), f), 7.9375f);
   EXPECT_FLOAT_EQ(fx::dequantize(f.raw_min(), f), -8.0f);
+}
+
+TEST(Quantize, NegationNeverOverflows) {
+  // Guard for the INT*_MIN edge: for every format, -quantize(v) must stay
+  // inside [raw_min, raw_max] even at the saturation rails.
+  for (const auto& f : {fx::FixedFormat{8, 4}, fx::FixedFormat{16, 8}, fx::FixedFormat{32, 16}}) {
+    for (float v : {-1e30f, -100.0f, static_cast<float>(f.min_value()), 0.0f,
+                    static_cast<float>(f.max_value()), 1e30f}) {
+      const auto q = fx::quantize(v, f);
+      EXPECT_GE(-q, f.raw_min()) << f.to_string() << " v=" << v;
+      EXPECT_LE(-q, f.raw_max()) << f.to_string() << " v=" << v;
+    }
+  }
 }
 
 TEST(Quantize, NanMapsToZero) {

@@ -145,6 +145,88 @@ TEST(QLinear, MatchesFloatLinear) {
   EXPECT_LE(nt::max_abs_diff(qy.to_float(), y), 1e-2f);
 }
 
+namespace {
+
+/// Scalar reference for the single-rounding linear contract: the bias is
+/// folded into the wide accumulator at product scale and exactly one
+/// round-half-away-from-zero narrowing happens at the output boundary.
+fx::FixedTensor qlinear_scalar_ref(const fx::FixedTensor& x, const fx::FixedTensor& w_t,
+                                   const fx::FixedTensor& bias, fx::FixedFormat out) {
+  const nt::index_t m = x.shape().dim(0), k = x.shape().dim(1), n = w_t.shape().dim(0);
+  const int prod_frac = x.format().frac_bits() + w_t.format().frac_bits();
+  const int bshift = prod_frac - bias.format().frac_bits();
+  fx::FixedTensor y(nt::Shape{m, n}, out);
+  for (nt::index_t r = 0; r < m; ++r) {
+    for (nt::index_t c = 0; c < n; ++c) {
+      __int128 acc = static_cast<__int128>(bias[c]) << bshift;
+      for (nt::index_t i = 0; i < k; ++i) {
+        acc += static_cast<__int128>(x[r * k + i]) * w_t[c * k + i];
+      }
+      const int shift = prod_frac - out.frac_bits();
+      __int128 v = acc;
+      if (shift > 0) {
+        const __int128 half = static_cast<__int128>(1) << (shift - 1);
+        v = (v + (v >= 0 ? half : half - 1)) >> shift;
+      } else if (shift < 0) {
+        v <<= -shift;
+      }
+      if (v > out.raw_max()) v = out.raw_max();
+      if (v < out.raw_min()) v = out.raw_min();
+      y[r * n + c] = static_cast<std::int64_t>(v);
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+// Regression for the double-rounding bug: qlinear used to round the matmul
+// into the output format, convert the bias separately (second rounding), and
+// add saturating — off by one LSB whenever both roundings landed on ties.
+// The accumulator must match the scalar reference bitwise, including at
+// extreme scale gaps between the operand, bias, and output formats.
+TEST(QLinear, BitwiseMatchesScalarReferenceAtExtremeScales) {
+  nt::Rng rng(9);
+  const fx::FixedFormat xf{32, 28};   // tiny steps, huge prod_frac
+  const fx::FixedFormat wf{24, 20};
+  const fx::FixedFormat bf{8, 4};     // coarse bias far from prod scale
+  const fx::FixedFormat outs[] = {{8, 4}, {16, 8}, {32, 16}, {32, 24}};
+  auto x = rng.randn(nt::Shape{5, 12}, 0.0f, 0.5f);
+  auto w = rng.randn(nt::Shape{7, 12}, 0.0f, 0.5f);
+  auto b = rng.randn(nt::Shape{7}, 0.0f, 2.0f);
+  auto qx = fx::FixedTensor::from_float(x, xf);
+  auto qw = fx::FixedTensor::from_float(w, wf);
+  auto qb = fx::FixedTensor::from_float(b, bf);
+  for (const auto& out : outs) {
+    auto got = fx::qlinear(qx, qw, qb, out);
+    auto want = qlinear_scalar_ref(qx, qw, qb, out);
+    ASSERT_EQ(got.numel(), want.numel());
+    for (nt::index_t i = 0; i < got.numel(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "out=" << out.to_string() << " i=" << i;
+    }
+  }
+}
+
+// Deterministic half-LSB tie: the merged accumulator lands exactly between
+// two output codes, where the old two-step rounding drifted.
+TEST(QLinear, SingleRoundingAtTieBoundary) {
+  const fx::FixedFormat f8{8, 4};
+  // x*w = 1.0 * 0.5 = 0.5; bias = 0.03125 -> sum 0.53125 = 8.5 LSB at 8(4).
+  // Half-away rounds to 9 LSB = 0.5625.
+  auto qx = fx::FixedTensor::from_float(nt::Tensor(nt::Shape{1, 1}, 1.0f), fx::FixedFormat{16, 8});
+  auto qw = fx::FixedTensor::from_float(nt::Tensor(nt::Shape{1, 1}, 0.5f), fx::FixedFormat{16, 8});
+  auto qb = fx::FixedTensor::from_float(nt::Tensor(nt::Shape{1}, 0.03125f),
+                                        fx::FixedFormat{16, 8});
+  auto y = fx::qlinear(qx, qw, qb, f8);
+  EXPECT_EQ(y[0], 9);
+  // And the negative mirror rounds away from zero symmetrically.
+  auto qxn = fx::FixedTensor::from_float(nt::Tensor(nt::Shape{1, 1}, -1.0f),
+                                         fx::FixedFormat{16, 8});
+  auto yn = fx::qlinear(qxn, qw, qb, f8);
+  // -0.5 + 0.03125 = -0.46875 = -7.5 LSB -> -8 LSB half-away.
+  EXPECT_EQ(yn[0], -8);
+}
+
 TEST(QuantErrorStats, ZeroForExactValues) {
   nt::Tensor t(nt::Shape{4}, std::vector<float>{1.0f, -2.0f, 0.5f, 0.25f});
   auto q = fx::FixedTensor::from_float(t, kF32);

@@ -118,3 +118,34 @@ TEST(DesignPoint, FactoryAndToString) {
   auto f = hls::MhsaDesignPoint::botnet_512(hls::DataType::kFloat32);
   EXPECT_NE(f.to_string().find("floating point"), std::string::npos);
 }
+
+TEST(DesignPoint, WireToString) {
+  auto p = hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed);
+  EXPECT_EQ(p.to_string().find("weight wire"), std::string::npos);  // word32 is silent
+  p.wire = hls::WeightWire::kBlockInt8;
+  EXPECT_NE(p.to_string().find("block_int8/32 weight wire"), std::string::npos);
+  p.wire = hls::WeightWire::kBlockInt4;
+  p.wire_block = 64;
+  EXPECT_NE(p.to_string().find("block_int4/64 weight wire"), std::string::npos);
+}
+
+TEST(CycleModel, QuantizedWireShrinksWeightStreamingOnly) {
+  // The weight share of the streaming stage rides the wire; feature maps
+  // always move at full width. int8 at block 32 moves (32+4)/128 of the
+  // word32 weight words, int4 half the codes again.
+  hls::CycleModel model;
+  auto point = hls::MhsaDesignPoint::proposed_64(hls::DataType::kFixed);
+  const auto w32 = model.weight_stream_cycles(point);
+  const auto full = model.estimate(point);
+  point.wire = hls::WeightWire::kBlockInt8;
+  const auto w8 = model.weight_stream_cycles(point);
+  const auto int8 = model.estimate(point);
+  point.wire = hls::WeightWire::kBlockInt4;
+  const auto w4 = model.weight_stream_cycles(point);
+  EXPECT_NEAR(static_cast<double>(w32) / static_cast<double>(w8), 128.0 / 36.0, 0.01);
+  EXPECT_LT(w4, w8);
+  // Streaming shrinks; compute stages are untouched by the wire.
+  EXPECT_LT(int8.streaming, full.streaming);
+  EXPECT_EQ(int8.projection_each, full.projection_each);
+  EXPECT_EQ(int8.av, full.av);
+}

@@ -32,9 +32,10 @@ TEST(ActivationQuantizer, RoundsAndSaturates) {
   auto hook = hls::activation_quantizer(fx::FixedFormat{8, 4});
   nt::Tensor t(nt::Shape{3}, std::vector<float>{0.3f, 100.0f, -100.0f});
   auto q = hook(t);
-  EXPECT_NEAR(q[0], 0.3125f, 1e-5f);  // nearest 1/16 step
-  EXPECT_NEAR(q[1], 7.9375f, 1e-5f);  // saturated max
-  EXPECT_NEAR(q[2], -8.0f, 1e-5f);    // saturated min
+  EXPECT_NEAR(q[0], 0.3125f, 1e-5f);   // nearest 1/16 step
+  EXPECT_NEAR(q[1], 7.9375f, 1e-5f);   // saturated max (+qmax)
+  EXPECT_NEAR(q[2], -7.9375f, 1e-5f);  // saturated min: symmetric at -qmax,
+                                       // never the unnegatable raw INT_MIN
 }
 
 TEST(ActivationQuantization, InstalledOnNestedSequentials) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "nodetr/models/zoo.hpp"
+#include "nodetr/nn/attention.hpp"
 #include "nodetr/rt/board.hpp"
 #include "nodetr/tensor/ops.hpp"
 
@@ -161,6 +162,74 @@ TEST(Accelerator, BatchResidentWeightsAmortizeDmaAndStreaming) {
   // Identical numerics, strictly fewer simulated cycles at batch > 1.
   EXPECT_TRUE(nt::allclose(y_res, y_seq, 0.0f, 0.0f));
   EXPECT_LT(cycles_resident, cycles_per_image);
+}
+
+TEST(Accelerator, QuantizedWeightWireShrinksBatchResidentDma) {
+  nt::Rng rng(11);
+  // LayerNorm params always ride at full width, so the clean >= 3.5x gate
+  // geometry is an LN-free MHSA; with LN the ratio dips below 3.5 only for
+  // very small dims (2D/3D² extra float words).
+  nodetr::nn::MhsaConfig mc;
+  mc.layer_norm_out = false;
+  nodetr::nn::MultiHeadSelfAttention mhsa(mc, rng);
+  mhsa.train(false);
+  hls::MhsaDesignPoint point;
+  point.dim = mc.dim;
+  point.height = mc.height;
+  point.width = mc.width;
+  point.heads = mc.heads;
+  point.dtype = hls::DataType::kFloat32;
+  point.residency = hls::WeightResidency::kBatchResident;
+  auto weights = hls::MhsaWeights::from_module(mhsa);
+  auto x = rng.randn(nt::Shape{4, mc.dim, mc.height, mc.width});
+
+  rt::DdrMemory ddr_f;
+  rt::MhsaAccelerator word32(std::make_unique<hls::MhsaIpCore>(point, weights), ddr_f);
+  auto y_f = word32.execute(x);
+
+  point.wire = hls::WeightWire::kBlockInt8;
+  rt::DdrMemory ddr_q;
+  rt::MhsaAccelerator quant(std::make_unique<hls::MhsaIpCore>(point, weights), ddr_q);
+  auto y_q = quant.execute(x);
+
+  const auto& cf = word32.counters();
+  const auto& cq = quant.counters();
+  // The acceptance gate: the int8 wire moves >= 3.5x fewer weight bytes.
+  EXPECT_GE(static_cast<double>(cf.weight_bytes) / static_cast<double>(cq.weight_bytes), 3.5);
+  // Both report the same logical float weight size; word32 streams exactly it.
+  EXPECT_EQ(cf.weight_bytes_float, cq.weight_bytes_float);
+  EXPECT_EQ(cf.weight_bytes, cf.weight_bytes_float);
+  // Satellite regression: bytes_saved under batch residency is counted in
+  // *streamed* (wire) bytes, so the quantized wire's avoided re-streams are
+  // proportionally smaller too.
+  EXPECT_EQ(cf.weight_bytes_saved, cf.weight_bytes * 3);
+  EXPECT_EQ(cq.weight_bytes_saved, cq.weight_bytes * 3);
+  // Less data on the bus -> fewer DMA cycles end to end.
+  EXPECT_LT(cq.dma_cycles, cf.dma_cycles);
+  EXPECT_LT(cq.dma_bytes_in, cf.dma_bytes_in);
+  // The quantized wire degrades the weights but must stay close (int8 block
+  // round-trip on well-scaled projection weights).
+  EXPECT_LT(nt::max_abs_diff(y_q, y_f), 0.5f);
+}
+
+TEST(Accelerator, Int4WireCompressesHarderThanInt8) {
+  nt::Rng rng(12);
+  auto model = tiny_proposed(rng);
+  auto& mhsa = model->mhsa_block()->mhsa();
+  const auto& mc = mhsa.config();
+  hls::MhsaDesignPoint point;
+  point.dim = mc.dim;
+  point.height = mc.height;
+  point.width = mc.width;
+  point.heads = mc.heads;
+  point.dtype = hls::DataType::kFloat32;
+  auto weights = hls::MhsaWeights::from_module(mhsa);
+  point.wire = hls::WeightWire::kBlockInt8;
+  hls::MhsaIpCore ip8(point, weights);
+  point.wire = hls::WeightWire::kBlockInt4;
+  hls::MhsaIpCore ip4(point, weights);
+  EXPECT_LT(ip4.weight_dma_bytes(), ip8.weight_dma_bytes());
+  EXPECT_EQ(ip8.weight_float_bytes(), ip4.weight_float_bytes());
 }
 
 TEST(Offload, FloatOffloadPreservesLogits) {

@@ -167,6 +167,59 @@ TEST(Engine, ConcurrentProducersEveryFutureFulfilledExactlyOnce) {
   EXPECT_LE(stats.occupancy(engine.config().batcher.max_batch), 1.0);
 }
 
+TEST(EngineQuant, CpuQuantMatchesDirectQuantizedIpBitwise) {
+  // The kCpuQuant replica must run the fixed datapath on int8-block-degraded
+  // weights — exactly what a standalone MhsaIpCore at the same design point
+  // (kFixed dtype, kBlockInt8 wire) computes.
+  EngineFixture fx_;
+  auto x = fx_.rng.rand(nt::Shape{2, fx_.cfg.dim, fx_.cfg.height, fx_.cfg.width});
+  nt::Tensor served;
+  {
+    serve::InferenceEngine engine(fx_.config(serve::Backend::kCpuQuant, 1, 8), fx_.weights());
+    served = engine.submit(x).get();
+  }
+  hls::MhsaDesignPoint point = fx_.point;
+  point.dtype = hls::DataType::kFixed;
+  point.wire = hls::WeightWire::kBlockInt8;
+  hls::MhsaIpCore direct(point, fx_.weights());
+  EXPECT_TRUE(nt::allclose(served, direct.run(x), 0.0f, 0.0f));
+}
+
+TEST(EngineQuant, CpuQuantStaysCloseToFloatBackend) {
+  // Accuracy contract for the quantized backend: int8-wire weights + the
+  // 32(16)/24(8) fixed scheme serve within tight tolerance of float.
+  EngineFixture fx_;
+  auto x = fx_.rng.rand(nt::Shape{1, fx_.cfg.dim, fx_.cfg.height, fx_.cfg.width});
+  nt::Tensor y_float, y_quant;
+  {
+    serve::InferenceEngine engine(fx_.config(serve::Backend::kCpuFloat, 1, 8), fx_.weights());
+    y_float = engine.submit(x).get();
+  }
+  {
+    serve::InferenceEngine engine(fx_.config(serve::Backend::kCpuQuant, 1, 8), fx_.weights());
+    y_quant = engine.submit(x).get();
+  }
+  EXPECT_LT(nt::max_abs_diff(y_quant, y_float), 0.5f);
+  auto stats_name = serve::to_string(serve::Backend::kCpuQuant);
+  EXPECT_STREQ(stats_name, "cpu_quant");
+}
+
+TEST(EngineQuant, MixedWorkerBackendsServeConcurrently) {
+  EngineFixture fx_;
+  serve::EngineConfig config = fx_.config(serve::Backend::kCpuFloat, 2, 32);
+  config.worker_backends = {serve::Backend::kCpuFloat, serve::Backend::kCpuQuant};
+  serve::InferenceEngine engine(config, fx_.weights());
+  std::vector<std::future<nt::Tensor>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(
+        engine.submit(fx_.rng.rand(nt::Shape{1, fx_.cfg.dim, fx_.cfg.height, fx_.cfg.width})));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().dim(0), 1);
+  engine.shutdown();
+  EXPECT_EQ(engine.stats().completed, 16u);
+  EXPECT_EQ(engine.stats().failed, 0u);
+}
+
 TEST(Engine, ShutdownDrainsInFlightThenRejectsNewWork) {
   EngineFixture fx_;
   serve::InferenceEngine engine(fx_.config(serve::Backend::kFpgaFloat, 2, 64), fx_.weights());

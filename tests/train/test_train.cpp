@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <vector>
 
 #include "nodetr/data/synth_stl.hpp"
 #include "nodetr/nn/activations.hpp"
@@ -196,4 +198,103 @@ TEST(Checkpoint, MismatchedModelRejected) {
   nn::Sequential other;
   other.emplace<nn::Linear>(4, 2, true, rng);
   EXPECT_THROW(tr::load_checkpoint(path, other), std::runtime_error);
+}
+
+TEST(QuantCheckpoint, RoundTripMatchesBlockRoundtrip) {
+  // A v2 checkpoint stores the degraded weights: loading it must reproduce
+  // exactly block_roundtrip(original) per parameter, not the original.
+  nt::Rng rng(26);
+  auto net = tiny_net(rng);
+  std::vector<nt::Tensor> want;
+  for (auto* p : net->parameters()) {
+    want.push_back(nodetr::fx::block_roundtrip(p->value, nodetr::fx::BlockType::kInt8, 32));
+  }
+  const std::string path = ::testing::TempDir() + "/nodetr_ckpt_quant.bin";
+  tr::save_checkpoint_quantized(
+      path, *net, nodetr::fx::MixedPrecisionPolicy::uniform(nodetr::fx::LayerPrecision::kInt8));
+  for (auto* p : net->parameters()) p->value += 1.0f;  // perturb
+  tr::load_checkpoint(path, *net);
+  const auto params = net->parameters();
+  ASSERT_EQ(params.size(), want.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(nt::allclose(params[i]->value, want[i], 0.0f, 0.0f)) << params[i]->name;
+  }
+}
+
+TEST(QuantCheckpoint, MixedPolicyKeepsSensitiveLayersExact) {
+  nt::Rng rng(27);
+  auto net = tiny_net(rng);
+  std::vector<nt::Tensor> originals;
+  for (auto* p : net->parameters()) originals.push_back(p->value);
+  // Biases stay float; everything else drops to int4 — the Table-8-style
+  // "sensitive layers keep precision" split.
+  nodetr::fx::MixedPrecisionPolicy policy;
+  policy.fallback = nodetr::fx::LayerPrecision::kInt4;
+  policy.rules = {{"bias", nodetr::fx::LayerPrecision::kFloat32}};
+  const std::string path = ::testing::TempDir() + "/nodetr_ckpt_mixed.bin";
+  tr::save_checkpoint_quantized(path, *net, policy);
+  for (auto* p : net->parameters()) p->value += 1.0f;
+  tr::load_checkpoint(path, *net);
+  const auto params = net->parameters();
+  bool saw_float = false, saw_quant = false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->name.find("bias") != std::string::npos) {
+      EXPECT_TRUE(nt::allclose(params[i]->value, originals[i], 0.0f, 0.0f)) << params[i]->name;
+      saw_float = true;
+    } else if (params[i]->value.numel() > 64) {
+      // Large weight tensors essentially never survive int4 bit-exactly.
+      EXPECT_GT(nt::max_abs_diff(params[i]->value, originals[i]), 0.0f) << params[i]->name;
+      saw_quant = true;
+    }
+  }
+  EXPECT_TRUE(saw_float);
+  EXPECT_TRUE(saw_quant);
+}
+
+TEST(QuantCheckpoint, QuantizedFileIsSmaller) {
+  nt::Rng rng(28);
+  auto net = tiny_net(rng);
+  const std::string fpath = ::testing::TempDir() + "/nodetr_ckpt_f.bin";
+  const std::string qpath = ::testing::TempDir() + "/nodetr_ckpt_q.bin";
+  tr::save_checkpoint(fpath, *net);
+  tr::save_checkpoint_quantized(
+      qpath, *net, nodetr::fx::MixedPrecisionPolicy::uniform(nodetr::fx::LayerPrecision::kInt8));
+  EXPECT_LT(std::filesystem::file_size(qpath), std::filesystem::file_size(fpath));
+}
+
+TEST(QuantCheckpoint, CorruptedBlockRecordRejectedAtomically) {
+  nt::Rng rng(29);
+  auto net = tiny_net(rng);
+  const std::string path = ::testing::TempDir() + "/nodetr_ckpt_corrupt.bin";
+  tr::save_checkpoint_quantized(
+      path, *net, nodetr::fx::MixedPrecisionPolicy::uniform(nodetr::fx::LayerPrecision::kInt8));
+  // Flip one byte inside the first quantized record's code payload (offset
+  // 120 lands mid-codes for the first conv weight): the block checksum must
+  // reject the file, and the model must stay untouched.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    char b = 0;
+    f.seekg(120, std::ios::beg);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x20);
+    f.seekp(120, std::ios::beg);
+    f.write(&b, 1);
+  }
+  std::vector<nt::Tensor> before;
+  for (auto* p : net->parameters()) before.push_back(p->value);
+  EXPECT_THROW(tr::load_checkpoint(path, *net), tr::CheckpointError);
+  const auto params = net->parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_TRUE(nt::allclose(params[i]->value, before[i], 0.0f, 0.0f));
+  }
+}
+
+TEST(QuantCheckpoint, TruncatedFileRejected) {
+  nt::Rng rng(30);
+  auto net = tiny_net(rng);
+  const std::string path = ::testing::TempDir() + "/nodetr_ckpt_trunc.bin";
+  tr::save_checkpoint_quantized(
+      path, *net, nodetr::fx::MixedPrecisionPolicy::uniform(nodetr::fx::LayerPrecision::kInt4));
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(tr::load_checkpoint(path, *net), tr::CheckpointError);
 }
