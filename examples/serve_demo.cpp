@@ -2,12 +2,19 @@
 // MHSA accelerator, fire concurrent clients at it, and print the stats the
 // engine exposes (plus the obs metrics the serving path records).
 //
-//   ./serve_demo [requests_per_client] [--devices N]   (default 16, 0)
+//   ./serve_demo [requests_per_client] [--devices N] [--hot-swap]
+//                                                    (default 16, 0, off)
 //
 // --devices N stands up a cluster-mode fleet instead of the single shared
 // accelerator: N simulated boards at alternating 200/100 MHz clocks behind
 // the cost-model router, with the per-board routing/breaker stats printed at
 // the end (faster boards absorb proportionally more rows).
+//
+// --hot-swap runs a live model update after the client wave: a fine-tuned
+// candidate is published into the engine's version registry, canaried into
+// traffic (whole batches only), shadow-scored against the active version,
+// and promoted — all while requests keep flowing, with the swap stats and
+// version lifecycle printed at the end.
 #include <cstdio>
 #include <cstdlib>
 #include <string_view>
@@ -29,9 +36,12 @@ using nt::index_t;
 int main(int argc, char** argv) {
   int per_client = 16;
   std::size_t n_devices = 0;
+  bool hot_swap = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--devices" && i + 1 < argc) {
       n_devices = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::string_view(argv[i]) == "--hot-swap") {
+      hot_swap = true;
     } else {
       per_client = std::atoi(argv[i]);
     }
@@ -55,6 +65,14 @@ int main(int argc, char** argv) {
   config.queue_capacity = 32;
   config.batcher.max_batch = 8;
   config.batcher.max_wait_us = 2000;
+  if (hot_swap) {
+    // The demo candidate intentionally differs from the active version (the
+    // whole point of an update), so give the canary a quality gate that
+    // tolerates the nudge while still shadow-scoring every canary batch.
+    config.hot_swap.canary_fraction = 0.5;
+    config.hot_swap.min_canary_batches = 4;
+    config.hot_swap.max_divergence = 0.05;
+  }
   if (n_devices > 0) {
     // Fleet mode: one worker per simulated board, alternating clocks so the
     // router's cost model visibly skews rows toward the faster boards.
@@ -102,6 +120,44 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& t : clients) t.join();
+
+  if (hot_swap) {
+    // Live model update walkthrough: a "fine-tuned" candidate (here: the
+    // same weights nudged by a constant, standing in for a ContinualTuner
+    // publish) rolls out via canary while traffic keeps flowing.
+    hls::MhsaWeights candidate = hls::MhsaWeights::from_module(mhsa);
+    for (nt::Tensor* t : {&candidate.wq, &candidate.wk, &candidate.wv}) {
+      float* p = t->data();
+      for (index_t k = 0; k < t->numel(); ++k) p[k] += 1e-4f;
+    }
+    const auto id = engine.registry().publish(candidate, "demo fine-tune");
+    std::printf("\n[hot-swap] published candidate v%llu; beginning canary\n",
+                static_cast<unsigned long long>(id));
+    engine.begin_swap(id);
+    while (engine.swap_stats().canary_in_flight) {
+      const nt::Tensor x = rng.rand(nt::Shape{1, cfg.dim, cfg.height, cfg.width});
+      (void)engine.submit(x).get();
+    }
+    const auto swap = engine.swap_stats();
+    std::printf("[hot-swap] active v%llu  canary batches %llu  shadow samples %llu  "
+                "divergence mean %.3g max %.3g\n",
+                static_cast<unsigned long long>(swap.active_version),
+                static_cast<unsigned long long>(swap.canary_batches),
+                static_cast<unsigned long long>(swap.shadow_samples), swap.divergence_mean,
+                swap.divergence_max);
+    std::printf("[hot-swap] commits %llu  rollbacks %llu  restages %llu  "
+                "stage pause p50 %.1f us p99 %.1f us\n",
+                static_cast<unsigned long long>(swap.swaps_committed),
+                static_cast<unsigned long long>(swap.swaps_rolled_back),
+                static_cast<unsigned long long>(swap.restages), swap.stage_p50_us,
+                swap.stage_p99_us);
+    for (const auto& v : engine.registry().list()) {
+      std::printf("[hot-swap] registry v%llu [%s] %s\n",
+                  static_cast<unsigned long long>(v.id), serve::to_string(v.state),
+                  v.note.c_str());
+    }
+  }
+
   engine.shutdown();
 
   const auto stats = engine.stats();

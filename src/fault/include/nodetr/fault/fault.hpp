@@ -106,6 +106,26 @@ class WorkerCrashFault : public FaultError {
       : FaultError(std::move(site), "worker crash (injected)", false) {}
 };
 
+/// Staging a new model version into a live session failed (the IP rebuild /
+/// weight re-quantization / board re-wire step of a hot-swap). Transient: the
+/// worker keeps serving its previously staged version and retries staging at
+/// the next batch boundary; a swap that can never stage rolls back via its
+/// timeout.
+class SwapStageFault : public FaultError {
+ public:
+  explicit SwapStageFault(std::string site)
+      : FaultError(std::move(site), "model version staging failed (injected)", true) {}
+};
+
+/// The background continual-tuner thread died mid-step. Non-transient for the
+/// step (its progress is lost); the tuner's supervisor restarts from the last
+/// published weights, so a crash can never publish a half-stepped candidate.
+class TunerCrashFault : public FaultError {
+ public:
+  explicit TunerCrashFault(std::string site)
+      : FaultError(std::move(site), "continual tuner crash (injected)", false) {}
+};
+
 /// A device operation did not complete within its wall-clock or
 /// simulated-cycle budget. Transient: re-issuing the START may succeed.
 class DeadlineExceeded : public FaultError {

@@ -64,6 +64,12 @@ enum class FlightKind : std::uint8_t {
   kFailed,        ///< a: µs since submit
   kWorkerCrash,   ///< a: worker (trace_id 0)
   kDeadline,      ///< a: stall cycles charged (device-level, trace_id 0)
+  kSwapBegin,     ///< a: candidate version id (trace_id 0)
+  kSwapStage,     ///< a: worker, b: staged version id (trace_id 0)
+  kSwapCanary,    ///< a: worker, b: candidate version id (per canary batch)
+  kSwapCommit,    ///< a: promoted version id, b: canary batches (trace_id 0)
+  kSwapRollback,  ///< a: rejected version id, b: rollback reason (trace_id 0)
+  kTunerPublish,  ///< a: publish count, b: tuner steps (trace_id 0)
   kMark,          ///< free-form user marker
 };
 

@@ -54,6 +54,12 @@ const char* to_string(FlightKind kind) {
     case FlightKind::kFailed: return "failed";
     case FlightKind::kWorkerCrash: return "worker_crash";
     case FlightKind::kDeadline: return "deadline";
+    case FlightKind::kSwapBegin: return "swap_begin";
+    case FlightKind::kSwapStage: return "swap_stage";
+    case FlightKind::kSwapCanary: return "swap_canary";
+    case FlightKind::kSwapCommit: return "swap_commit";
+    case FlightKind::kSwapRollback: return "swap_rollback";
+    case FlightKind::kTunerPublish: return "tuner_publish";
     case FlightKind::kMark: return "mark";
   }
   return "?";

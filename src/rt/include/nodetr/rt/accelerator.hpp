@@ -140,6 +140,17 @@ class MhsaAccelerator {
   void set_deadline(ExecDeadline deadline) { deadline_ = deadline; }
   [[nodiscard]] const ExecDeadline& deadline() const { return deadline_; }
 
+  /// Re-stage the board with a new IP core image — the device half of a model
+  /// hot-swap. The register file, DDR mapping, cycle accounting, and counters
+  /// survive; the staged input shape is invalidated and any batch-resident
+  /// weights are implicitly dropped, so the next START re-streams the new
+  /// version's parameters over the configured weight wire. A latched IP stall
+  /// is cleared (re-programming the PL resets the hung core). The new core
+  /// must match the old one's geometry (dim/height/width/heads); a mismatch
+  /// throws std::invalid_argument and leaves the old core serving. Call only
+  /// from the thread driving the device, between executes.
+  void swap_ip(std::unique_ptr<hls::MhsaIpCore> ip);
+
   /// Lifetime performance counters (see DeviceCounters).
   [[nodiscard]] const DeviceCounters& counters() const { return counters_; }
   /// Counters accumulated since the previous take_counters() call — the

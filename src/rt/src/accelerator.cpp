@@ -128,6 +128,25 @@ void MhsaAccelerator::account(const DeviceCounters& delta) {
   obs::Registry::instance().gauge("rt.mhsa_accel.utilization_pct").set(counters_.utilization_pct());
 }
 
+void MhsaAccelerator::swap_ip(std::unique_ptr<hls::MhsaIpCore> ip) {
+  obs::ScopedSpan span("rt.mhsa_accel.swap_ip");
+  if (!ip) throw std::invalid_argument("MhsaAccelerator::swap_ip: null IP core");
+  const auto& old_p = ip_->point();
+  const auto& new_p = ip->point();
+  if (new_p.dim != old_p.dim || new_p.height != old_p.height || new_p.width != old_p.width ||
+      new_p.heads != old_p.heads) {
+    throw std::invalid_argument("MhsaAccelerator::swap_ip: geometry mismatch: staged " +
+                                old_p.to_string() + " vs new " + new_p.to_string());
+  }
+  ip_ = std::move(ip);
+  // The new bitstream starts clean: no staged input, no latched stall, no
+  // batch-resident weights — the next START re-streams everything.
+  staged_shape_ = Shape{std::initializer_list<index_t>{0}};
+  stalled_ = false;
+  static auto& swaps = obs::Registry::instance().counter("rt.mhsa_accel.ip_swaps");
+  swaps.add();
+}
+
 Tensor MhsaAccelerator::execute(const Tensor& x) {
   obs::ScopedSpan span("rt.mhsa_accel.execute");
   if (x.rank() != 4) throw std::invalid_argument("MhsaAccelerator::execute: rank must be 4");

@@ -93,6 +93,38 @@
 // serve.route hop between submit and batch). stats() keeps the legacy
 // per-backend `devices` aggregation and adds per-board `device_stats`.
 //
+// Live model updates (hot-swap — see DESIGN.md §Hot-swap protocol): the
+// engine owns a ModelRegistry of immutable versioned weight snapshots
+// (version 1 = the construction weights, immediately active). begin_swap(id)
+// starts a *canary* phase for a published candidate:
+//
+//   registry.publish(w) ──► kCandidate ──begin_swap──► canary
+//        canary: each worker stages an in-process candidate replica at its
+//        next batch boundary (RCU handoff — in-flight batches finish on the
+//        old version, nothing drains, no future is dropped) and routes
+//        ~canary_fraction of its batches to it, whole batches only — a
+//        response is always attributable to exactly one version. Sampled
+//        canary batches are shadow-scored against a baseline replica of the
+//        active version (same design point, bitwise-identical numerics to
+//        the board datapath), feeding a rolling divergence estimate.
+//   promotion: after min_canary_batches clean canary batches with mean
+//        divergence <= max_divergence and no SLO-breach delta, the candidate
+//        becomes active in one commit point; workers re-stage at their next
+//        batch boundary (FPGA sessions swap the board's IP core — batch-
+//        resident weights invalidate and the next START re-streams the new
+//        version over the configured weight wire).
+//   rollback (edge-triggered, automatic): divergence breach, device-fault
+//        burst, SLO-breach delta, swap timeout, or an injected commit fault
+//        rejects the candidate and drops every canary staging at the next
+//        batch boundary; traffic never left the active version's replicas.
+//
+// Every phase is observable (serve.model.version gauge, serve.swap.*
+// counters + stage-pause histogram, per-version serve.version.<id>.*
+// counters, flight-recorder kSwap* events) and faultable ("serve.swap.stage"
+// and "serve.swap.commit" sites). train::ContinualTuner is the intended
+// publisher: it fine-tunes the block on a drift stream and hands candidates
+// to registry()/begin_swap().
+//
 // Spans: serve.submit / serve.route / serve.batch / serve.complete; metrics
 // serve.requests_*, serve.batches, serve.rows, serve.queue_depth, serve.shed,
 // serve.expired, serve.retries[.<backend>], serve.fallbacks[.<backend>],
@@ -107,6 +139,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -117,6 +150,7 @@
 #include "nodetr/serve/admission.hpp"
 #include "nodetr/serve/circuit_breaker.hpp"
 #include "nodetr/serve/micro_batcher.hpp"
+#include "nodetr/serve/model_registry.hpp"
 #include "nodetr/serve/router.hpp"
 #include "nodetr/serve/slo.hpp"
 #include "nodetr/tensor/parallel.hpp"
@@ -187,6 +221,73 @@ struct DeviceConfig {
   std::size_t ddr_bytes = 64u << 20;
 };
 
+/// Canary / rollback policy for live model updates (begin_swap). The gates
+/// compose: promotion needs min_canary_batches canary batches AND (when
+/// shadow scoring is on) at least one shadow sample with mean divergence
+/// within max_divergence AND no rollback trigger fired first.
+struct HotSwapConfig {
+  /// Fraction of batches routed to the candidate during canary, per worker,
+  /// deterministically interleaved. Must be in (0, 1].
+  double canary_fraction = 0.25;
+  /// Canary batches (across workers) required before promotion.
+  std::uint32_t min_canary_batches = 8;
+  /// Shadow-score every Nth canary batch against the active version
+  /// (divergence = mean |canary - baseline| / mean |baseline|). 0 disables
+  /// shadow scoring (promotion then gates on batches + faults + SLO only).
+  std::uint32_t shadow_every = 1;
+  /// Rollback (and promotion-gate) threshold on the mean shadow divergence.
+  /// <= 0 disables the divergence gate entirely.
+  double max_divergence = 1e-3;
+  /// Rollback when this many device faults / canary-run failures accumulate
+  /// during one canary phase. 0 disables the trigger.
+  std::uint32_t rollback_fault_burst = 8;
+  /// Rollback when the SLO monitor reports this many *new* breaches since
+  /// the canary began. 0 disables the trigger.
+  std::uint32_t rollback_slo_breaches = 2;
+  /// Rollback a canary that has not promoted within this wall budget (e.g.
+  /// staging keeps failing, or no traffic arrives). 0 = no timeout.
+  std::int64_t swap_timeout_us = 10'000'000;
+};
+
+/// Why an in-flight swap was rolled back (SwapStats counters).
+enum class RollbackReason {
+  kDivergence,  ///< shadow divergence exceeded max_divergence
+  kFaultBurst,  ///< >= rollback_fault_burst faults during the canary
+  kSlo,         ///< >= rollback_slo_breaches new SLO breaches
+  kTimeout,     ///< swap_timeout_us elapsed without promotion
+  kCommitFault, ///< injected "serve.swap.commit" fault aborted the commit
+  kManual,      ///< cancel_swap()
+};
+
+[[nodiscard]] const char* to_string(RollbackReason reason);
+
+/// Live view of the hot-swap machinery (EngineStats::swap / swap_stats()).
+struct SwapStats {
+  std::uint64_t active_version = 0;     ///< what non-canary traffic serves
+  std::uint64_t candidate_version = 0;  ///< 0 when no swap is in flight
+  bool canary_in_flight = false;
+  std::uint64_t swaps_begun = 0;
+  std::uint64_t swaps_committed = 0;
+  std::uint64_t swaps_rolled_back = 0;
+  // Rollbacks by reason, same order as RollbackReason.
+  std::uint64_t rollbacks_divergence = 0;
+  std::uint64_t rollbacks_fault_burst = 0;
+  std::uint64_t rollbacks_slo = 0;
+  std::uint64_t rollbacks_timeout = 0;
+  std::uint64_t rollbacks_commit_fault = 0;
+  std::uint64_t rollbacks_manual = 0;
+  std::uint64_t canary_batches = 0;     ///< lifetime canary batches executed
+  std::uint64_t shadow_samples = 0;     ///< lifetime shadow-scored batches
+  double divergence_mean = 0.0;         ///< current/last canary phase
+  double divergence_max = 0.0;          ///< current/last canary phase
+  std::uint64_t restages = 0;           ///< session version re-stagings
+  std::uint64_t stage_failures = 0;     ///< staging attempts that faulted
+  /// Stage-pause percentiles (µs): the per-session pause a re-staging adds
+  /// at a batch boundary — the "swap pause" bench_hotswap gates on.
+  double stage_p50_us = 0.0;
+  double stage_p99_us = 0.0;
+};
+
 struct EngineConfig {
   /// MHSA geometry (and the quantization scheme for kFpgaFixed). The dtype
   /// and weight residency fields are overridden per backend: FPGA sessions
@@ -212,6 +313,7 @@ struct EngineConfig {
   /// (devices + 1) × queue_capacity requests across its queues.
   std::vector<DeviceConfig> devices;
   RouterConfig router;  ///< cost-model dispatch knobs (cluster mode only)
+  HotSwapConfig hot_swap;  ///< canary / rollback policy for begin_swap()
 };
 
 /// Per-board view of a cluster-mode engine (EngineStats::device_stats).
@@ -279,6 +381,8 @@ struct EngineStats {
   std::map<std::string, DeviceStats> device_stats;
   /// Rolling-window SLO state (goodput, p99s, breach flags) — see slo.hpp.
   SloSnapshot slo;
+  /// Live model-update state (versions, canary, rollbacks) — see HotSwapConfig.
+  SwapStats swap;
   /// Selected GEMM microkernel / blocking / detected caches (see tune.hpp).
   KernelConfigStats kernel;
   /// rows / (batches * max_batch); 1.0 means every batch was full.
@@ -316,6 +420,28 @@ class InferenceEngine {
 
   [[nodiscard]] EngineStats stats() const;
   [[nodiscard]] const EngineConfig& config() const { return config_; }
+
+  /// The engine's version store. Publish candidates here (directly or via
+  /// publish_checkpoint), then begin_swap() them into live traffic.
+  [[nodiscard]] ModelRegistry& registry() { return registry_; }
+
+  /// Start a canary rollout of a published version: a configurable fraction
+  /// of traffic runs on it (whole batches, never mixed), promotion commits
+  /// it as active, and any rollback trigger rejects it — see HotSwapConfig.
+  /// Workers pick the change up at their next batch boundary; no request in
+  /// flight is drained or dropped. Throws std::invalid_argument when `id` is
+  /// unknown / rejected / already active or another swap is in flight, and
+  /// EngineStoppedError after shutdown. Progress requires traffic: gates are
+  /// evaluated at batch boundaries.
+  void begin_swap(std::uint64_t id);
+
+  /// Manually roll back an in-flight canary (RollbackReason::kManual).
+  /// Returns false when no swap was in flight.
+  bool cancel_swap();
+
+  /// The version id non-canary traffic currently targets.
+  [[nodiscard]] std::uint64_t active_version() const;
+  [[nodiscard]] SwapStats swap_stats() const;
 
  private:
   struct WorkerSession;
@@ -355,6 +481,26 @@ class InferenceEngine {
   [[nodiscard]] Tensor run_with_recovery(WorkerSession& session, const MicroBatch& batch);
   void maybe_probe(WorkerSession& session);
   void demote_to_cpu(WorkerSession& session);
+  /// RCU handoff: at a batch boundary, re-stage the session's datapaths to
+  /// the current active/candidate versions if the swap epoch moved. Never
+  /// throws — a staging fault keeps the old (coherent) staging and retries
+  /// at the next boundary.
+  void sync_session_version(WorkerSession& session);
+  /// The design point a session's serving datapath runs (dtype/wire/
+  /// residency resolved per backend) — shared by make_session, staging, and
+  /// the canary/shadow replicas so their numerics match the board bitwise.
+  [[nodiscard]] hls::MhsaDesignPoint datapath_point(Backend backend) const;
+  /// Deterministically decide whether this batch runs on the canary replica.
+  [[nodiscard]] bool pick_canary(WorkerSession& session, const MicroBatch& batch);
+  /// Run `batch` on the canary replica (+ sampled shadow scoring). Throws on
+  /// a canary-side fault; the caller falls back to the active path.
+  [[nodiscard]] Tensor run_canary(WorkerSession& session, const MicroBatch& batch);
+  void note_canary_fault();
+  /// Evaluate promotion/rollback gates; called after every batch (cheap
+  /// no-op while no swap is in flight).
+  void swap_tick();
+  void promote_locked(std::unique_lock<std::mutex>& lk);
+  void rollback_locked(RollbackReason reason);
   void note_device_success(WorkerSession& session);
   void isolate_slices(WorkerSession& session, MicroBatch& batch);
   void salvage_requests(RequestQueue& queue, const std::vector<RequestPtr>& held,
@@ -374,7 +520,9 @@ class InferenceEngine {
   void fail_shed(Request& r);
 
   EngineConfig config_;
-  hls::MhsaWeights weights_;  ///< retained for respawn and CPU fallback
+  /// Version store; the construction weights become version 1 (active).
+  /// Sessions stage shared_ptr snapshots from here (RCU — see engine.cpp).
+  ModelRegistry registry_;
   RequestQueue queue_;
   AdmissionController admission_;
   SloMonitor slo_;
@@ -402,6 +550,28 @@ class InferenceEngine {
   std::atomic<std::uint64_t> breaker_reopens_{0}, breaker_closes_{0};
   std::atomic<std::uint64_t> open_breakers_{0};
   std::atomic<std::int64_t> sim_cycles_{0};
+  // ── Hot-swap state ──────────────────────────────────────────────────────
+  // swap_epoch_ is the RCU edge: bumped (release) on every begin/commit/
+  // rollback; workers compare their staged epoch (acquire) at each batch
+  // boundary and re-stage outside the lock from the shared_ptr snapshots.
+  std::atomic<std::uint64_t> swap_epoch_{1};
+  std::atomic<bool> canary_active_{false};  ///< cheap swap_tick() gate
+  mutable std::mutex swap_mu_;  ///< guards everything below
+  std::shared_ptr<const ModelVersion> active_version_ptr_;
+  std::shared_ptr<const ModelVersion> candidate_version_;  ///< non-null in canary
+  std::chrono::steady_clock::time_point canary_started_{};
+  std::uint64_t canary_batches_cur_ = 0;  ///< this canary phase
+  std::uint64_t shadow_cur_ = 0;
+  double div_sum_ = 0.0;
+  double div_max_ = 0.0;
+  std::uint64_t canary_faults_ = 0;
+  std::uint64_t slo_breaches_at_start_ = 0;
+  std::uint64_t rollbacks_by_reason_[6] = {0, 0, 0, 0, 0, 0};
+  std::atomic<std::uint64_t> swaps_begun_{0}, swaps_committed_{0}, swaps_rolled_back_{0};
+  std::atomic<std::uint64_t> canary_batches_total_{0}, shadow_total_{0};
+  std::atomic<std::uint64_t> restages_{0}, stage_failures_{0};
+  std::atomic<std::uint64_t> canary_pick_counter_{0}, shadow_pick_counter_{0};
+  obs::Histogram stage_pause_us_;  ///< engine-local; feeds SwapStats percentiles
 };
 
 }  // namespace nodetr::serve

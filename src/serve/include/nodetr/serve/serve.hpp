@@ -6,6 +6,7 @@
 #include "nodetr/serve/engine.hpp"
 #include "nodetr/serve/errors.hpp"
 #include "nodetr/serve/micro_batcher.hpp"
+#include "nodetr/serve/model_registry.hpp"
 #include "nodetr/serve/request_queue.hpp"
 #include "nodetr/serve/router.hpp"
 #include "nodetr/serve/slo.hpp"

@@ -1,6 +1,7 @@
 #include "nodetr/serve/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "nodetr/fault/fault.hpp"
@@ -17,6 +18,18 @@ const char* to_string(Backend backend) {
     case Backend::kCpuQuant: return "cpu_quant";
     case Backend::kFpgaFloat: return "fpga_float";
     case Backend::kFpgaFixed: return "fpga_fixed";
+  }
+  return "?";
+}
+
+const char* to_string(RollbackReason reason) {
+  switch (reason) {
+    case RollbackReason::kDivergence: return "divergence";
+    case RollbackReason::kFaultBurst: return "fault_burst";
+    case RollbackReason::kSlo: return "slo";
+    case RollbackReason::kTimeout: return "timeout";
+    case RollbackReason::kCommitFault: return "commit_fault";
+    case RollbackReason::kManual: return "manual";
   }
   return "?";
 }
@@ -42,6 +55,12 @@ struct InferenceEngine::WorkerSession {
   rt::MhsaAccelerator* accel = nullptr;   ///< kFpga* (kept alive while open
                                           ///  so the probe can reuse it)
   CircuitBreaker breaker;
+  // ── Hot-swap staging (worker-thread-only, mutated at batch boundaries) ──
+  std::shared_ptr<const ModelVersion> staged_version;  ///< what the datapaths serve
+  std::uint64_t staged_epoch = 0;  ///< swap_epoch_ this staging reflects (0 = stale)
+  std::shared_ptr<const ModelVersion> canary_version;  ///< staged candidate, if any
+  std::unique_ptr<hls::MhsaIpCore> canary_ip;  ///< candidate replica (canary batches)
+  std::unique_ptr<hls::MhsaIpCore> shadow_ip;  ///< active-version baseline (shadow scoring)
 
   WorkerSession(RequestQueue& queue, const BatcherConfig& cfg, const BreakerConfig& breaker_cfg)
       : source(&queue), batcher(queue, cfg), breaker(breaker_cfg) {}
@@ -88,6 +107,17 @@ EngineConfig InferenceEngine::validated(EngineConfig config) {
         "InferenceEngine: invalid FaultPolicy (retries/backoffs must be >= 0, "
         "multiplier >= 1)");
   }
+  const HotSwapConfig& hs = config.hot_swap;
+  if (!(hs.canary_fraction > 0.0) || hs.canary_fraction > 1.0) {
+    throw std::invalid_argument(
+        "InferenceEngine: hot_swap.canary_fraction must be in (0, 1]");
+  }
+  if (hs.min_canary_batches < 1) {
+    throw std::invalid_argument("InferenceEngine: hot_swap.min_canary_batches must be >= 1");
+  }
+  if (hs.swap_timeout_us < 0) {
+    throw std::invalid_argument("InferenceEngine: hot_swap.swap_timeout_us must be >= 0");
+  }
   // Admission, breaker, and batcher configs are validated by their own
   // constructors; trigger the breaker's here so a bad config fails the
   // engine constructor instead of the first worker session.
@@ -109,6 +139,41 @@ std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(
   session->index = worker;
   session->home_backend = backend;
   session->backend = backend;
+  // Version snapshot for this session's datapaths. The pool factory takes its
+  // own snapshot, so in cluster mode the board is explicitly re-staged below
+  // from THIS snapshot — the recorded version and the board's weights can
+  // never disagree even if a commit lands between the two reads.
+  std::shared_ptr<const ModelVersion> ver;
+  {
+    std::lock_guard lk(swap_mu_);
+    ver = active_version_ptr_;
+  }
+  const hls::MhsaDesignPoint point = datapath_point(backend);
+  if (cluster()) {
+    session->device = &device_pool_->rebuild(worker);
+    if (session->device->has_accelerator()) {
+      session->accel = &session->device->accelerator();
+      session->accel->swap_ip(std::make_unique<hls::MhsaIpCore>(point, ver->weights));
+      session->accel->set_deadline(config_.fault.deadline);
+    }
+  }
+  if (is_cpu(backend)) {
+    session->cpu_ip = std::make_unique<hls::MhsaIpCore>(point, ver->weights);
+  } else if (!cluster()) {
+    session->ddr = std::make_unique<rt::DdrMemory>();
+    session->accel_owned = std::make_unique<rt::MhsaAccelerator>(
+        std::make_unique<hls::MhsaIpCore>(point, ver->weights), *session->ddr);
+    session->accel = session->accel_owned.get();
+    session->accel->set_deadline(config_.fault.deadline);
+  }
+  session->staged_version = std::move(ver);
+  // staged_epoch 0 forces a sync at the first batch boundary: a respawn that
+  // lands mid-canary stages the canary/shadow replicas before serving.
+  session->staged_epoch = 0;
+  return session;
+}
+
+hls::MhsaDesignPoint InferenceEngine::datapath_point(Backend backend) const {
   hls::MhsaDesignPoint point = config_.point;
   point.dtype = backend == Backend::kFpgaFixed || backend == Backend::kCpuQuant
                     ? hls::DataType::kFixed
@@ -120,31 +185,17 @@ std::unique_ptr<InferenceEngine::WorkerSession> InferenceEngine::make_session(
     // picked a wire (int4, other block size) is respected.
     point.wire = hls::WeightWire::kBlockInt8;
   }
-  if (cluster()) {
-    session->device = &device_pool_->rebuild(worker);
-    if (session->device->has_accelerator()) {
-      session->accel = &session->device->accelerator();
-      session->accel->set_deadline(config_.fault.deadline);
-    }
-  }
-  if (is_cpu(backend)) {
-    session->cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
-  } else if (!cluster()) {
+  if (!is_cpu(backend)) {
     // The batched START keeps weights resident across the programmed batch —
     // the amortization the micro-batcher exists to exploit.
     point.residency = hls::WeightResidency::kBatchResident;
-    session->ddr = std::make_unique<rt::DdrMemory>();
-    session->accel_owned = std::make_unique<rt::MhsaAccelerator>(
-        std::make_unique<hls::MhsaIpCore>(point, weights_), *session->ddr);
-    session->accel = session->accel_owned.get();
-    session->accel->set_deadline(config_.fault.deadline);
   }
-  return session;
+  return point;
 }
 
 InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& weights)
     : config_(validated(std::move(config))),
-      weights_(weights),
+      registry_(config_.point, weights),
       queue_(config_.queue_capacity, config_.policy),
       admission_(config_.admission),
       slo_(config_.slo) {
@@ -152,6 +203,11 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
   // (tens of ms), which must be charged to engine startup, never to the
   // first request's deadline.
   (void)tensor::tune::gemm_config();
+  // Version 1 is the seed the registry minted from `weights`; every session
+  // built below stages it, and `serve.model.version` tracks promotions.
+  active_version_ptr_ = registry_.get(registry_.active());
+  obs::Registry::instance().gauge("serve.model.version").set(
+      static_cast<double>(active_version_ptr_->id));
   // Every pop reports its queue wait: the engine-local histogram backs the
   // stats() percentiles, the registry one the metrics dump, and the sample
   // stream drives the CoDel admission controller.
@@ -202,11 +258,12 @@ InferenceEngine::InferenceEngine(EngineConfig config, const hls::MhsaWeights& we
         [this](std::size_t i, const rt::BoardConfig&) -> std::unique_ptr<hls::MhsaIpCore> {
           const Backend backend = config_.devices[i].backend;
           if (is_cpu(backend)) return nullptr;  // host-only board
-          hls::MhsaDesignPoint point = config_.point;
-          point.dtype = backend == Backend::kFpgaFixed ? hls::DataType::kFixed
-                                                       : hls::DataType::kFloat32;
-          point.residency = hls::WeightResidency::kBatchResident;
-          return std::make_unique<hls::MhsaIpCore>(point, weights_);
+          std::shared_ptr<const ModelVersion> ver;
+          {
+            std::lock_guard lk(swap_mu_);
+            ver = active_version_ptr_;
+          }
+          return std::make_unique<hls::MhsaIpCore>(datapath_point(backend), ver->weights);
         });
     device_stats_.resize(config_.devices.size());
     device_metrics_.reserve(config_.devices.size());
@@ -562,9 +619,11 @@ void InferenceEngine::demote_to_cpu(WorkerSession& session) {
   fallbacks.add();
   fallbacks_.fetch_add(1, std::memory_order_relaxed);
   if (!session.cpu_ip) {
-    hls::MhsaDesignPoint point = config_.point;
-    point.dtype = hls::DataType::kFloat32;
-    session.cpu_ip = std::make_unique<hls::MhsaIpCore>(point, weights_);
+    // Built from the SESSION's staged version, not the registry's current
+    // active: a demotion (or half-open probe) that lands mid-swap must keep
+    // serving the version the rest of this session's datapaths carry.
+    session.cpu_ip = std::make_unique<hls::MhsaIpCore>(datapath_point(Backend::kCpuFloat),
+                                                       session.staged_version->weights);
   }
   // The accelerator and its DDR stay alive: the device may recover, and the
   // breaker's half-open probe will re-drive it without a rebuild.
@@ -645,6 +704,10 @@ Tensor InferenceEngine::run_with_recovery(WorkerSession& session, const MicroBat
       obs::Registry::instance()
           .counter(std::string("serve.faults_injected.") + to_string(session.backend))
           .add();
+      // Device faults during a canary phase feed the fault-burst rollback
+      // trigger — a candidate whose rollout coincides with a fault storm is
+      // not promoted on the strength of a handful of clean canary batches.
+      note_canary_fault();
       // CPU backends (incl. a quantized replica) have no device to presume
       // broken: transient faults there are retried below, never demoted.
       if (!is_cpu(session.backend) && e.transient()) {
@@ -760,7 +823,21 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
   // Re-check deadlines between batch formation and execution: expired rows
   // are shed with RequestExpired before the IP is touched, and a batch with
   // nothing live left is skipped entirely.
-  if (shed_expired_slices(batch) == 0) return;
+  if (shed_expired_slices(batch) == 0) {
+    swap_tick();
+    return;
+  }
+  // A continuation batch carries later rows of a request whose earlier rows
+  // already shipped on the version staged LAST batch. Re-staging now would
+  // split that request across versions, so the swap waits one more boundary.
+  bool continuation = false;
+  for (const BatchSlice& slice : batch.slices) {
+    if (!slice.request->failed && slice.row_begin > 0) {
+      continuation = true;
+      break;
+    }
+  }
+  if (!continuation) sync_session_version(session);
   static auto& batches = obs::Registry::instance().counter("serve.batches");
   static auto& rows = obs::Registry::instance().counter("serve.rows");
   static auto& occupancy = obs::Registry::instance().histogram("serve.batch_occupancy_pct");
@@ -781,15 +858,39 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
   }
   apply_exec_deadline(session, batch);
   const auto exec_t0 = std::chrono::steady_clock::now();
+  const bool canary = !continuation && pick_canary(session, batch);
+  bool on_canary = false;  // set only when the canary replica actually ran
   try {
-    Tensor output = run_with_recovery(session, batch);
+    Tensor output;
+    if (canary) {
+      try {
+        output = run_canary(session, batch);
+        on_canary = true;
+      } catch (...) {
+        // A canary replica failure must never cost the client: count it
+        // against the candidate and serve the batch on the active path.
+        note_canary_fault();
+        output = run_with_recovery(session, batch);
+      }
+    } else {
+      output = run_with_recovery(session, batch);
+    }
+    // Every response is attributable to exactly one version: the whole batch
+    // ran on either the canary replica or the staged active datapath.
+    const std::uint64_t served_version =
+        on_canary ? session.canary_version->id
+                  : (session.staged_version ? session.staged_version->id : 0);
+    auto& reg = obs::Registry::instance();
+    const std::string vprefix = "serve.version." + std::to_string(served_version) + ".";
+    reg.counter(vprefix + "batches").add();
+    reg.counter(vprefix + "rows").add(batch.rows());
     if (cluster()) {
       // Feed the router's EWMA what this device actually delivered:
       // simulated board time for accelerator batches (cycles at the board's
       // current clock), wall time for CPU(-fallback) batches — so a
       // throttled or demoted device drifts expensive and traffic rebalances.
       double us_per_row;
-      if (!is_cpu(session.backend) && session.accel) {
+      if (!on_canary && !is_cpu(session.backend) && session.accel) {
         us_per_row = session.device->cycles_to_us(session.accel->last_cycles()) /
                      static_cast<double>(batch.rows());
       } else {
@@ -813,7 +914,10 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
     // Requests whose deadline ran out while the batch was failing resolve
     // as expired, not as casualties of the device error.
     const std::size_t live = shed_expired_slices(batch);
-    if (live == 0) return;
+    if (live == 0) {
+      swap_tick();
+      return;
+    }
     if (live > 1) {
       // The coalesced batch failed even after retries. Don't fail every
       // co-batched request collectively — re-run each request's slice alone
@@ -823,6 +927,9 @@ void InferenceEngine::process_batch(WorkerSession& session, MicroBatch& batch) {
       fail_batch(batch, std::current_exception());
     }
   }
+  // Batch boundary: evaluate the in-flight canary against the rollback
+  // triggers and the promotion gate. Any worker's boundary may conclude it.
+  swap_tick();
 }
 
 void InferenceEngine::isolate_slices(WorkerSession& session, MicroBatch& batch) {
@@ -914,6 +1021,338 @@ void InferenceEngine::fail_batch(MicroBatch& batch, std::exception_ptr error) {
   }
 }
 
+// ── Live model updates ──────────────────────────────────────────────────────
+
+void InferenceEngine::sync_session_version(WorkerSession& session) {
+  const std::uint64_t epoch = swap_epoch_.load(std::memory_order_acquire);
+  if (session.staged_epoch == epoch) return;  // fast path: nothing changed
+  std::shared_ptr<const ModelVersion> active;
+  std::shared_ptr<const ModelVersion> canary;
+  {
+    std::lock_guard lk(swap_mu_);
+    active = active_version_ptr_;
+    canary = candidate_version_;
+  }
+  const bool restage = session.staged_version != active;
+  const bool canary_change = session.canary_version != canary;
+  if (!restage && !canary_change) {
+    // Epoch bump with no work for this session (e.g. it already staged the
+    // version another worker's commit just made active).
+    session.staged_epoch = epoch;
+    return;
+  }
+  obs::ScopedSpan span("serve.swap.stage");
+  span.attr("worker", static_cast<std::int64_t>(session.index));
+  span.attr("version", static_cast<std::int64_t>(active->id));
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    if (fault::fire("serve.swap.stage")) {
+      throw fault::SwapStageFault("serve.swap.stage");
+    }
+    if (restage) {
+      if (session.cpu_ip) {
+        // kCpuFloat here covers both a CPU home backend and the demoted /
+        // fallback replica of an FPGA session (same float datapath point).
+        session.cpu_ip = std::make_unique<hls::MhsaIpCore>(
+            datapath_point(is_cpu(session.home_backend) ? session.home_backend
+                                                        : Backend::kCpuFloat),
+            active->weights);
+      }
+      if (session.accel) {
+        // Re-stage the board: batch-resident weights are invalidated, so the
+        // next START streams the new version (rt.mhsa_accel.swap_ip).
+        session.accel->swap_ip(std::make_unique<hls::MhsaIpCore>(
+            datapath_point(session.home_backend), active->weights));
+      }
+      session.staged_version = active;
+      restages_.fetch_add(1, std::memory_order_relaxed);
+      static auto& restaged = obs::Registry::instance().counter("serve.swap.restages");
+      restaged.add();
+      obs::flight_event(0, obs::FlightKind::kSwapStage,
+                        static_cast<std::int64_t>(session.index),
+                        static_cast<std::int64_t>(active->id));
+    }
+    if (canary_change) {
+      if (canary) {
+        // Canary and shadow replicas are built at the session's HOME datapath
+        // point, so a canary batch is bitwise what the promoted version will
+        // serve on this board, and the shadow baseline is scored like-for-like.
+        const hls::MhsaDesignPoint point = datapath_point(session.home_backend);
+        session.canary_ip = std::make_unique<hls::MhsaIpCore>(point, canary->weights);
+        session.shadow_ip = std::make_unique<hls::MhsaIpCore>(point, active->weights);
+      } else {
+        session.canary_ip.reset();
+        session.shadow_ip.reset();
+      }
+      session.canary_version = canary;
+    }
+    session.staged_epoch = epoch;
+    const double us = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    stage_pause_us_.observe(us);
+    static auto& stage_hist = obs::Registry::instance().histogram("serve.swap.stage_us");
+    stage_hist.observe(us);
+  } catch (const fault::FaultError&) {
+    // Keep the old staging intact — the session continues serving its current
+    // version coherently and retries at the next batch boundary. A canary
+    // that can never stage is bounded by the swap timeout.
+    stage_failures_.fetch_add(1, std::memory_order_relaxed);
+    static auto& failures = obs::Registry::instance().counter("serve.swap.stage_failures");
+    failures.add();
+  }
+}
+
+bool InferenceEngine::pick_canary(WorkerSession& session, const MicroBatch& batch) {
+  if (!session.canary_ip || !session.canary_version) return false;
+  // A batch is canary-eligible only when every slice is a WHOLE request: a
+  // request split across batches must resolve on exactly one version, and
+  // batch-level canary routing cannot guarantee that across boundaries.
+  for (const BatchSlice& slice : batch.slices) {
+    if (slice.request->failed) continue;
+    if (slice.row_begin > 0 || slice.row_end < slice.request->input.dim(0)) return false;
+  }
+  // Deterministic interleave at canary_fraction f: batch n is a canary batch
+  // iff floor((n+1)·f) > floor(n·f) — exact long-run fraction, no RNG.
+  const double f = config_.hot_swap.canary_fraction;
+  const auto n = canary_pick_counter_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(static_cast<double>(n + 1) * f) >
+         static_cast<std::uint64_t>(static_cast<double>(n) * f);
+}
+
+Tensor InferenceEngine::run_canary(WorkerSession& session, const MicroBatch& batch) {
+  obs::ScopedSpan span("serve.canary");
+  span.attr("worker", static_cast<std::int64_t>(session.index));
+  span.attr("version", static_cast<std::int64_t>(session.canary_version->id));
+  span.attr("rows", batch.rows());
+  const std::uint64_t cand_id = session.canary_version->id;
+  for (const BatchSlice& slice : batch.slices) {
+    if (!slice.request->failed) {
+      obs::flight_event(slice.request->trace_id, obs::FlightKind::kSwapCanary,
+                        static_cast<std::int64_t>(session.index),
+                        static_cast<std::int64_t>(cand_id));
+    }
+  }
+  Tensor output = session.canary_ip->run(batch.input);
+  double divergence = 0.0;
+  bool shadowed = false;
+  const HotSwapConfig& hs = config_.hot_swap;
+  if (hs.shadow_every > 0 && session.shadow_ip) {
+    const auto k = shadow_pick_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (k % hs.shadow_every == 0) {
+      // Shadow scoring: the same rows on the active version's replica, scored
+      // as normalized mean absolute divergence. The shadow output is never
+      // served — it only feeds the promotion gate.
+      Tensor baseline = session.shadow_ip->run(batch.input);
+      double num = 0.0;
+      double den = 0.0;
+      const float* a = output.data();
+      const float* b = baseline.data();
+      for (index_t i = 0; i < output.numel(); ++i) {
+        num += std::abs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+        den += std::abs(static_cast<double>(b[i]));
+      }
+      divergence = num / (den + 1e-12);
+      shadowed = true;
+    }
+  }
+  canary_batches_total_.fetch_add(1, std::memory_order_relaxed);
+  static auto& canary_ctr = obs::Registry::instance().counter("serve.swap.canary_batches");
+  canary_ctr.add();
+  {
+    std::lock_guard lk(swap_mu_);
+    // Guard against a phase that concluded while this batch ran: stale
+    // samples must not pollute the NEXT candidate's gate.
+    if (candidate_version_ && candidate_version_->id == cand_id) {
+      ++canary_batches_cur_;
+      if (shadowed) {
+        ++shadow_cur_;
+        shadow_total_.fetch_add(1, std::memory_order_relaxed);
+        div_sum_ += divergence;
+        div_max_ = std::max(div_max_, divergence);
+        static auto& div_hist = obs::Registry::instance().histogram("serve.swap.divergence");
+        div_hist.observe(divergence);
+      }
+    }
+  }
+  return output;
+}
+
+void InferenceEngine::note_canary_fault() {
+  if (!canary_active_.load(std::memory_order_relaxed)) return;
+  std::lock_guard lk(swap_mu_);
+  if (candidate_version_) ++canary_faults_;
+}
+
+void InferenceEngine::swap_tick() {
+  if (!canary_active_.load(std::memory_order_relaxed)) return;
+  // snapshot() outside swap_mu_: the SLO monitor takes its own lock.
+  const SloSnapshot slo = slo_.snapshot();
+  std::unique_lock lk(swap_mu_);
+  if (!candidate_version_) return;
+  const HotSwapConfig& hs = config_.hot_swap;
+  const double mean_div =
+      shadow_cur_ > 0 ? div_sum_ / static_cast<double>(shadow_cur_) : 0.0;
+  // Rollback triggers are edge-checked at every batch boundary, in severity
+  // order; the first that fires concludes the phase.
+  if (hs.max_divergence > 0.0 && shadow_cur_ > 0 && mean_div > hs.max_divergence) {
+    rollback_locked(RollbackReason::kDivergence);
+    return;
+  }
+  if (hs.rollback_fault_burst > 0 && canary_faults_ >= hs.rollback_fault_burst) {
+    rollback_locked(RollbackReason::kFaultBurst);
+    return;
+  }
+  if (hs.rollback_slo_breaches > 0 &&
+      slo.breaches >= slo_breaches_at_start_ + hs.rollback_slo_breaches) {
+    rollback_locked(RollbackReason::kSlo);
+    return;
+  }
+  if (hs.swap_timeout_us > 0 &&
+      std::chrono::steady_clock::now() - canary_started_ >=
+          std::chrono::microseconds(hs.swap_timeout_us)) {
+    rollback_locked(RollbackReason::kTimeout);
+    return;
+  }
+  // Promotion gate: enough canary traffic, and (when shadow scoring gates)
+  // at least one in-threshold shadow sample. mean_div <= max_divergence is
+  // implied here — a breach would have rolled back above.
+  if (canary_batches_cur_ >= hs.min_canary_batches &&
+      (hs.shadow_every == 0 || hs.max_divergence <= 0.0 || shadow_cur_ > 0)) {
+    promote_locked(lk);
+  }
+}
+
+void InferenceEngine::promote_locked(std::unique_lock<std::mutex>& lk) {
+  // The commit point itself is a fault site: an injected failure here must
+  // leave the OLD version active — rollback, never a half-commit.
+  if (fault::fire("serve.swap.commit")) {
+    rollback_locked(RollbackReason::kCommitFault);
+    return;
+  }
+  const std::shared_ptr<const ModelVersion> promoted = candidate_version_;
+  registry_.activate(promoted->id);
+  active_version_ptr_ = promoted;
+  candidate_version_.reset();
+  canary_active_.store(false, std::memory_order_relaxed);
+  const std::uint64_t batches = canary_batches_cur_;
+  swaps_committed_.fetch_add(1, std::memory_order_relaxed);
+  // Publish AFTER the new active pointer is in place: a worker that observes
+  // the new epoch always finds the promoted version.
+  swap_epoch_.fetch_add(1, std::memory_order_release);
+  lk.unlock();
+  obs::Registry::instance().gauge("serve.model.version").set(
+      static_cast<double>(promoted->id));
+  obs::Registry::instance().counter("serve.swap.commits").add();
+  obs::flight_event(0, obs::FlightKind::kSwapCommit,
+                    static_cast<std::int64_t>(promoted->id),
+                    static_cast<std::int64_t>(batches));
+}
+
+void InferenceEngine::rollback_locked(RollbackReason reason) {
+  const std::shared_ptr<const ModelVersion> rejected = candidate_version_;
+  if (!rejected) return;
+  // A candidate is marked rejected in the registry; a RETIRED version that
+  // was being rolled forward (begin_swap of an old id) just stays retired.
+  if (registry_.state(rejected->id) == VersionState::kCandidate) {
+    registry_.reject(rejected->id);
+  }
+  candidate_version_.reset();
+  canary_active_.store(false, std::memory_order_relaxed);
+  swaps_rolled_back_.fetch_add(1, std::memory_order_relaxed);
+  rollbacks_by_reason_[static_cast<std::size_t>(reason)] += 1;
+  // Epoch bump tears down every session's canary/shadow replicas at its next
+  // batch boundary; the active staging is untouched (nothing to restore —
+  // non-canary traffic never left the old version).
+  swap_epoch_.fetch_add(1, std::memory_order_release);
+  obs::Registry::instance().counter("serve.swap.rollbacks").add();
+  obs::Registry::instance()
+      .counter(std::string("serve.swap.rollbacks.") + to_string(reason))
+      .add();
+  obs::flight_event(0, obs::FlightKind::kSwapRollback,
+                    static_cast<std::int64_t>(rejected->id),
+                    static_cast<std::int64_t>(reason));
+  // A rollback is a wired dump trigger: the canary's divergence/fault run-up
+  // is still in the flight-recorder rings.
+  obs::FlightRecorder::instance().dump("swap_rollback");
+}
+
+void InferenceEngine::begin_swap(std::uint64_t id) {
+  if (stopped_.load(std::memory_order_relaxed)) {
+    throw EngineStoppedError("InferenceEngine::begin_swap: engine is shut down");
+  }
+  std::shared_ptr<const ModelVersion> v = registry_.get(id);  // throws on unknown id
+  if (registry_.state(id) == VersionState::kRejected) {
+    throw std::invalid_argument("InferenceEngine::begin_swap: version " + std::to_string(id) +
+                                " was rejected; republish it instead");
+  }
+  std::lock_guard lk(swap_mu_);
+  if (candidate_version_) {
+    throw std::invalid_argument("InferenceEngine::begin_swap: swap already in flight "
+                                "(candidate " +
+                                std::to_string(candidate_version_->id) + ")");
+  }
+  if (active_version_ptr_ && active_version_ptr_->id == id) {
+    throw std::invalid_argument("InferenceEngine::begin_swap: version " + std::to_string(id) +
+                                " is already active");
+  }
+  canary_batches_cur_ = 0;
+  shadow_cur_ = 0;
+  div_sum_ = 0.0;
+  div_max_ = 0.0;
+  canary_faults_ = 0;
+  slo_breaches_at_start_ = slo_.snapshot().breaches;
+  canary_started_ = std::chrono::steady_clock::now();
+  candidate_version_ = std::move(v);
+  canary_active_.store(true, std::memory_order_relaxed);
+  swaps_begun_.fetch_add(1, std::memory_order_relaxed);
+  swap_epoch_.fetch_add(1, std::memory_order_release);
+  obs::Registry::instance().counter("serve.swap.begins").add();
+  obs::flight_event(0, obs::FlightKind::kSwapBegin, static_cast<std::int64_t>(id));
+}
+
+bool InferenceEngine::cancel_swap() {
+  std::lock_guard lk(swap_mu_);
+  if (!candidate_version_) return false;
+  rollback_locked(RollbackReason::kManual);
+  return true;
+}
+
+std::uint64_t InferenceEngine::active_version() const {
+  std::lock_guard lk(swap_mu_);
+  return active_version_ptr_ ? active_version_ptr_->id : 0;
+}
+
+SwapStats InferenceEngine::swap_stats() const {
+  SwapStats s;
+  {
+    std::lock_guard lk(swap_mu_);
+    s.active_version = active_version_ptr_ ? active_version_ptr_->id : 0;
+    s.candidate_version = candidate_version_ ? candidate_version_->id : 0;
+    s.canary_in_flight = candidate_version_ != nullptr;
+    s.divergence_mean =
+        shadow_cur_ > 0 ? div_sum_ / static_cast<double>(shadow_cur_) : 0.0;
+    s.divergence_max = div_max_;
+    s.rollbacks_divergence = rollbacks_by_reason_[0];
+    s.rollbacks_fault_burst = rollbacks_by_reason_[1];
+    s.rollbacks_slo = rollbacks_by_reason_[2];
+    s.rollbacks_timeout = rollbacks_by_reason_[3];
+    s.rollbacks_commit_fault = rollbacks_by_reason_[4];
+    s.rollbacks_manual = rollbacks_by_reason_[5];
+  }
+  s.swaps_begun = swaps_begun_.load(std::memory_order_relaxed);
+  s.swaps_committed = swaps_committed_.load(std::memory_order_relaxed);
+  s.swaps_rolled_back = swaps_rolled_back_.load(std::memory_order_relaxed);
+  s.canary_batches = canary_batches_total_.load(std::memory_order_relaxed);
+  s.shadow_samples = shadow_total_.load(std::memory_order_relaxed);
+  s.restages = restages_.load(std::memory_order_relaxed);
+  s.stage_failures = stage_failures_.load(std::memory_order_relaxed);
+  s.stage_p50_us = stage_pause_us_.percentile(50);
+  s.stage_p99_us = stage_pause_us_.percentile(99);
+  return s;
+}
+
 void InferenceEngine::shutdown() {
   std::lock_guard lk(shutdown_mu_);
   stopped_.store(true, std::memory_order_relaxed);
@@ -965,6 +1404,7 @@ EngineStats InferenceEngine::stats() const {
     }
   }
   s.slo = slo_.snapshot();
+  s.swap = swap_stats();
   {
     const auto& kcfg = tensor::tune::gemm_config();
     const auto& caches = tensor::tune::host_caches();

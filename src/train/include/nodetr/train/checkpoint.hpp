@@ -3,7 +3,11 @@
 // Both directions are transactional:
 //   - save_checkpoint writes to "<path>.tmp" and renames it over `path` only
 //     after every byte is flushed, so a crash mid-save leaves the previous
-//     checkpoint intact (rename is atomic on POSIX filesystems);
+//     checkpoint intact (rename is atomic on POSIX filesystems). The rename
+//     is also *durable*: the temp file is fsync'd before the rename and the
+//     parent directory after it, so a power loss cannot surface the new name
+//     pointing at unwritten data — at every crash point `path` names either
+//     the complete old checkpoint or the complete new one, on stable storage;
 //   - load_checkpoint stages every tensor and validates the whole container
 //     (magic, version, counts, shapes, no trailing bytes) before touching
 //     the model, so a corrupt or truncated file never leaves the model
@@ -54,7 +58,11 @@ void save_checkpoint_quantized(const std::string& path, nodetr::nn::Module& mode
 /// quantized records are dequantized into the float parameters. Throws
 /// CheckpointError on bad magic/version, count/shape mismatch, truncation,
 /// corrupted block records (bad checksum), or trailing bytes — and in every
-/// failure case the model is left exactly as it was.
+/// failure case the model is left exactly as it was. Structural mismatches
+/// name the offending parameter in the message (shape mismatches report
+/// model-vs-file shapes; count mismatches name the first model param the
+/// file cannot account for) — serve::ModelRegistry's stage-validate-commit
+/// publish path relies on this typed rejection.
 void load_checkpoint(const std::string& path, nodetr::nn::Module& model);
 
 }  // namespace nodetr::train

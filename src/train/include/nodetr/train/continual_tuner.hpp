@@ -1,0 +1,97 @@
+// Background continual fine-tuning for live model updates (Sec. VI-A2 + the
+// serving stack's hot-swap protocol). A ContinualTuner owns a private
+// software replica of the final ODE block's MHSA and a background thread
+// that: pulls (input, target) pairs from a drift stream, takes MSE
+// fine-tuning steps with the paper's SGD, and every `steps_per_publish`
+// steps hands a weight snapshot to a publish callback — typically
+// serve::ModelRegistry::publish + InferenceEngine::begin_swap, which canaries
+// the candidate into live traffic.
+//
+// Crash-safety: every step passes the "train.tuner.crash" fault site. An
+// injected crash (or any exception out of the stream/step/publish path)
+// discards the un-published progress — the module reloads the LAST PUBLISHED
+// weights and the optimizer restarts cold — and the loop continues, so a
+// tuner crash can never publish a half-stepped candidate.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "nodetr/hls/mhsa_ip.hpp"
+#include "nodetr/nn/attention.hpp"
+#include "nodetr/train/optimizer.hpp"
+
+namespace nodetr::train {
+
+/// One sample batch from the drift stream: the tuner regresses the module's
+/// output feature map onto `target` (teacher outputs, or outputs recorded
+/// before the data drifted) with mean-squared error.
+struct DriftBatch {
+  Tensor input;   ///< (B, D, H, W)
+  Tensor target;  ///< (B, D, H, W)
+};
+
+struct TunerConfig {
+  SgdConfig sgd{0.01f, 0.9f, 0.0f};  ///< fine-tune defaults: low lr, no decay
+  std::uint32_t steps_per_publish = 16;  ///< SGD steps between candidates
+  std::uint64_t max_publishes = 0;       ///< stop after N candidates; 0 = run until stop()
+  std::int64_t rest_us = 0;              ///< sleep between steps (yield the host CPU)
+};
+
+struct TunerStats {
+  std::uint64_t steps = 0;      ///< SGD steps taken (surviving crashes)
+  std::uint64_t publishes = 0;  ///< candidates handed to the publish callback
+  std::uint64_t crashes = 0;    ///< injected/real crashes absorbed by restart
+  double last_loss = 0.0;       ///< MSE of the most recent step
+};
+
+class ContinualTuner {
+ public:
+  /// Blocking pull of the next drift batch. Runs on the tuner thread.
+  using Stream = std::function<DriftBatch()>;
+  /// Receives each candidate snapshot (deep copy — safe to keep). Runs on
+  /// the tuner thread; a throw here counts as a tuner crash.
+  using PublishFn = std::function<void(const hls::MhsaWeights&, const TunerStats&)>;
+
+  /// `init` seeds both the module and the crash-restart baseline; geometry
+  /// must match `config` (the MhsaIpCore construction in the serving stack
+  /// validates the same shapes).
+  ContinualTuner(nn::MhsaConfig config, const hls::MhsaWeights& init, TunerConfig tuner,
+                 Stream stream, PublishFn publish);
+  ~ContinualTuner();  ///< stop() + join
+
+  ContinualTuner(const ContinualTuner&) = delete;
+  ContinualTuner& operator=(const ContinualTuner&) = delete;
+
+  void start();  ///< launch the background thread (no-op if running)
+  void stop();   ///< request exit and join (idempotent)
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+
+  [[nodiscard]] TunerStats stats() const;
+
+ private:
+  void run();
+  void load_weights(const hls::MhsaWeights& w);
+  double step_once(const DriftBatch& batch);
+
+  nn::MhsaConfig config_;
+  tensor::Rng rng_{1};  ///< init weights are overwritten by `init` immediately
+  nn::MultiHeadSelfAttention module_;
+  hls::MhsaWeights last_published_;  ///< crash-restart baseline
+  TunerConfig tuner_;
+  Stream stream_;
+  PublishFn publish_;
+  Sgd opt_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  mutable std::mutex mu_;
+  TunerStats stats_;
+  std::uint32_t steps_since_publish_ = 0;
+};
+
+}  // namespace nodetr::train

@@ -6,6 +6,11 @@
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 #include "nodetr/tensor/serialize.hpp"
 
 namespace nodetr::train {
@@ -26,7 +31,38 @@ void write_header(std::ostream& os, std::uint32_t version, std::uint64_t pcount,
   os.write(reinterpret_cast<const char*>(&bcount), sizeof bcount);
 }
 
+/// fsync the file at `path`. The ofstream above only flushed user-space
+/// buffers into the page cache; without this, a power loss after rename can
+/// surface the *name* of the new checkpoint pointing at unwritten data.
+void sync_file(const std::string& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int flags = directory ? (O_RDONLY
+#if defined(O_DIRECTORY)
+                                 | O_DIRECTORY
+#endif
+                                 )
+                              : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    if (directory) return;  // exotic FS without directory handles: best effort
+    throw CheckpointError("save_checkpoint: cannot open for fsync: " + path);
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && !directory) {
+    throw CheckpointError("save_checkpoint: fsync failed for " + path);
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
 /// Temp+rename transactional container write; `body` emits the records.
+/// Durability order: write temp, fsync temp, rename, fsync parent directory —
+/// after save_container returns, the new checkpoint (not just its name) is on
+/// stable storage, and at every intermediate crash point `path` still names
+/// either the complete old file or the complete new one.
 template <typename Body>
 void save_container(const std::string& path, Body&& body) {
   const std::string tmp = path + ".tmp";
@@ -47,10 +83,20 @@ void save_container(const std::string& path, Body&& body) {
       throw CheckpointError("save_checkpoint: write failed for " + tmp);
     }
   }
+  try {
+    sync_file(tmp, /*directory=*/false);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw CheckpointError("save_checkpoint: cannot rename " + tmp + " -> " + path);
   }
+  // Make the rename itself durable: the directory entry lives in the parent.
+  const std::size_t slash = path.find_last_of('/');
+  sync_file(slash == std::string::npos ? "." : path.substr(0, slash == 0 ? 1 : slash),
+            /*directory=*/true);
 }
 
 }  // namespace
@@ -109,10 +155,22 @@ void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
   auto params = model.parameters();
   auto buffers = model.buffers();
   if (pcount != params.size() || bcount != buffers.size()) {
+    // Name the first model parameter the file cannot account for — "your
+    // checkpoint stops before rel_h" beats a bare count diff when a caller
+    // (e.g. serve::ModelRegistry::publish_checkpoint) rejects a structurally
+    // wrong candidate.
+    std::string detail;
+    if (pcount < params.size()) {
+      detail = "; checkpoint ends before model param '" + params[pcount]->name + "'";
+    } else if (pcount > params.size()) {
+      detail = "; checkpoint has " + std::to_string(pcount - params.size()) +
+               " parameter record(s) beyond the model's last param" +
+               (params.empty() ? std::string() : " '" + params.back()->name + "'");
+    }
     throw CheckpointError("load_checkpoint: parameter/buffer count mismatch (file " +
                           std::to_string(pcount) + "/" + std::to_string(bcount) + ", model " +
                           std::to_string(params.size()) + "/" + std::to_string(buffers.size()) +
-                          ")");
+                          ")" + detail);
   }
   // Stage -> validate -> commit: no model tensor is touched until the whole
   // file has deserialized and every shape matched, so a corrupt checkpoint
@@ -143,7 +201,9 @@ void load_checkpoint(const std::string& path, nodetr::nn::Module& model) {
         t = nodetr::tensor::read_tensor(is);
       }
       if (!(t.shape() == p->value.shape())) {
-        throw CheckpointError("load_checkpoint: shape mismatch for " + p->name);
+        throw CheckpointError("load_checkpoint: shape mismatch for " + p->name + ": model " +
+                              p->value.shape().to_string() + ", checkpoint " +
+                              t.shape().to_string());
       }
       staged_params.push_back(std::move(t));
     }

@@ -1,0 +1,174 @@
+#include "nodetr/train/continual_tuner.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "nodetr/fault/fault.hpp"
+#include "nodetr/obs/obs.hpp"
+
+namespace nodetr::train {
+
+namespace obs = nodetr::obs;
+
+ContinualTuner::ContinualTuner(nn::MhsaConfig config, const hls::MhsaWeights& init,
+                               TunerConfig tuner, Stream stream, PublishFn publish)
+    : config_(config),
+      module_(config_, rng_),
+      last_published_(init),
+      tuner_(tuner),
+      stream_(std::move(stream)),
+      publish_(std::move(publish)),
+      opt_(tuner_.sgd) {
+  if (!stream_) throw std::invalid_argument("ContinualTuner: stream must be set");
+  if (!publish_) throw std::invalid_argument("ContinualTuner: publish must be set");
+  if (tuner_.steps_per_publish < 1) {
+    throw std::invalid_argument("ContinualTuner: steps_per_publish must be >= 1");
+  }
+  load_weights(init);  // shape mismatches throw here, not on the thread
+}
+
+ContinualTuner::~ContinualTuner() { stop(); }
+
+void ContinualTuner::load_weights(const hls::MhsaWeights& w) {
+  auto assign = [](nn::Param* p, const Tensor& t, const char* name) {
+    if (!(t.shape() == p->value.shape())) {
+      throw std::invalid_argument(std::string("ContinualTuner: weight '") + name +
+                                  "' shape " + t.shape().to_string() + " does not match module " +
+                                  p->value.shape().to_string());
+    }
+    p->value = t;
+  };
+  for (nn::Param* p : module_.parameters()) {
+    if (p->name == "wq") {
+      assign(p, w.wq, "wq");
+    } else if (p->name == "wk") {
+      assign(p, w.wk, "wk");
+    } else if (p->name == "wv") {
+      assign(p, w.wv, "wv");
+    } else if (p->name == "rel_h") {
+      assign(p, w.rel_h, "rel_h");
+    } else if (p->name == "rel_w") {
+      assign(p, w.rel_w, "rel_w");
+    } else if (p->name == "gamma") {
+      assign(p, w.ln_gamma, "ln_gamma");
+    } else if (p->name == "beta") {
+      assign(p, w.ln_beta, "ln_beta");
+    } else {
+      throw std::invalid_argument("ContinualTuner: module param '" + p->name +
+                                  "' has no counterpart in MhsaWeights");
+    }
+  }
+}
+
+double ContinualTuner::step_once(const DriftBatch& batch) {
+  if (batch.input.numel() == 0) return 0.0;
+  module_.zero_grad();
+  Tensor y = module_.forward(batch.input);
+  if (!(y.shape() == batch.target.shape())) {
+    throw std::invalid_argument("ContinualTuner: drift target shape " +
+                                batch.target.shape().to_string() + " does not match output " +
+                                y.shape().to_string());
+  }
+  // MSE on the output feature map: loss = mean (y - t)^2, dL/dy = 2(y - t)/N.
+  const index_t n = y.numel();
+  Tensor grad(y.shape());
+  double loss = 0.0;
+  const float* yp = y.data();
+  const float* tp = batch.target.data();
+  float* gp = grad.data();
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (index_t i = 0; i < n; ++i) {
+    const float d = yp[i] - tp[i];
+    loss += static_cast<double>(d) * static_cast<double>(d);
+    gp[i] = 2.0f * d * inv_n;
+  }
+  loss /= static_cast<double>(n);
+  module_.backward(grad);
+  opt_.step(module_.parameters());
+  return loss;
+}
+
+void ContinualTuner::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+}
+
+void ContinualTuner::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+TunerStats ContinualTuner::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void ContinualTuner::run() {
+  static auto& steps_ctr = obs::Registry::instance().counter("train.tuner.steps");
+  static auto& publish_ctr = obs::Registry::instance().counter("train.tuner.publishes");
+  static auto& crash_ctr = obs::Registry::instance().counter("train.tuner.crashes");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard lk(mu_);
+      if (tuner_.max_publishes > 0 && stats_.publishes >= tuner_.max_publishes) break;
+    }
+    try {
+      if (fault::fire("train.tuner.crash")) {
+        throw fault::TunerCrashFault("train.tuner.crash");
+      }
+      const DriftBatch batch = stream_();
+      const double loss = step_once(batch);
+      steps_ctr.add();
+      ++steps_since_publish_;
+      {
+        std::lock_guard lk(mu_);
+        ++stats_.steps;
+        stats_.last_loss = loss;
+      }
+      if (steps_since_publish_ >= tuner_.steps_per_publish) {
+        // Snapshot first: if publish_() throws, the crash path below reloads
+        // last_published_ — which must still be the PREVIOUS candidate — and
+        // the publish count only moves once the callback has returned.
+        hls::MhsaWeights candidate = hls::MhsaWeights::from_module(module_);
+        TunerStats snapshot;
+        {
+          std::lock_guard lk(mu_);
+          snapshot = stats_;
+        }
+        snapshot.publishes += 1;
+        publish_(candidate, snapshot);
+        {
+          std::lock_guard lk(mu_);
+          stats_.publishes = snapshot.publishes;
+        }
+        last_published_ = std::move(candidate);
+        steps_since_publish_ = 0;
+        publish_ctr.add();
+        obs::flight_event(0, obs::FlightKind::kTunerPublish,
+                          static_cast<std::int64_t>(snapshot.publishes),
+                          static_cast<std::int64_t>(snapshot.steps));
+      }
+      if (tuner_.rest_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(tuner_.rest_us));
+      }
+    } catch (...) {
+      // Crash restart: un-published progress is discarded — reload the last
+      // published weights, restart the optimizer cold (fresh velocity), and
+      // keep tuning. A candidate snapshot either published fully or not at
+      // all, so the registry never sees half-stepped weights.
+      crash_ctr.add();
+      {
+        std::lock_guard lk(mu_);
+        ++stats_.crashes;
+      }
+      load_weights(last_published_);
+      opt_ = Sgd(tuner_.sgd);
+      steps_since_publish_ = 0;
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace nodetr::train

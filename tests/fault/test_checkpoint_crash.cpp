@@ -3,6 +3,8 @@
 // one, and a corrupt file never half-loads into (or mutates) a model.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -65,7 +67,10 @@ bool matches(nn::Module& m, const std::vector<nt::Tensor>& snap) {
 struct CheckpointCorpus : ::testing::Test {
   nt::Rng rng{31};
   std::unique_ptr<nn::Sequential> net = tiny_net(rng);
-  std::string path = ::testing::TempDir() + "/nodetr_fault_ckpt.bin";
+  // Per-process filename: ctest runs each test as its own process, possibly
+  // in parallel, and they must not race on a shared checkpoint file.
+  std::string path = ::testing::TempDir() + "/nodetr_fault_ckpt_" +
+                     std::to_string(static_cast<long long>(::getpid())) + ".bin";
 
   void SetUp() override { tr::save_checkpoint(path, *net); }
   void TearDown() override {
@@ -179,6 +184,105 @@ TEST_F(CheckpointCorpus, ReadTensorRejectsExtentProductOverflow) {
   EXPECT_THROW((void)nt::read_tensor(is), std::runtime_error);
   std::error_code ec;
   fs::remove(tpath, ec);
+}
+
+TEST_F(CheckpointCorpus, SaveIsDurableNotJustAtomic) {
+  // Documents and exercises the fsync contract: save_checkpoint returns only
+  // after (1) the temp file's CONTENTS are fsynced, (2) the rename landed,
+  // (3) the parent DIRECTORY entry is fsynced. We cannot pull the power in a
+  // unit test, but we can pin the observable half of the contract: the save
+  // must succeed on a freshly created directory (whose entry is not yet
+  // durable), overwrite in place, leave no temp, and load back bitwise.
+  const std::string dir = ::testing::TempDir() + "/nodetr_fsync_dir";
+  fs::create_directories(dir);
+  const std::string deep = dir + "/ckpt.bin";
+  tr::save_checkpoint(deep, *net);
+  for (auto* p : net->parameters()) p->value += 0.25f;
+  tr::save_checkpoint(deep, *net);  // overwrite: fsync of an existing entry
+  const auto snap = snapshot(*net);
+  for (auto* p : net->parameters()) p->value += -1.0f;
+  tr::load_checkpoint(deep, *net);
+  EXPECT_TRUE(matches(*net, snap));
+  EXPECT_FALSE(fs::exists(deep + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST_F(CheckpointCorpus, SaveWithoutDirectoryComponentSyncsCwd) {
+  // A bare filename has no '/' — the parent-directory fsync must fall back
+  // to "." instead of fsyncing an empty path (or skipping durability).
+  const std::string bare = "nodetr_fault_bare_ckpt.bin";
+  tr::save_checkpoint(bare, *net);
+  EXPECT_TRUE(fs::exists(bare));
+  EXPECT_FALSE(fs::exists(bare + ".tmp"));
+  const auto snap = snapshot(*net);
+  for (auto* p : net->parameters()) p->value += 3.0f;
+  tr::load_checkpoint(bare, *net);
+  EXPECT_TRUE(matches(*net, snap));
+  std::error_code ec;
+  fs::remove(bare, ec);
+}
+
+TEST_F(CheckpointCorpus, CountMismatchNamesFirstUnaccountedParam) {
+  // Model has MORE params than the checkpoint: the error must name the first
+  // model param the file cannot account for, not just dump two counts —
+  // serve::ModelRegistry::publish_checkpoint surfaces this message verbatim
+  // when a candidate's structure does not match the serving design point.
+  nn::Sequential bigger;
+  bigger.emplace<nn::Conv2d>(3, 8, 3, 2, 1, true, rng);
+  bigger.emplace<nn::ReLU>();
+  bigger.emplace<nn::GlobalAvgPool>();
+  bigger.emplace<nn::Linear>(8, 4, true, rng);
+  bigger.emplace<nn::Linear>(4, 2, true, rng);
+  bigger.train(false);
+  try {
+    tr::load_checkpoint(path, bigger);
+    FAIL() << "expected CheckpointError";
+  } catch (const tr::CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("count mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("ends before model param '"), std::string::npos) << msg;
+    // The first unaccounted param is the extra Linear's weight.
+    EXPECT_NE(msg.find("'weight'"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CheckpointCorpus, CountMismatchNamesExtraRecordsPastLastParam) {
+  // Checkpoint has MORE params than the model: the message reports how many
+  // records run past the model's last param, and names that param.
+  nn::Sequential smaller;
+  smaller.emplace<nn::Linear>(8, 4, true, rng);
+  smaller.train(false);
+  try {
+    tr::load_checkpoint(path, smaller);
+    FAIL() << "expected CheckpointError";
+  } catch (const tr::CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("count mismatch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("beyond the model's last param"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bias'"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(CheckpointCorpus, ShapeMismatchNamesParamAndBothShapes) {
+  // Same param COUNT, different geometry: the error names the offending
+  // param and prints the model's shape versus the checkpoint's.
+  nn::Sequential other;
+  other.emplace<nn::Conv2d>(3, 8, 3, 2, 1, true, rng);
+  other.emplace<nn::ReLU>();
+  other.emplace<nn::GlobalAvgPool>();
+  other.emplace<nn::Linear>(8, 2, true, rng);  // 4 -> 2 outputs
+  other.train(false);
+  const auto snap = snapshot(other);
+  try {
+    tr::load_checkpoint(path, other);
+    FAIL() << "expected CheckpointError";
+  } catch (const tr::CheckpointError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("shape mismatch for weight"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("model [2, 8]"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("checkpoint [4, 8]"), std::string::npos) << msg;
+  }
+  EXPECT_TRUE(matches(other, snap)) << "mismatched load mutated the model";
 }
 
 TEST_F(CheckpointCorpus, SaveOverwritesAtomically) {

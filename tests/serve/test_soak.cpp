@@ -330,3 +330,138 @@ TEST(Soak, ClusterKillAndRestoreDeviceRecoversGoodputAndCounters) {
             << " closes=" << fin.device_stats.at("soak2").breaker_closes
             << " respawns=" << fin.respawns << std::endl;
 }
+
+// Swap-under-storm soak: a 3-board fleet serves traffic while one board's
+// DMA path fault-storms the whole time AND the model is hot-swapped over and
+// over (alternating between two weight versions). Asserts the hot-swap
+// guarantees that only show up under sustained churn: every swap reaches a
+// terminal state (all commit — no rollback trigger is armed), zero failed
+// futures, every response bitwise attributable to exactly one version, and
+// after the last commit the whole fleet converges on the final version.
+TEST(Soak, SwapStormOnDegradedFleetNeverFailsAFutureAndConverges) {
+  const std::int64_t seconds = env_int("NODETR_SOAK_SECONDS", 2);
+  const std::int64_t swaps = std::max<std::int64_t>(50, seconds * 8);
+  auto& inj = fault::Injector::instance();
+  inj.reset();
+  const auto seed = static_cast<std::uint64_t>(env_int("NODETR_FAULT_SEED", 0x50a7'5eed));
+  inj.seed(seed);
+
+  nt::Rng rng{23};
+  nn::MhsaConfig mc;
+  mc.dim = 16;
+  mc.heads = 2;
+  mc.height = 4;
+  mc.width = 4;
+  nn::MultiHeadSelfAttention mhsa(mc, rng);
+  mhsa.train(false);
+  const hls::MhsaWeights weights_a = hls::MhsaWeights::from_module(mhsa);
+  hls::MhsaWeights weights_b = weights_a;
+  for (nt::Tensor* t : {&weights_b.wq, &weights_b.wk, &weights_b.wv}) {
+    float* p = t->data();
+    for (nt::index_t k = 0; k < t->numel(); ++k) p[k] += 0.05f;
+  }
+
+  serve::EngineConfig cfg;
+  cfg.point.dim = mc.dim;
+  cfg.point.height = mc.height;
+  cfg.point.width = mc.width;
+  cfg.point.heads = mc.heads;
+  cfg.point.scheme = fx::scheme_32_24();
+  cfg.queue_capacity = 128;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.max_wait_us = 100;
+  cfg.fault.max_retries = 6;
+  cfg.fault.backoff_us = 10;
+  cfg.fault.max_backoff_us = 100;
+  cfg.breaker.open_after = 2;       // demote the stormed board fast; its CPU
+  cfg.breaker.cooldown_us = 2'000;  // fallback is bitwise for float backends
+  cfg.devices.resize(3);
+  for (std::size_t d = 0; d < cfg.devices.size(); ++d) {
+    cfg.devices[d].name = "swap" + std::to_string(d);
+    cfg.devices[d].backend = serve::Backend::kFpgaFloat;
+  }
+  // Every whole-request batch canaries; one shadow-scored batch promotes.
+  cfg.hot_swap.canary_fraction = 1.0;
+  cfg.hot_swap.min_canary_batches = 1;
+  cfg.hot_swap.shadow_every = 1;
+  cfg.hot_swap.max_divergence = 0.0;  // quality gates off: churn is the test
+  cfg.hot_swap.rollback_fault_burst = 0;
+  cfg.hot_swap.rollback_slo_breaches = 0;
+  cfg.hot_swap.swap_timeout_us = 60'000'000;
+  serve::InferenceEngine engine(cfg, weights_a);
+
+  // Board swap1 is degraded for the entire soak: most DMA transfers on it
+  // fault, so the storm overlaps canary staging, commits, and the breaker's
+  // demote/probe cycle on that board (open_after=2 means its retries land on
+  // the bitwise-identical CPU fallback rather than exhausting).
+  inj.arm("rt.dma.error.swap1", fault::Schedule::with_probability(0.85));
+
+  // Bitwise references for both versions (the float IP datapath the boards
+  // and the CPU fallback share).
+  hls::MhsaDesignPoint ref_point = cfg.point;
+  ref_point.dtype = hls::DataType::kFloat32;
+  const nt::Tensor x = rng.rand(nt::Shape{1, mc.dim, mc.height, mc.width});
+  const nt::Tensor ref_a = hls::MhsaIpCore(ref_point, weights_a).run(x);
+  const nt::Tensor ref_b = hls::MhsaIpCore(ref_point, weights_b).run(x);
+
+  // Bursts of concurrent requests, so the cost-model router spreads load
+  // across all three boards (sequential submit→get traffic would park on the
+  // least-loaded board and never touch the degraded one).
+  std::uint64_t responses = 0, hybrid = 0;
+  const auto drive_burst = [&] {
+    std::vector<std::future<nt::Tensor>> burst;
+    for (int b = 0; b < 9; ++b) burst.push_back(engine.submit(x));
+    for (auto& f : burst) {
+      const nt::Tensor y = f.get();  // throw = failed future
+      ++responses;
+      const bool is_a = nt::allclose(y, ref_a, 0.0f, 0.0f);
+      const bool is_b = nt::allclose(y, ref_b, 0.0f, 0.0f);
+      if (!is_a && !is_b) ++hybrid;
+    }
+  };
+  for (std::int64_t s = 0; s < swaps; ++s) {
+    const auto id = engine.registry().publish(s % 2 == 0 ? weights_b : weights_a,
+                                              "soak swap " + std::to_string(s));
+    engine.begin_swap(id);
+    const auto conclude = Clock::now() + std::chrono::seconds(30);
+    while (engine.swap_stats().canary_in_flight) {
+      ASSERT_LT(Clock::now(), conclude)
+          << "swap " << s << " never concluded (seed 0x" << std::hex << seed << ")";
+      drive_burst();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  inj.disarm("rt.dma.error.swap1");
+
+  // Convergence: after the last commit every board serves the final version
+  // bitwise (bursts again, so all three boards get probed).
+  const nt::Tensor& final_ref = (swaps - 1) % 2 == 0 ? ref_b : ref_a;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::future<nt::Tensor>> burst;
+    for (int b = 0; b < 9; ++b) burst.push_back(engine.submit(x));
+    for (auto& f : burst) {
+      EXPECT_TRUE(nt::allclose(f.get(), final_ref, 0.0f, 0.0f))
+          << "fleet did not converge on the final version (round " << round << ")";
+    }
+  }
+  engine.shutdown();
+
+  const serve::EngineStats fin = engine.stats();
+  const serve::SwapStats swap = fin.swap;
+  EXPECT_EQ(swap.swaps_begun, static_cast<std::uint64_t>(swaps));
+  EXPECT_EQ(swap.swaps_committed + swap.swaps_rolled_back,
+            static_cast<std::uint64_t>(swaps))
+      << "a swap leaked without reaching a terminal state";
+  EXPECT_EQ(swap.swaps_committed, static_cast<std::uint64_t>(swaps));
+  EXPECT_EQ(hybrid, 0u) << "responses not bitwise attributable to one version";
+  EXPECT_EQ(fin.failed, 0u) << "futures failed under swap storm (seed 0x" << std::hex
+                            << seed << ")";
+  EXPECT_EQ(fin.completed, fin.submitted);
+  EXPECT_EQ(engine.active_version(), engine.registry().active());
+
+  inj.reset();
+  std::cerr << "[soak.swap] swaps=" << swaps << " responses=" << responses
+            << " restages=" << swap.restages << " stage_failures=" << swap.stage_failures
+            << " breaker_opens(swap1)=" << fin.device_stats.at("swap1").breaker_opens
+            << " stage_p99_us=" << swap.stage_p99_us << std::endl;
+}
